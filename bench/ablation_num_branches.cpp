@@ -1,0 +1,184 @@
+// Ablation for paper Sec. IV-D.1 ("The number of binary branches"):
+// compare one binary branch after conv1 against a two-branch cascade
+// (conv1 + a deeper attachment). The paper's claim: the second branch
+// adds little accuracy over the first but adds browser compute, payload
+// and an extra possible interaction, so one branch wins on expected
+// latency.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "core/entropy.h"
+#include "nn/loss.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+using namespace lcrs;
+
+namespace {
+
+Tensor features_at_depth(core::CompositeNetwork& net, const Tensor& images,
+                         std::size_t depth) {
+  Tensor out;
+  std::vector<std::int64_t> dims;
+  const std::int64_t batch = 64;
+  for (std::int64_t begin = 0; begin < images.dim(0); begin += batch) {
+    const std::int64_t count = std::min(batch, images.dim(0) - begin);
+    Tensor f = net.shared_stage().forward(
+        images.slice_outer(begin, begin + count), false);
+    f = net.main_rest().forward_prefix(f, depth);
+    if (out.numel() == 0) {
+      dims = f.shape().dims();
+      dims[0] = images.dim(0);
+      out = Tensor{Shape(dims)};
+    }
+    const std::int64_t per = f.numel() / count;
+    std::copy(f.data(), f.data() + f.numel(), out.data() + begin * per);
+  }
+  return out;
+}
+
+void train_branch(nn::Sequential& branch, const Tensor& train_x,
+                  const std::vector<std::int64_t>& train_y) {
+  nn::Adam adam(2e-3);
+  const std::int64_t batch = 32;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (std::int64_t begin = 0; begin + batch <= train_x.dim(0);
+         begin += batch) {
+      branch.zero_grad();
+      const Tensor x = train_x.slice_outer(begin, begin + batch);
+      const std::vector<std::int64_t> y(train_y.begin() + begin,
+                                        train_y.begin() + begin + batch);
+      const nn::LossResult r =
+          nn::softmax_cross_entropy(branch.forward(x, true), y);
+      branch.backward(r.grad_logits);
+      adam.step(branch.params());
+    }
+  }
+}
+
+struct CascadeResult {
+  double accuracy = 0.0;
+  double exit1 = 0.0, exit2 = 0.0;  // exit fraction per branch
+  double expected_ms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("Ablation (Sec. IV-D.1): one vs two binary branches "
+              "(AlexNet, CIFAR10-like)\n\n");
+
+  bench::TrainedCombo combo =
+      bench::run_combo(models::Arch::kAlexNet, "CIFAR10", 777);
+  core::CompositeNetwork& net = *combo.net;
+  const std::size_t depth2 = 3;  // second attachment: after conv2+bn+relu
+
+  // Branch 1 = the jointly trained conv1 branch inside the composite.
+  // Branch 2 trains on the deeper frozen features.
+  const Tensor train_f2 =
+      features_at_depth(net, combo.data.train.images, depth2);
+  const Tensor test_f2 =
+      features_at_depth(net, combo.data.test.images, depth2);
+  Rng rng(778);
+  auto branch2 = models::build_binary_branch(
+      models::default_branch(models::Arch::kAlexNet), train_f2.dim(1),
+      train_f2.dim(2), train_f2.dim(3), 10, rng);
+  train_branch(*branch2, train_f2, combo.data.train.labels);
+
+  // Cost pieces.
+  const sim::CostModel cost = sim::CostModel::paper_default();
+  const auto shared_prof =
+      models::profile_layers(net.shared_stage(), Shape{3, 32, 32});
+  const Shape shared_shape{net.shared_out_c(), net.shared_out_h(),
+                           net.shared_out_w()};
+  const auto rest_prof = models::profile_layers(net.main_rest(), shared_shape);
+  const auto branch1_prof =
+      models::profile_layers(net.binary_branch(), shared_shape);
+  const auto branch2_prof = models::profile_layers(
+      *branch2, Shape{train_f2.dim(1), train_f2.dim(2), train_f2.dim(3)});
+
+  const double browser1 =
+      cost.browser_compute_ms(shared_prof, 0, shared_prof.size()) +
+      cost.browser_compute_ms(branch1_prof, 0, branch1_prof.size());
+  const double browser2_extra =
+      cost.browser_compute_ms(rest_prof, 0, depth2) +
+      cost.browser_compute_ms(branch2_prof, 0, branch2_prof.size());
+  const std::int64_t up1 = 8 + 32 + 4 * shared_shape.numel();
+  const std::int64_t up2 =
+      8 + 32 + 4 * (train_f2.numel() / train_f2.dim(0));
+  const double edge_full = cost.edge_compute_ms(rest_prof, 0,
+                                                rest_prof.size());
+  const double edge_from2 =
+      cost.edge_compute_ms(rest_prof, depth2, rest_prof.size());
+  const sim::Scenario scenario;
+  const double down = cost.network().download_ms(scenario.result_bytes);
+
+  const double tau = combo.result.exit_stats.tau;
+
+  // Evaluate both configurations sample-by-sample on the test set.
+  CascadeResult one, two;
+  const data::Dataset& test = combo.data.test;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    const Tensor x = test.image(i);
+    const std::int64_t truth = test.labels[static_cast<std::size_t>(i)];
+
+    const Tensor shared = net.shared_stage().forward(x, false);
+    const Tensor logits1 = net.binary_branch().forward(shared, false);
+    const Tensor probs1 = softmax_rows(logits1);
+    const double e1 = core::normalized_entropy(probs1.data(), probs1.dim(1));
+
+    // One-branch cascade.
+    if (e1 < tau) {
+      one.exit1 += 1;
+      one.accuracy += argmax(probs1) == truth;
+      one.expected_ms += browser1;
+    } else {
+      const Tensor main_logits = net.forward_main_from_shared(shared);
+      one.accuracy += argmax_rows(main_logits)[0] == truth;
+      one.expected_ms +=
+          browser1 + cost.network().upload_ms(up1) + edge_full + down;
+    }
+
+    // Two-branch cascade: branch1, then branch2, then edge.
+    if (e1 < tau) {
+      two.exit1 += 1;
+      two.accuracy += argmax(probs1) == truth;
+      two.expected_ms += browser1;
+      continue;
+    }
+    const Tensor f2 = net.main_rest().forward_prefix(shared, depth2);
+    const Tensor logits2 = branch2->forward(f2, false);
+    const Tensor probs2 = softmax_rows(logits2);
+    const double e2 = core::normalized_entropy(probs2.data(), probs2.dim(1));
+    if (e2 < tau) {
+      two.exit2 += 1;
+      two.accuracy += argmax(probs2) == truth;
+      two.expected_ms += browser1 + browser2_extra;
+    } else {
+      const Tensor main_logits =
+          net.main_rest().forward_suffix(f2, depth2);
+      two.accuracy += argmax_rows(main_logits)[0] == truth;
+      two.expected_ms += browser1 + browser2_extra +
+                         cost.network().upload_ms(up2) + edge_from2 + down;
+    }
+  }
+  const double n = static_cast<double>(test.size());
+
+  std::printf("%-14s %10s %8s %8s %12s\n", "config", "accuracy", "exit1",
+              "exit2", "E[lat](ms)");
+  bench::print_rule(58);
+  std::printf("%-14s %9.1f%% %7.0f%% %7.0f%% %12.1f\n", "one branch",
+              100.0 * one.accuracy / n, 100.0 * one.exit1 / n, 0.0,
+              one.expected_ms / n);
+  std::printf("%-14s %9.1f%% %7.0f%% %7.0f%% %12.1f\n", "two branches",
+              100.0 * two.accuracy / n, 100.0 * two.exit1 / n,
+              100.0 * two.exit2 / n, two.expected_ms / n);
+  bench::print_rule(58);
+  std::printf("\nPaper claim: the second branch's accuracy lift is small "
+              "next to its added\nbrowser compute/payload, so LCRS uses "
+              "exactly one binary branch after conv1.\n");
+  return 0;
+}

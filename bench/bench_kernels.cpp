@@ -1,0 +1,101 @@
+// Kernel microbenchmarks (google-benchmark): the XNOR/popcount path vs
+// full-precision GEMM and convolution -- the mechanism behind the paper's
+// Sec. III-B/IV claims of faster, memory-saving binary inference.
+#include <benchmark/benchmark.h>
+
+#include "binary/binary_conv2d.h"
+#include "binary/bitmatrix.h"
+#include "binary/xnor_gemm.h"
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+
+namespace lcrs {
+namespace {
+
+void BM_FloatGemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c{Shape{n, n}};
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_FloatGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_XnorGemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const binary::BitMatrix a =
+      binary::BitMatrix::pack(Tensor::randn(Shape{n, n}, rng));
+  const binary::BitMatrix b =
+      binary::BitMatrix::pack(Tensor::randn(Shape{n, n}, rng));
+  Tensor c{Shape{n, n}};
+  for (auto _ : state) {
+    binary::xnor_gemm(a, b, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_XnorGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BitPack(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  const Tensor t = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    binary::BitMatrix m = binary::BitMatrix::pack(t);
+    benchmark::DoNotOptimize(m.row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BitPack)->Arg(256);
+
+void BM_FloatConv2d(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, 32, 32, rng);
+  const Tensor x = Tensor::randn(Shape{1, channels, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.flops_per_sample());
+}
+BENCHMARK(BM_FloatConv2d)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BinaryConv2dReference(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(4);
+  binary::BinaryConv2d conv(channels, channels, 3, 1, 1, 32, 32, rng);
+  const Tensor x = Tensor::randn(Shape{1, channels, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.flops_per_sample());
+}
+BENCHMARK(BM_BinaryConv2dReference)->Arg(64);
+
+void BM_BinaryConv2dXnor(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  Rng rng(4);
+  binary::BinaryConv2d conv(channels, channels, 3, 1, 1, 32, 32, rng);
+  conv.prepare_inference();
+  const Tensor x = Tensor::randn(Shape{1, channels, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward_fast(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.flops_per_sample());
+}
+BENCHMARK(BM_BinaryConv2dXnor)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace lcrs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Shared helpers for the table/figure harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper on the
+// synthetic substrate. Training runs use width-scaled networks so a
+// single CPU core finishes in seconds-to-minutes; model-size columns are
+// always computed from the full-width (width = 1.0) architectures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/composite.h"
+#include "core/joint_trainer.h"
+#include "data/synthetic.h"
+#include "models/accounting.h"
+#include "sim/cost_model.h"
+
+namespace lcrs::bench {
+
+/// Width multiplier used when *training* each architecture on one core.
+inline double train_width(models::Arch arch) {
+  switch (arch) {
+    case models::Arch::kLeNet:
+      return 1.0;  // small enough to train at full width
+    case models::Arch::kAlexNet:
+      return 0.25;
+    case models::Arch::kResNet18:
+      return 0.125;
+    case models::Arch::kVgg16:
+      return 0.125;
+  }
+  return 0.25;
+}
+
+/// Training-set sizes tuned for single-core wall time.
+struct BudgetedRun {
+  std::int64_t train_n = 800;
+  std::int64_t test_n = 200;
+  std::int64_t epochs = 3;
+  std::int64_t batch = 32;
+};
+
+inline BudgetedRun budget_for(models::Arch arch, std::int64_t num_classes) {
+  BudgetedRun b;
+  if (arch == models::Arch::kLeNet) {
+    b.train_n = 1280;
+    b.epochs = 5;
+  } else {
+    // Deep nets memorize small synthetic sets; they need the extra data
+    // (plus the weight decay below) to generalize at all.
+    b.train_n = 1152;
+    b.epochs = 3;
+  }
+  if (num_classes >= 100) {
+    // 100-way classification: more epochs matter more than more samples
+    // here -- the deep mains descend into the uniform solution first and
+    // need optimization steps to climb out of it.
+    if (arch == models::Arch::kLeNet) {
+      b.train_n = std::max(b.train_n, num_classes * 15);
+      b.epochs += 1;
+    } else {
+      b.train_n = 800;
+      b.epochs += 3;
+    }
+  }
+  b.test_n = std::max<std::int64_t>(200, num_classes * 2);
+  return b;
+}
+
+/// Per-architecture trainer settings tuned on the synthetic substrate.
+inline core::TrainConfig train_config_for(models::Arch arch,
+                                          std::int64_t epochs,
+                                          std::int64_t batch) {
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = batch;
+  tc.verbose = false;
+  if (arch != models::Arch::kLeNet) {
+    tc.lr_main = 2e-3;
+    tc.weight_decay_main = 3e-4;
+  }
+  return tc;
+}
+
+/// A trained composite network plus everything the tables report.
+struct TrainedCombo {
+  std::string network;
+  std::string dataset;
+  core::TrainResult result;
+  double main_size_mb = 0.0;    // full-width main branch (M_size)
+  double binary_size_mb = 0.0;  // browser payload: conv1 + packed branch
+  std::unique_ptr<core::CompositeNetwork> net;  // the trained network
+  data::TrainTest data;                         // its train/test split
+};
+
+/// Builds, jointly trains and measures one (network, dataset) cell of
+/// Table I.
+inline TrainedCombo run_combo(models::Arch arch, const std::string& dataset,
+                              std::uint64_t seed,
+                              const core::TrainConfig* override_cfg = nullptr,
+                              const BudgetedRun* override_budget = nullptr) {
+  const data::SyntheticSpec spec = data::spec_by_name(dataset);
+  Rng rng(seed);
+
+  models::ModelConfig cfg{arch, spec.channels, spec.height, spec.width,
+                          spec.num_classes, train_width(arch)};
+  cfg.dropout = 0.2;  // full 0.5 dropout pins the head at uniform on the
+                      // small synthetic training sets
+  TrainedCombo combo;
+  combo.net = std::make_unique<core::CompositeNetwork>(
+      core::CompositeNetwork::build(cfg, rng));
+
+  const BudgetedRun budget = override_budget != nullptr
+                                 ? *override_budget
+                                 : budget_for(arch, spec.num_classes);
+  combo.data =
+      data::make_synthetic_pair(spec, budget.train_n, budget.test_n, rng);
+
+  core::TrainConfig tc = train_config_for(arch, budget.epochs, budget.batch);
+  if (override_cfg != nullptr) tc = *override_cfg;
+  core::JointTrainer trainer(*combo.net, tc);
+
+  combo.network = models::arch_name(arch);
+  combo.dataset = dataset;
+  combo.result = trainer.train(combo.data.train, combo.data.test, rng);
+
+  // Size columns from the full-width architecture.
+  Rng size_rng(1);
+  const models::ModelConfig full{arch, spec.channels, spec.height, spec.width,
+                                 spec.num_classes, 1.0};
+  models::MainBranch full_main = models::build_main_branch(full, size_rng);
+  const std::int64_t main_bytes =
+      full_main.conv1->param_bytes() + full_main.rest->param_bytes();
+  auto full_branch = models::build_binary_branch(
+      models::default_branch(arch), full_main.out_c, full_main.out_h,
+      full_main.out_w, spec.num_classes, size_rng);
+  const std::int64_t branch_bytes =
+      full_main.conv1->param_bytes() +
+      models::browser_payload_bytes(*full_branch);
+  combo.main_size_mb = static_cast<double>(main_bytes) / (1024.0 * 1024.0);
+  combo.binary_size_mb =
+      static_cast<double>(branch_bytes) / (1024.0 * 1024.0);
+  return combo;
+}
+
+/// Profiles a full-width monolithic model for the cost-model benches.
+inline std::vector<models::LayerProfile> full_width_profile(
+    models::Arch arch, std::int64_t classes = 10) {
+  Rng rng(3);
+  const models::ModelConfig cfg{arch, 3, 32, 32, classes, 1.0};
+  auto mono = models::build_monolithic(cfg, rng);
+  return models::profile_layers(*mono, Shape{3, 32, 32});
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace lcrs::bench

@@ -1,0 +1,98 @@
+// Reproduces Table II: average end-to-end latency (ms) of LCRS vs
+// Neurosurgeon, Edgent and Mobile-only on the mobile web browser, for the
+// four networks on the CIFAR10-shaped workload over the paper's 4G link.
+//
+// All approaches are priced by the shared cost model on full-width model
+// profiles. LCRS exit fractions use the Table I values the paper reports
+// for CIFAR10 (79/73/78% for AlexNet/ResNet18/VGG16, 84% LeNet); run
+// bench/table1_training to re-measure them on the synthetic substrate.
+#include <cstdio>
+
+#include "baselines/edge_only.h"
+#include "baselines/edgent.h"
+#include "baselines/lcrs_approach.h"
+#include "baselines/mobile_only.h"
+#include "baselines/neurosurgeon.h"
+#include "bench_util.h"
+#include "common/logging.h"
+
+using namespace lcrs;
+
+namespace {
+
+double paper_exit_fraction(models::Arch arch) {
+  switch (arch) {
+    case models::Arch::kLeNet:
+      return 0.84;
+    case models::Arch::kAlexNet:
+      return 0.79;
+    case models::Arch::kResNet18:
+      return 0.73;
+    case models::Arch::kVgg16:
+      return 0.78;
+  }
+  return 0.8;
+}
+
+baselines::LcrsModel lcrs_model_for(models::Arch arch) {
+  Rng rng(9);
+  const models::ModelConfig cfg{arch, 3, 32, 32, 10, 1.0};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  baselines::LcrsModel m;
+  m.name = models::arch_name(arch);
+  m.shared = models::profile_layers(net.shared_stage(), Shape{3, 32, 32});
+  const Shape shared_shape{net.shared_out_c(), net.shared_out_h(),
+                           net.shared_out_w()};
+  m.branch = models::profile_layers(net.binary_branch(), shared_shape);
+  m.rest = models::profile_layers(net.main_rest(), shared_shape);
+  m.input_elems = 3 * 32 * 32;
+  m.shared_out_elems = shared_shape.numel();
+  m.exit_fraction = paper_exit_fraction(arch);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  const sim::CostModel cost = sim::CostModel::paper_default();
+  const sim::Scenario scenario;
+
+  std::printf("Table II: average end-to-end latency on the mobile web "
+              "browser (ms)\n");
+  std::printf("4G link %.0f/%.0f Mb/s, session of %lld recognitions\n\n",
+              cost.network().spec().downlink_mbps,
+              cost.network().spec().uplink_mbps,
+              static_cast<long long>(scenario.session_samples));
+  std::printf("%-10s %10s %14s %10s %13s %11s\n", "-", "LCRS", "Neurosurgeon",
+              "Edgent", "Mobile-only", "(Edge-only)");
+  bench::print_rule(74);
+
+  for (const auto arch : {models::Arch::kLeNet, models::Arch::kAlexNet,
+                          models::Arch::kResNet18, models::Arch::kVgg16}) {
+    baselines::ModelUnderTest model;
+    model.name = models::arch_name(arch);
+    model.layers = bench::full_width_profile(arch);
+    model.input_elems = 3 * 32 * 32;
+
+    const baselines::LcrsModel lm = lcrs_model_for(arch);
+    const double lcrs =
+        baselines::evaluate_lcrs(lm, cost, scenario).total_ms;
+    const double neuro =
+        baselines::evaluate_neurosurgeon(model, cost, scenario).total_ms;
+    const double edgent =
+        baselines::evaluate_edgent(model, cost, scenario).total_ms;
+    const double mobile =
+        baselines::evaluate_mobile_only(model, cost, scenario).total_ms;
+    const double edge =
+        baselines::evaluate_edge_only(model, cost, scenario).total_ms;
+    std::printf("%-10s %10.0f %14.0f %10.0f %13.0f %11.0f\n",
+                model.name.c_str(), lcrs, neuro, edgent, mobile, edge);
+  }
+
+  bench::print_rule(74);
+  std::printf("\nPaper reference (ms): LCRS 37/153/261/264; Neurosurgeon "
+              "110/5256/2820/3421;\nEdgent 204/4617/2613/3231; Mobile-only "
+              "109/9313/5882/8205 (LeNet/AlexNet/ResNet18/VGG16).\n");
+  return 0;
+}

@@ -1,0 +1,239 @@
+// lcrs_tool — command-line front end for the whole LCRS workflow.
+//
+//   lcrs_tool train <arch> <dataset> <out.ckpt> [epochs] [train_n]
+//       Joint-train a composite network on a synthetic dataset, screen
+//       tau, and write a self-contained checkpoint.
+//
+//   lcrs_tool export <in.ckpt> <out.blob>
+//       Convert a checkpoint's browser part (conv1 + binary branch) into
+//       the webinfer blob a browser would download.
+//
+//   lcrs_tool eval <in.ckpt> [n_samples]
+//       Report branch accuracies, exit statistics and a per-class
+//       confusion summary on a fresh test set.
+//
+//   lcrs_tool serve <in.ckpt> <port>
+//       Host the main branch on a TCP edge server until EOF on stdin.
+//
+//   lcrs_tool classify <in.ckpt> [n_samples]
+//       Run Algorithm 2 end-to-end against an in-process edge server
+//       through the exported blob, printing one line per recognition.
+//
+// Architectures: LeNet | AlexNet | ResNet18 | VGG16.
+// Datasets:      MNIST | FashionMNIST | CIFAR10 | CIFAR100.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "core/checkpoint.h"
+#include "core/entropy.h"
+#include "core/joint_trainer.h"
+#include "data/synthetic.h"
+#include "edge/client.h"
+#include "edge/server.h"
+#include "nn/metrics.h"
+#include "tensor/tensor_ops.h"
+#include "webinfer/export.h"
+
+using namespace lcrs;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lcrs_tool train <arch> <dataset> <out.ckpt> [epochs] "
+               "[train_n]\n"
+               "  lcrs_tool export <in.ckpt> <out.blob>\n"
+               "  lcrs_tool eval <in.ckpt> [n_samples]\n"
+               "  lcrs_tool serve <in.ckpt> <port>\n"
+               "  lcrs_tool classify <in.ckpt> [n_samples]\n");
+  return 2;
+}
+
+data::Dataset fresh_test_set(const core::Checkpoint& ckpt, std::int64_t n,
+                             std::uint64_t seed) {
+  // Rebuild the dataset family from the stored geometry.
+  for (const char* name : {"MNIST", "FashionMNIST", "CIFAR10", "CIFAR100"}) {
+    const data::SyntheticSpec spec = data::spec_by_name(name);
+    if (spec.channels == ckpt.config.in_channels &&
+        spec.height == ckpt.config.in_h &&
+        spec.num_classes == ckpt.config.num_classes) {
+      Rng rng(seed);
+      return data::make_synthetic(spec, n, rng);
+    }
+  }
+  throw InvalidArgument("checkpoint geometry matches no known dataset");
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const models::Arch arch = models::arch_by_name(argv[2]);
+  const data::SyntheticSpec spec = data::spec_by_name(argv[3]);
+  const std::string out_path = argv[4];
+  const std::int64_t epochs = argc > 5 ? std::atoll(argv[5]) : 3;
+  const std::int64_t train_n = argc > 6 ? std::atoll(argv[6]) : 1000;
+
+  Rng rng(42);
+  models::ModelConfig cfg{arch, spec.channels, spec.height, spec.width,
+                          spec.num_classes,
+                          arch == models::Arch::kLeNet ? 1.0 : 0.25};
+  cfg.dropout = 0.2;
+  const models::BinaryBranchConfig bc = models::default_branch(arch);
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, bc, rng);
+
+  const data::TrainTest tt = data::make_synthetic_pair(
+      spec, train_n, std::max<std::int64_t>(200, spec.num_classes * 2), rng);
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 32;
+  if (arch != models::Arch::kLeNet) {
+    tc.lr_main = 2e-3;
+    tc.weight_decay_main = 3e-4;
+  }
+  core::JointTrainer trainer(net, tc);
+  const core::TrainResult result = trainer.train(tt.train, tt.test, rng);
+
+  core::Checkpoint ckpt{cfg, bc, result.exit_stats.tau};
+  core::save_composite_file(net, ckpt, out_path);
+  std::printf("saved %s: M_Acc %.2f%% B_Acc %.2f%% tau %.4f exit %.0f%%\n",
+              out_path.c_str(), 100.0 * result.main_accuracy,
+              100.0 * result.binary_accuracy, result.exit_stats.tau,
+              100.0 * result.exit_stats.exit_fraction);
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  if (argc < 4) return usage();
+  core::LoadedComposite loaded = core::load_composite_file(argv[2]);
+  const webinfer::WebModel model = webinfer::export_browser_model(
+      loaded.net, loaded.ckpt.config.in_channels, loaded.ckpt.config.in_h,
+      loaded.ckpt.config.in_w);
+  const auto blob = webinfer::serialize(model);
+  write_file(argv[3], blob);
+  std::printf("wrote %s: %.1f KB, %zu ops (%lld shared), tau %.4f\n",
+              argv[3], static_cast<double>(blob.size()) / 1024.0,
+              model.ops.size(),
+              static_cast<long long>(model.shared_op_count),
+              loaded.ckpt.tau);
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 3) return usage();
+  core::LoadedComposite loaded = core::load_composite_file(argv[2]);
+  const std::int64_t n = argc > 3 ? std::atoll(argv[3]) : 400;
+  const data::Dataset test = fresh_test_set(loaded.ckpt, n, 777);
+
+  nn::ConfusionMatrix main_cm(test.num_classes);
+  nn::ConfusionMatrix bin_cm(test.num_classes);
+  std::int64_t exits = 0;
+  const core::ExitPolicy policy{loaded.ckpt.tau};
+  for (std::int64_t begin = 0; begin < test.size(); begin += 64) {
+    const std::int64_t count = std::min<std::int64_t>(64, test.size() - begin);
+    const Tensor x = test.images.slice_outer(begin, begin + count);
+    const auto labels = test.label_slice(begin, count);
+    const core::CompositeOutput out = loaded.net.forward(x, false);
+    main_cm.add_batch(out.main_logits, labels);
+    bin_cm.add_batch(out.binary_logits, labels);
+    const Tensor probs = softmax_rows(out.binary_logits);
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (policy.should_exit(core::normalized_entropy(
+              probs.data() + i * probs.dim(1), probs.dim(1)))) {
+        ++exits;
+      }
+    }
+  }
+  std::printf("over %lld fresh samples:\n", static_cast<long long>(n));
+  std::printf("  main:   acc %.2f%%  balanced %.2f%%\n",
+              100.0 * main_cm.accuracy(),
+              100.0 * main_cm.balanced_accuracy());
+  std::printf("  binary: acc %.2f%%  balanced %.2f%%\n",
+              100.0 * bin_cm.accuracy(),
+              100.0 * bin_cm.balanced_accuracy());
+  std::printf("  exit fraction at tau %.4f: %.0f%%\n", loaded.ckpt.tau,
+              100.0 * exits / static_cast<double>(test.size()));
+  return 0;
+}
+
+edge::CompletionFn completion_for(core::CompositeNetwork& net) {
+  return [&net](const Tensor& shared) {
+    const Tensor logits = net.forward_main_from_shared(shared);
+    edge::CompleteResponse r;
+    r.probabilities = softmax_rows(logits);
+    r.label = argmax(r.probabilities);
+    return r;
+  };
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 4) return usage();
+  core::LoadedComposite loaded = core::load_composite_file(argv[2]);
+  const int port = std::atoi(argv[3]);
+  edge::EdgeServer server(static_cast<std::uint16_t>(port),
+                          completion_for(loaded.net));
+  std::printf("serving main branch on 127.0.0.1:%u -- press Ctrl-D to "
+              "stop\n",
+              server.port());
+  // Block until stdin closes.
+  int ch;
+  while ((ch = std::getchar()) != EOF) {
+  }
+  std::printf("served %lld requests over %lld connections\n",
+              static_cast<long long>(server.requests_served()),
+              static_cast<long long>(server.connections_accepted()));
+  return 0;
+}
+
+int cmd_classify(int argc, char** argv) {
+  if (argc < 3) return usage();
+  core::LoadedComposite loaded = core::load_composite_file(argv[2]);
+  const std::int64_t n = argc > 3 ? std::atoll(argv[3]) : 12;
+  const data::Dataset test = fresh_test_set(loaded.ckpt, n, 991);
+
+  edge::EdgeServer server(0, completion_for(loaded.net));
+  const webinfer::WebModel model = webinfer::export_browser_model(
+      loaded.net, loaded.ckpt.config.in_channels, loaded.ckpt.config.in_h,
+      loaded.ckpt.config.in_w);
+  edge::BrowserClient client(webinfer::Engine(model),
+                             core::ExitPolicy{loaded.ckpt.tau},
+                             server.port());
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    const edge::ClientResult r = client.classify(test.image(i));
+    if (r.label == test.labels[static_cast<std::size_t>(i)]) ++correct;
+    std::printf("sample %3lld: predicted %2lld truth %2lld entropy %.3f "
+                "%s\n",
+                static_cast<long long>(i), static_cast<long long>(r.label),
+                static_cast<long long>(
+                    test.labels[static_cast<std::size_t>(i)]),
+                r.entropy,
+                r.exit_point == core::ExitPoint::kBinaryBranch
+                    ? "[browser]"
+                    : "[edge]");
+  }
+  std::printf("accuracy %.0f%%, exit fraction %.0f%%\n",
+              100.0 * correct / static_cast<double>(test.size()),
+              100.0 * client.exit_fraction());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "train") return cmd_train(argc, argv);
+    if (cmd == "export") return cmd_export(argc, argv);
+    if (cmd == "eval") return cmd_eval(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "classify") return cmd_classify(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs every bench binary in sequence and records the combined output --
+# the scripted form of `for b in build/bench/*; do $b; done`.
+set -u
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===== $b =====" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+done

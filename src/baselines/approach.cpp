@@ -1,0 +1,12 @@
+#include "baselines/approach.h"
+
+namespace lcrs::baselines {
+
+std::int64_t ModelUnderTest::prefix_model_bytes(std::size_t cut) const {
+  LCRS_CHECK(cut <= layers.size(), "prefix cut out of range");
+  std::int64_t bytes = 8;  // file header
+  for (std::size_t i = 0; i < cut; ++i) bytes += layers[i].param_bytes;
+  return bytes;
+}
+
+}  // namespace lcrs::baselines

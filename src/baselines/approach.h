@@ -1,0 +1,42 @@
+// Common types for the compared execution approaches (paper Tables II/III).
+//
+// Every approach is priced by the same CostModel under the same Scenario:
+// a Web-AR session of `session_samples` recognitions, so one-time model
+// loading amortizes across the session exactly as the paper's "average
+// latency of 100 random samples" does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace lcrs::baselines {
+
+/// Per-sample average costs of one approach on one model.
+struct ApproachCost {
+  std::string name;
+  double total_ms = 0.0;    // end-to-end average per sample
+  double comm_ms = 0.0;     // communication average per sample, including
+                            // the amortized model download
+  double compute_ms = 0.0;  // compute average per sample
+  std::int64_t browser_model_bytes = 0;  // bytes shipped to the browser
+  double device_energy_mj = 0.0;  // mobile-device energy per sample
+                                  // (compute + radio; edge energy is the
+                                  // provider's cost, not the device's)
+};
+
+/// A full-precision model prepared for partition-based approaches.
+struct ModelUnderTest {
+  std::string name;
+  std::vector<models::LayerProfile> layers;  // monolithic profile
+  std::int64_t input_elems = 0;              // DNN input tensor elements
+
+  /// Serialized bytes of the browser-side slice [0, cut).
+  std::int64_t prefix_model_bytes(std::size_t cut) const;
+  std::int64_t total_model_bytes() const {
+    return prefix_model_bytes(layers.size());
+  }
+};
+
+}  // namespace lcrs::baselines

@@ -1,0 +1,21 @@
+#include "baselines/edge_only.h"
+
+namespace lcrs::baselines {
+
+ApproachCost evaluate_edge_only(const ModelUnderTest& model,
+                                const sim::CostModel& cost,
+                                const sim::Scenario& scenario) {
+  ApproachCost c;
+  c.name = "Edge-only";
+  c.browser_model_bytes = 0;
+  // Every sample: raw camera frame up, result down.
+  const double up = cost.network().upload_ms(scenario.camera_frame_bytes);
+  const double down = cost.network().download_ms(scenario.result_bytes);
+  c.comm_ms = up + down;
+  c.compute_ms = cost.edge_compute_ms(model.layers, 0, model.layers.size());
+  c.total_ms = c.comm_ms + c.compute_ms;
+  c.device_energy_mj = cost.energy().tx_mj(up) + cost.energy().rx_mj(down);
+  return c;
+}
+
+}  // namespace lcrs::baselines

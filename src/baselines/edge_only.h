@@ -1,0 +1,13 @@
+// Edge-only execution: the browser uploads every captured camera frame and
+// the edge server runs the whole network (paper Sec. I).
+#pragma once
+
+#include "baselines/approach.h"
+
+namespace lcrs::baselines {
+
+ApproachCost evaluate_edge_only(const ModelUnderTest& model,
+                                const sim::CostModel& cost,
+                                const sim::Scenario& scenario);
+
+}  // namespace lcrs::baselines

@@ -1,0 +1,40 @@
+// Edgent baseline (Li et al., MECOMM'18): adaptive partition plus early
+// exit at an intermediate layer.
+//
+// Edgent jointly searches a partition point and an early-exit depth,
+// maximizing the (proxy) accuracy subject to a latency budget; the exit
+// runs through a small side classifier. As with Neurosurgeon, the search
+// assumes native mobile execution, and the web execution then pays the
+// browser compute rate plus the amortized download of the browser-side
+// slice and its exit branch.
+#pragma once
+
+#include "baselines/approach.h"
+
+namespace lcrs::baselines {
+
+struct EdgentConfig {
+  double min_depth_fraction = 0.75;  // accuracy proxy: exit depth / L
+  double latency_budget_ms = 1000.0; // constraint the search satisfies
+  std::int64_t branch_param_bytes = 128 * 1024;  // exit classifier weights
+  std::int64_t branch_flops = 2 * 256 * 1024;    // exit classifier compute
+};
+
+struct EdgentDecision {
+  std::size_t cut = 0;   // device runs layers [0, cut)
+  std::size_t exit = 0;  // inference exits after layer `exit`
+  double predicted_native_ms = 0.0;
+};
+
+EdgentDecision edgent_search(const ModelUnderTest& model,
+                             const sim::CostModel& cost,
+                             const sim::Scenario& scenario,
+                             const sim::DeviceModel& native,
+                             const EdgentConfig& config);
+
+ApproachCost evaluate_edgent(const ModelUnderTest& model,
+                             const sim::CostModel& cost,
+                             const sim::Scenario& scenario,
+                             const EdgentConfig& config = {});
+
+}  // namespace lcrs::baselines

@@ -1,0 +1,23 @@
+#include "baselines/mobile_only.h"
+
+namespace lcrs::baselines {
+
+ApproachCost evaluate_mobile_only(const ModelUnderTest& model,
+                                  const sim::CostModel& cost,
+                                  const sim::Scenario& scenario) {
+  LCRS_CHECK(scenario.session_samples >= 1, "empty session");
+  const double n = static_cast<double>(scenario.session_samples);
+
+  ApproachCost c;
+  c.name = "Mobile-only";
+  c.browser_model_bytes = model.total_model_bytes();
+  c.comm_ms = cost.network().download_ms(c.browser_model_bytes) / n;
+  c.compute_ms =
+      cost.browser_compute_ms(model.layers, 0, model.layers.size());
+  c.total_ms = c.comm_ms + c.compute_ms;
+  c.device_energy_mj = cost.energy().rx_mj(c.comm_ms) +
+                       cost.energy().compute_mj(c.compute_ms);
+  return c;
+}
+
+}  // namespace lcrs::baselines

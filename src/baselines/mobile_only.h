@@ -1,0 +1,13 @@
+// Mobile-only execution: the browser downloads the entire model once and
+// runs every inference locally (paper Sec. I / Tables II-III).
+#pragma once
+
+#include "baselines/approach.h"
+
+namespace lcrs::baselines {
+
+ApproachCost evaluate_mobile_only(const ModelUnderTest& model,
+                                  const sim::CostModel& cost,
+                                  const sim::Scenario& scenario);
+
+}  // namespace lcrs::baselines

@@ -1,0 +1,33 @@
+// Neurosurgeon baseline (Kang et al., ASPLOS'17).
+//
+// Neurosurgeon picks the layer boundary minimizing device compute +
+// intermediate upload + server compute. Its published partition points
+// assume *native* mobile execution with a pre-deployed model; the paper's
+// critique (Sec. I) is that on the mobile web the chosen slice must also
+// be downloaded at page load. We reproduce exactly that: the partition
+// decision uses the native-device profile, the web execution pays
+// browser-speed compute plus the amortized slice download.
+#pragma once
+
+#include "baselines/approach.h"
+
+namespace lcrs::baselines {
+
+struct NeurosurgeonDecision {
+  std::size_t cut = 0;               // browser runs layers [0, cut)
+  double predicted_native_ms = 0.0;  // objective value at the decision
+};
+
+/// Scans every boundary with the native-device profile. cut == 0 degrades
+/// to edge-only (the initial task -- a camera frame -- is uploaded).
+NeurosurgeonDecision neurosurgeon_partition(const ModelUnderTest& model,
+                                            const sim::CostModel& cost,
+                                            const sim::Scenario& scenario,
+                                            const sim::DeviceModel& native);
+
+/// Prices the decided partition on the mobile web.
+ApproachCost evaluate_neurosurgeon(const ModelUnderTest& model,
+                                   const sim::CostModel& cost,
+                                   const sim::Scenario& scenario);
+
+}  // namespace lcrs::baselines

@@ -1,0 +1,73 @@
+// Binary convolution layer (paper Eq. 4, Algorithm 1).
+//
+// Training keeps full-precision master weights; the forward pass uses
+// alpha * sign(W) on sign(I) with the spatial scale K, and the backward
+// pass uses the straight-through estimator (Eq. 5) plus the Eq. 6 weight
+// gradient. Inference can run the exact same arithmetic through bit-packed
+// XNOR/popcount kernels (prepare_inference + forward_fast), which is what
+// the browser library ships.
+#pragma once
+
+#include <optional>
+
+#include "binary/binarize.h"
+#include "binary/bitmatrix.h"
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace lcrs::binary {
+
+class BinaryConv2d : public nn::Layer {
+ public:
+  BinaryConv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, std::int64_t in_h,
+               std::int64_t in_w, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Param*> params() override { return {&weight_}; }
+  std::string kind() const override { return "binary_conv2d"; }
+  std::int64_t flops_per_sample() const override;
+
+  const ConvGeom& geometry() const { return geom_; }
+  std::int64_t out_channels() const { return out_c_; }
+  nn::Param& weight() { return weight_; }
+
+  /// Packs the current weights for the XNOR fast path. Must be re-run
+  /// after any optimizer step before calling forward_fast.
+  void prepare_inference();
+  bool inference_ready() const { return packed_.has_value(); }
+
+  /// Bit-packed inference forward; numerically identical to forward()
+  /// (sign dot products are exact small integers in float).
+  Tensor forward_fast(const Tensor& input) const;
+
+  /// Bytes of the binary weight payload (bits + per-filter alphas) -- the
+  /// browser-side model size Tables I / Fig. 7 account.
+  std::int64_t binary_weight_bytes() const;
+
+  /// Packed weights for export (requires inference_ready()).
+  const BitMatrix& packed_weight_bits() const;
+  const Tensor& packed_alpha() const;
+
+ private:
+  Tensor reference_forward(const Tensor& input, bool train);
+
+  ConvGeom geom_;
+  std::int64_t out_c_;
+  nn::Param weight_;  // full-precision master weights [out_c, in_c, k, k]
+
+  struct Packed {
+    BitMatrix weight_bits;  // [out_c x patch]
+    Tensor alpha;           // [out_c]
+  };
+  std::optional<Packed> packed_;
+
+  // Training caches.
+  Tensor cached_input_;
+  Tensor cached_sign_input_;
+  Tensor cached_K_;       // [N, oh, ow]
+  BinarizedFilters cached_bin_;
+};
+
+}  // namespace lcrs::binary

@@ -1,0 +1,103 @@
+#include "binary/bitmatrix.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace lcrs::binary {
+
+BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64) {
+  LCRS_CHECK(rows >= 0 && cols >= 0, "negative BitMatrix dims");
+  words_.assign(static_cast<std::size_t>(rows_ * words_per_row_), 0);
+}
+
+BitMatrix BitMatrix::pack(const float* data, std::int64_t rows,
+                          std::int64_t cols) {
+  BitMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::uint64_t* wr = m.row(r);
+    const float* src = data + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (src[c] >= 0.0f) wr[c >> 6] |= (1ull << (c & 63));
+    }
+  }
+  return m;
+}
+
+BitMatrix BitMatrix::pack(const Tensor& t) {
+  LCRS_CHECK(t.rank() >= 1, "pack expects rank >= 1");
+  const std::int64_t rows = t.dim(0);
+  const std::int64_t cols = rows > 0 ? t.numel() / rows : 0;
+  return pack(t.data(), rows, cols);
+}
+
+void BitMatrix::set(std::int64_t r, std::int64_t c, bool positive) {
+  LCRS_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+             "BitMatrix::set out of range");
+  std::uint64_t& w = row(r)[c >> 6];
+  const std::uint64_t mask = 1ull << (c & 63);
+  if (positive) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+bool BitMatrix::get(std::int64_t r, std::int64_t c) const {
+  LCRS_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+             "BitMatrix::get out of range");
+  return (row(r)[c >> 6] >> (c & 63)) & 1u;
+}
+
+std::int32_t xnor_dot(const std::uint64_t* a, const std::uint64_t* b,
+                      std::int64_t cols) {
+  const std::int64_t words = (cols + 63) / 64;
+  std::int32_t mismatches = 0;
+  for (std::int64_t w = 0; w < words; ++w) {
+    mismatches += std::popcount(a[w] ^ b[w]);
+  }
+  return static_cast<std::int32_t>(cols) - 2 * mismatches;
+}
+
+std::int32_t BitMatrix::dot_row(std::int64_t r,
+                                const std::uint64_t* other) const {
+  return xnor_dot(row(r), other, cols_);
+}
+
+Tensor BitMatrix::unpack() const {
+  Tensor t{Shape{rows_, cols_}};
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const std::uint64_t* wr = row(r);
+    float* dst = t.data() + r * cols_;
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      dst[c] = ((wr[c >> 6] >> (c & 63)) & 1u) ? 1.0f : -1.0f;
+    }
+  }
+  return t;
+}
+
+void BitMatrix::serialize(ByteWriter& w) const {
+  w.write_i64(rows_);
+  w.write_i64(cols_);
+  w.write_bytes(words_.data(), words_.size() * sizeof(std::uint64_t));
+}
+
+BitMatrix BitMatrix::deserialize(ByteReader& r) {
+  const std::int64_t rows = r.read_i64();
+  const std::int64_t cols = r.read_i64();
+  if (rows < 0 || cols < 0 || rows > (1ll << 24) || cols > (1ll << 24) ||
+      rows * ((cols + 63) / 64) > (1ll << 26)) {
+    throw ParseError("bad BitMatrix dims");
+  }
+  // Validate payload availability before allocating (corrupt sizes must
+  // raise ParseError, not bad_alloc).
+  const std::size_t payload = static_cast<std::size_t>(
+      rows * ((cols + 63) / 64) * 8);
+  if (r.remaining() < payload) throw ParseError("BitMatrix truncated");
+  BitMatrix m(rows, cols);
+  r.read_bytes(m.words_.data(), m.words_.size() * sizeof(std::uint64_t));
+  return m;
+}
+
+}  // namespace lcrs::binary

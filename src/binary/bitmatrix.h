@@ -1,0 +1,73 @@
+// Bit-packed {-1,+1} matrices for XNOR arithmetic.
+//
+// A BitMatrix stores an [rows x cols] sign matrix with one bit per entry
+// (+1 -> 1, -1 -> 0), each row padded to whole 64-bit words with zeros.
+// The dot product of two sign rows is then
+//     dot = cols - 2 * popcount(a XOR b)
+// because XOR counts mismatching signs and zero padding bits cancel.
+// This is the memory layout the browser inference library ships and the
+// source of the paper's ~32x weight-memory reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "tensor/tensor.h"
+
+namespace lcrs::binary {
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::int64_t rows, std::int64_t cols);
+
+  /// Packs the signs of a float matrix (value >= 0 -> bit 1).
+  static BitMatrix pack(const float* data, std::int64_t rows,
+                        std::int64_t cols);
+  static BitMatrix pack(const Tensor& t);  // any rank; outermost dim = rows
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t words_per_row() const { return words_per_row_; }
+
+  const std::uint64_t* row(std::int64_t r) const {
+    return words_.data() + r * words_per_row_;
+  }
+  std::uint64_t* row(std::int64_t r) {
+    return words_.data() + r * words_per_row_;
+  }
+
+  void set(std::int64_t r, std::int64_t c, bool positive);
+  bool get(std::int64_t r, std::int64_t c) const;
+
+  /// Sign dot product of row r with the given packed row (same cols).
+  std::int32_t dot_row(std::int64_t r, const std::uint64_t* other) const;
+
+  /// Unpacks back into a {-1, +1} float tensor of shape [rows x cols].
+  Tensor unpack() const;
+
+  /// Payload bytes (the number the model-size tables report for binary
+  /// weights): one bit per entry plus row padding.
+  std::int64_t payload_bytes() const {
+    return static_cast<std::int64_t>(words_.size()) * 8;
+  }
+
+  void serialize(ByteWriter& w) const;
+  static BitMatrix deserialize(ByteReader& r);
+
+  bool operator==(const BitMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           words_ == other.words_;
+  }
+
+ private:
+  std::int64_t rows_ = 0, cols_ = 0, words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Sign dot product between two packed rows of `cols` entries.
+std::int32_t xnor_dot(const std::uint64_t* a, const std::uint64_t* b,
+                      std::int64_t cols);
+
+}  // namespace lcrs::binary

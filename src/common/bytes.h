@@ -1,0 +1,148 @@
+// Byte-buffer serialization primitives.
+//
+// All on-disk model formats and on-the-wire protocol frames in this repo
+// are built from these two classes. Encoding is explicit little-endian so
+// serialized artifacts are portable across hosts, mirroring the paper's
+// flow of exporting trained weights into a browser-loadable blob.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lcrs {
+
+/// Appends primitive values to a growable byte vector.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void write_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void write_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+
+  void write_f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    write_u32(bits);
+  }
+
+  void write_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    write_u64(bits);
+  }
+
+  /// Length-prefixed UTF-8 string.
+  void write_string(const std::string& s) {
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void write_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads primitives back out of a byte span; throws ParseError on
+/// truncation so malformed model files / frames fail loudly.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t read_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t read_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t read_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+
+  float read_f32() {
+    const std::uint32_t bits = read_u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  double read_f64() {
+    const std::uint64_t bits = read_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string read_string() {
+    const std::uint32_t n = read_u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  void read_bytes(void* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw ParseError("ByteReader: truncated input (need " +
+                       std::to_string(n) + " bytes, have " +
+                       std::to_string(size_ - pos_) + ")");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes `bytes` to `path`, replacing any existing file.
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// Reads the whole file at `path`; throws IoError when unreadable.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace lcrs

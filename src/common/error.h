@@ -1,0 +1,74 @@
+// Error handling for the LCRS library.
+//
+// Following the Core Guidelines (E.2, E.14) we signal errors with
+// exceptions derived from std::runtime_error and reserve assertions for
+// programming bugs. LCRS_CHECK is used at API boundaries (always on);
+// LCRS_ASSERT documents internal invariants (also always on -- the cost is
+// negligible next to the tensor math).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lcrs {
+
+/// Base class of every exception thrown by the LCRS library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed serialized data (model files, protocol frames).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on socket / OS failures in the edge runtime.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace lcrs
+
+// Precondition check: throws lcrs::Error when `cond` is false.
+// Usage: LCRS_CHECK(n > 0, "batch size must be positive, got " << n);
+#define LCRS_CHECK(cond, ...)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream lcrs_check_os_;                                    \
+      __VA_OPT__(lcrs_check_os_ << __VA_ARGS__;)                            \
+      ::lcrs::detail::throw_check_failure("LCRS_CHECK", #cond, __FILE__,    \
+                                          __LINE__, lcrs_check_os_.str()); \
+    }                                                                       \
+  } while (0)
+
+// Internal invariant check; semantically an assertion but kept enabled.
+#define LCRS_ASSERT(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream lcrs_check_os_;                                    \
+      __VA_OPT__(lcrs_check_os_ << __VA_ARGS__;)                            \
+      ::lcrs::detail::throw_check_failure("LCRS_ASSERT", #cond, __FILE__,   \
+                                          __LINE__, lcrs_check_os_.str()); \
+    }                                                                       \
+  } while (0)

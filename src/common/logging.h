@@ -1,0 +1,40 @@
+// Minimal leveled logger used across the library.
+//
+// Logging goes to stderr so benchmark tables on stdout stay clean. The
+// level is a process-wide setting; the default (kInfo) is quiet enough for
+// test runs while still reporting training progress from the harnesses.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lcrs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide log level. Thread-safe.
+void set_log_level(LogLevel level);
+
+/// Returns the current process-wide log level.
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace lcrs
+
+#define LCRS_LOG_AT(level, ...)                               \
+  do {                                                        \
+    if (static_cast<int>(level) >=                            \
+        static_cast<int>(::lcrs::log_level())) {              \
+      std::ostringstream lcrs_log_os_;                        \
+      lcrs_log_os_ << __VA_ARGS__;                            \
+      ::lcrs::detail::log_line(level, lcrs_log_os_.str());    \
+    }                                                         \
+  } while (0)
+
+#define LCRS_DEBUG(...) LCRS_LOG_AT(::lcrs::LogLevel::kDebug, __VA_ARGS__)
+#define LCRS_INFO(...) LCRS_LOG_AT(::lcrs::LogLevel::kInfo, __VA_ARGS__)
+#define LCRS_WARN(...) LCRS_LOG_AT(::lcrs::LogLevel::kWarn, __VA_ARGS__)
+#define LCRS_ERROR(...) LCRS_LOG_AT(::lcrs::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,61 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lcrs {
+
+namespace {
+std::atomic<int> g_threads{0};  // 0 = auto
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+}  // namespace
+
+int parallel_thread_count() {
+  const int n = g_threads.load();
+  return n >= 1 ? n : hardware_threads();
+}
+
+void set_parallel_thread_count(int n) { g_threads.store(n < 1 ? 0 : n); }
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const int workers = static_cast<int>(
+      std::min<std::int64_t>(parallel_thread_count(), n));
+  if (workers <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  const std::int64_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  std::exception_ptr first_error;
+  std::atomic<bool> has_error{false};
+
+  for (int w = 0; w < workers; ++w) {
+    const std::int64_t begin = w * chunk;
+    const std::int64_t end = std::min<std::int64_t>(begin + chunk, n);
+    if (begin >= end) break;
+    threads.emplace_back([&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        if (!has_error.exchange(true)) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (has_error.load()) std::rethrow_exception(first_error);
+}
+
+}  // namespace lcrs

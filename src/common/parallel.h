@@ -1,0 +1,27 @@
+// Data-parallel loop helper.
+//
+// Tensor kernels call parallel_for over independent index ranges. The pool
+// sizes itself to the hardware; on a single-core host it degrades to a
+// plain serial loop with zero thread overhead, so kernels are written
+// against one API regardless of core count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace lcrs {
+
+/// Number of worker threads parallel_for will use (>= 1).
+int parallel_thread_count();
+
+/// Overrides the worker count (for tests); n < 1 resets to hardware default.
+void set_parallel_thread_count(int n);
+
+/// Invokes fn(begin, end) over a partition of [0, n). Chunks are
+/// contiguous; fn must be safe to run concurrently on disjoint ranges.
+/// Exceptions from workers are rethrown on the calling thread.
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace lcrs

@@ -1,0 +1,112 @@
+#include "core/checkpoint.h"
+
+#include "common/bytes.h"
+#include "nn/model_io.h"
+
+namespace lcrs::core {
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x4c435243;  // "LCRC"
+constexpr std::uint32_t kVersion = 1;
+
+void write_config(ByteWriter& w, const models::ModelConfig& cfg) {
+  w.write_string(models::arch_name(cfg.arch));
+  w.write_i64(cfg.in_channels);
+  w.write_i64(cfg.in_h);
+  w.write_i64(cfg.in_w);
+  w.write_i64(cfg.num_classes);
+  w.write_f64(cfg.width);
+  w.write_f64(cfg.dropout);
+}
+
+models::ModelConfig read_config(ByteReader& r) {
+  models::ModelConfig cfg;
+  cfg.arch = models::arch_by_name(r.read_string());
+  cfg.in_channels = r.read_i64();
+  cfg.in_h = r.read_i64();
+  cfg.in_w = r.read_i64();
+  cfg.num_classes = r.read_i64();
+  cfg.width = r.read_f64();
+  cfg.dropout = r.read_f64();
+  cfg.validate();
+  return cfg;
+}
+
+void write_branch(ByteWriter& w, const models::BinaryBranchConfig& bc) {
+  w.write_i64(bc.n_binary_conv);
+  w.write_i64(bc.n_binary_fc);
+  w.write_i64(bc.conv_channels);
+  w.write_i64(bc.fc_width);
+}
+
+models::BinaryBranchConfig read_branch(ByteReader& r) {
+  models::BinaryBranchConfig bc;
+  bc.n_binary_conv = static_cast<int>(r.read_i64());
+  bc.n_binary_fc = static_cast<int>(r.read_i64());
+  bc.conv_channels = r.read_i64();
+  bc.fc_width = r.read_i64();
+  return bc;
+}
+
+void write_stage(ByteWriter& w, nn::Sequential& stage) {
+  const auto bytes = nn::save_params(stage);
+  w.write_u32(static_cast<std::uint32_t>(bytes.size()));
+  w.write_bytes(bytes.data(), bytes.size());
+}
+
+void read_stage(ByteReader& r, nn::Sequential& stage) {
+  const std::uint32_t size = r.read_u32();
+  std::vector<std::uint8_t> bytes(size);
+  r.read_bytes(bytes.data(), size);
+  nn::load_params(stage, bytes);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save_composite(CompositeNetwork& net,
+                                         const Checkpoint& ckpt) {
+  ByteWriter w;
+  w.write_u32(kCheckpointMagic);
+  w.write_u32(kVersion);
+  write_config(w, ckpt.config);
+  write_branch(w, ckpt.branch);
+  w.write_f64(ckpt.tau);
+  write_stage(w, net.shared_stage());
+  write_stage(w, net.main_rest());
+  write_stage(w, net.binary_branch());
+  return w.take();
+}
+
+LoadedComposite load_composite(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.read_u32() != kCheckpointMagic) {
+    throw ParseError("bad checkpoint magic");
+  }
+  if (r.read_u32() != kVersion) {
+    throw ParseError("unsupported checkpoint version");
+  }
+  Checkpoint ckpt;
+  ckpt.config = read_config(r);
+  ckpt.branch = read_branch(r);
+  ckpt.tau = r.read_f64();
+
+  // Rebuild with a throwaway RNG; every parameter is overwritten below.
+  Rng rng(0);
+  CompositeNetwork net =
+      CompositeNetwork::build(ckpt.config, ckpt.branch, rng);
+  read_stage(r, net.shared_stage());
+  read_stage(r, net.main_rest());
+  read_stage(r, net.binary_branch());
+  return LoadedComposite{std::move(net), ckpt};
+}
+
+void save_composite_file(CompositeNetwork& net, const Checkpoint& ckpt,
+                         const std::string& path) {
+  write_file(path, save_composite(net, ckpt));
+}
+
+LoadedComposite load_composite_file(const std::string& path) {
+  return load_composite(read_file(path));
+}
+
+}  // namespace lcrs::core

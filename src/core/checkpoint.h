@@ -1,0 +1,40 @@
+// Whole-composite checkpointing: one artifact holding the model
+// configuration, all three stages' parameters (and batch-norm state), and
+// the screened exit threshold -- everything needed to resume serving.
+#pragma once
+
+#include <string>
+
+#include "core/composite.h"
+#include "core/exit_policy.h"
+#include "models/zoo.h"
+
+namespace lcrs::core {
+
+/// Everything a checkpoint round-trips.
+struct Checkpoint {
+  models::ModelConfig config;
+  models::BinaryBranchConfig branch;
+  double tau = 0.05;  // screened exit threshold
+};
+
+/// Serializes `net` (built from `ckpt.config` / `ckpt.branch`) with its
+/// metadata into one byte blob.
+std::vector<std::uint8_t> save_composite(CompositeNetwork& net,
+                                         const Checkpoint& ckpt);
+
+/// Rebuilds the network from the stored configuration and restores every
+/// parameter; returns the network plus its metadata. Throws ParseError on
+/// malformed input.
+struct LoadedComposite {
+  CompositeNetwork net;
+  Checkpoint ckpt;
+};
+LoadedComposite load_composite(const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers.
+void save_composite_file(CompositeNetwork& net, const Checkpoint& ckpt,
+                         const std::string& path);
+LoadedComposite load_composite_file(const std::string& path);
+
+}  // namespace lcrs::core

@@ -1,0 +1,30 @@
+#include "core/entropy.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcrs::core {
+
+double normalized_entropy(const float* probs, std::int64_t classes) {
+  LCRS_CHECK(classes >= 2, "entropy needs >= 2 classes");
+  double h = 0.0;
+  for (std::int64_t i = 0; i < classes; ++i) {
+    const double p = probs[i];
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h / std::log(static_cast<double>(classes));
+}
+
+Tensor normalized_entropy_rows(const Tensor& probs) {
+  LCRS_CHECK(probs.rank() == 2, "entropy rows expects rank-2");
+  const std::int64_t n = probs.dim(0), c = probs.dim(1);
+  Tensor out{Shape{n}};
+  for (std::int64_t b = 0; b < n; ++b) {
+    out[b] =
+        static_cast<float>(normalized_entropy(probs.data() + b * c, c));
+  }
+  return out;
+}
+
+}  // namespace lcrs::core

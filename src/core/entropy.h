@@ -1,0 +1,15 @@
+// Normalized entropy confidence measure (paper Eq. 7).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace lcrs::core {
+
+/// S(x) = -sum_i x_i log x_i / log |C| for a probability vector x.
+/// Returns a value in [0, 1]: 0 = fully confident, 1 = uniform.
+double normalized_entropy(const float* probs, std::int64_t classes);
+
+/// Row-wise normalized entropy of a [batch x classes] probability tensor.
+Tensor normalized_entropy_rows(const Tensor& probs);
+
+}  // namespace lcrs::core

@@ -1,0 +1,79 @@
+#include "core/exit_policy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace lcrs::core {
+
+ExitStats evaluate_threshold(const std::vector<ExitSample>& samples,
+                             double tau) {
+  LCRS_CHECK(!samples.empty(), "evaluate_threshold on empty screening set");
+  std::int64_t exited = 0, exited_correct = 0;
+  for (const auto& s : samples) {
+    if (s.entropy < tau) {
+      ++exited;
+      if (s.binary_correct) ++exited_correct;
+    }
+  }
+  ExitStats st;
+  st.tau = tau;
+  st.exit_fraction =
+      static_cast<double>(exited) / static_cast<double>(samples.size());
+  st.exited_accuracy =
+      exited > 0 ? static_cast<double>(exited_correct) /
+                       static_cast<double>(exited)
+                 : 1.0;  // vacuously accurate: nothing exits
+  return st;
+}
+
+ExitStats choose_threshold(const std::vector<ExitSample>& samples,
+                           const std::vector<double>& candidates,
+                           double min_exit_accuracy) {
+  LCRS_CHECK(!candidates.empty(), "choose_threshold with no candidates");
+  std::vector<double> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end());
+
+  ExitStats best = evaluate_threshold(samples, sorted.front());
+  for (const double tau : sorted) {
+    const ExitStats st = evaluate_threshold(samples, tau);
+    if (st.exited_accuracy >= min_exit_accuracy &&
+        st.exit_fraction >= best.exit_fraction) {
+      best = st;
+    }
+  }
+  return best;
+}
+
+bool MaxProbPolicy::should_exit(const float* probs,
+                                std::int64_t classes) const {
+  LCRS_CHECK(classes >= 2, "max-prob gate needs >= 2 classes");
+  float top = probs[0];
+  for (std::int64_t i = 1; i < classes; ++i) top = std::max(top, probs[i]);
+  return top >= min_top_prob;
+}
+
+std::vector<ExitSample> maxprob_samples_from_probs(
+    const std::vector<std::vector<float>>& prob_rows,
+    const std::vector<bool>& correct) {
+  LCRS_CHECK(prob_rows.size() == correct.size(),
+             "maxprob screening size mismatch");
+  std::vector<ExitSample> out;
+  out.reserve(prob_rows.size());
+  for (std::size_t i = 0; i < prob_rows.size(); ++i) {
+    LCRS_CHECK(!prob_rows[i].empty(), "empty probability row");
+    float top = prob_rows[i][0];
+    for (const float p : prob_rows[i]) top = std::max(top, p);
+    // Reuse the entropy machinery: "entropy" = 1 - top prob, so smaller
+    // still means more confident and choose_threshold applies unchanged.
+    out.push_back(ExitSample{1.0 - static_cast<double>(top), correct[i]});
+  }
+  return out;
+}
+
+std::vector<double> default_tau_grid() {
+  return {1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.025, 0.045, 0.05,
+          0.075, 0.1,  0.15, 0.2,  0.3,  0.4,   0.5,   0.7};
+}
+
+}  // namespace lcrs::core

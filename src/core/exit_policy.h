@@ -1,0 +1,71 @@
+// Early-exit decision for the binary branch (paper Sec. IV-C).
+//
+// A sample exits at the browser when the normalized entropy of the binary
+// softmax is below tau. choose_threshold implements the BranchyNet-style
+// screening the paper cites: scan candidate taus on a validation set and
+// pick the largest (most-exiting) tau whose exited subset still satisfies
+// an accuracy constraint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lcrs::core {
+
+/// Threshold policy on normalized entropy.
+struct ExitPolicy {
+  double tau = 0.05;
+
+  /// True when the sample should exit from the binary branch.
+  bool should_exit(double entropy) const { return entropy < tau; }
+};
+
+/// Alternative gate used by several early-exit systems: exit when the
+/// top softmax probability clears a threshold. Exposed for the policy
+/// ablation; LCRS itself uses the paper's entropy gate.
+struct MaxProbPolicy {
+  double min_top_prob = 0.9;
+
+  /// `probs` is one softmax row.
+  bool should_exit(const float* probs, std::int64_t classes) const;
+};
+
+
+/// One validation sample's screening record.
+struct ExitSample {
+  double entropy = 0.0;
+  bool binary_correct = false;
+};
+
+/// Converts max-prob screening records into ExitSample form (confidence
+/// mapped to 1 - top_prob) so the same choose_threshold machinery can
+/// screen either gate.
+std::vector<ExitSample> maxprob_samples_from_probs(
+    const std::vector<std::vector<float>>& prob_rows,
+    const std::vector<bool>& correct);
+
+/// Statistics of a candidate threshold over a screening set.
+struct ExitStats {
+  double tau = 0.0;
+  double exit_fraction = 0.0;       // P(exit at browser)
+  double exited_accuracy = 0.0;     // accuracy among exited samples
+};
+
+/// Evaluates a specific tau over screening samples.
+ExitStats evaluate_threshold(const std::vector<ExitSample>& samples,
+                             double tau);
+
+/// Screens `candidates` (ascending) and returns the largest tau whose
+/// exited-subset accuracy stays >= min_exit_accuracy; falls back to the
+/// smallest candidate when none qualifies.
+ExitStats choose_threshold(const std::vector<ExitSample>& samples,
+                           const std::vector<double>& candidates,
+                           double min_exit_accuracy);
+
+/// Default candidate grid covering the paper's reported range
+/// (1e-4 .. 5e-2 and beyond).
+std::vector<double> default_tau_grid();
+
+}  // namespace lcrs::core

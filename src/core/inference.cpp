@@ -1,0 +1,47 @@
+#include "core/inference.h"
+
+#include "core/entropy.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::core {
+
+InferenceResult collaborative_infer(CompositeNetwork& net,
+                                    const ExitPolicy& policy,
+                                    const Tensor& sample) {
+  LCRS_CHECK(sample.rank() == 4 && sample.dim(0) == 1,
+             "collaborative_infer expects a single [1,C,H,W] sample");
+  InferenceResult r;
+  CompositeOutput out = net.forward_binary_only(sample);
+  r.shared = std::move(out.shared);
+
+  const Tensor probs = softmax_rows(out.binary_logits);
+  r.entropy = normalized_entropy(probs.data(), probs.dim(1));
+
+  if (policy.should_exit(r.entropy)) {
+    r.exit_point = ExitPoint::kBinaryBranch;
+    r.probabilities = probs;
+    r.predicted = argmax(probs);
+    return r;
+  }
+
+  // Fall back to the edge server's main branch on the shared features.
+  const Tensor main_logits = net.forward_main_from_shared(r.shared);
+  r.exit_point = ExitPoint::kMainBranch;
+  r.probabilities = softmax_rows(main_logits);
+  r.predicted = argmax(r.probabilities);
+  return r;
+}
+
+std::vector<InferenceResult> collaborative_infer_batch(
+    CompositeNetwork& net, const ExitPolicy& policy, const Tensor& batch) {
+  LCRS_CHECK(batch.rank() == 4, "batch must be NCHW");
+  std::vector<InferenceResult> results;
+  results.reserve(static_cast<std::size_t>(batch.dim(0)));
+  for (std::int64_t i = 0; i < batch.dim(0); ++i) {
+    results.push_back(
+        collaborative_infer(net, policy, batch.slice_outer(i, i + 1)));
+  }
+  return results;
+}
+
+}  // namespace lcrs::core

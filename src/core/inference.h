@@ -1,0 +1,37 @@
+// Collaborative inference (paper Algorithm 2).
+//
+// The browser computes conv1 + binary branch; when the normalized entropy
+// of the binary softmax clears tau the sample exits locally (LCRS-B),
+// otherwise the conv1 feature map goes to the edge server which finishes
+// the main branch (LCRS-M). This module is the pure decision logic; the
+// simulated and socket runtimes in src/edge wrap it with transport.
+#pragma once
+
+#include "core/composite.h"
+#include "core/exit_policy.h"
+
+namespace lcrs::core {
+
+/// Where the final prediction came from.
+enum class ExitPoint { kBinaryBranch, kMainBranch };
+
+/// Result of Algorithm 2 for one sample.
+struct InferenceResult {
+  std::int64_t predicted = -1;
+  ExitPoint exit_point = ExitPoint::kBinaryBranch;
+  double entropy = 0.0;           // binary-branch normalized entropy
+  Tensor shared;                  // conv1 output (what would be uploaded)
+  Tensor probabilities;           // softmax of the deciding branch
+};
+
+/// Runs Algorithm 2 in-process on a [1, C, H, W] sample.
+InferenceResult collaborative_infer(CompositeNetwork& net,
+                                    const ExitPolicy& policy,
+                                    const Tensor& sample);
+
+/// Batched variant: per-sample decisions over [N, C, H, W]; samples that
+/// miss the threshold are completed through the main branch together.
+std::vector<InferenceResult> collaborative_infer_batch(
+    CompositeNetwork& net, const ExitPolicy& policy, const Tensor& batch);
+
+}  // namespace lcrs::core

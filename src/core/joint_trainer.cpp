@@ -1,0 +1,138 @@
+#include "core/joint_trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/entropy.h"
+#include "nn/loss.h"
+#include "nn/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::core {
+
+JointTrainer::JointTrainer(CompositeNetwork& net, const TrainConfig& cfg)
+    : net_(net), cfg_(cfg) {
+  LCRS_CHECK(cfg.epochs >= 1 && cfg.batch_size >= 1, "bad train config");
+  opt_main_ = std::make_unique<nn::Adam>(cfg.lr_main, 0.9, 0.999, 1e-8,
+                                         cfg.weight_decay_main);
+  opt_binary_ = std::make_unique<nn::Adam>(cfg.lr_binary, 0.9, 0.999, 1e-8,
+                                           cfg.weight_decay_binary);
+}
+
+double JointTrainer::train_batch(const Tensor& images,
+                                 const std::vector<std::int64_t>& labels) {
+  net_.zero_grad();
+  CompositeOutput out = net_.forward(images, /*train=*/true);
+  // Eq. 1: L = L_main + L_binary.
+  nn::LossResult main_loss = nn::softmax_cross_entropy(out.main_logits, labels);
+  nn::LossResult bin_loss =
+      nn::softmax_cross_entropy(out.binary_logits, labels);
+  net_.backward(main_loss.grad_logits, bin_loss.grad_logits);
+  if (cfg_.grad_clip_norm > 0.0) {
+    nn::clip_grad_norm(net_.main_params(), cfg_.grad_clip_norm);
+    nn::clip_grad_norm(net_.binary_params(), cfg_.grad_clip_norm);
+  }
+  opt_main_->step(net_.main_params());
+  opt_binary_->step(net_.binary_params());
+  return main_loss.loss + bin_loss.loss;
+}
+
+TrainResult JointTrainer::train(const data::Dataset& train_set,
+                                const data::Dataset& test_set, Rng& rng) {
+  train_set.check();
+  test_set.check();
+  TrainResult result;
+  const nn::StepDecay decay(cfg_.lr_decay_epochs, cfg_.lr_decay_gamma);
+
+  data::Dataset shuffled = train_set;
+  for (std::int64_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    decay.apply(*opt_main_, epoch, cfg_.lr_main);
+    decay.apply(*opt_binary_, epoch, cfg_.lr_binary);
+    data::shuffle(shuffled, rng);
+
+    double loss_sum = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t begin = 0; begin + cfg_.batch_size <= shuffled.size();
+         begin += cfg_.batch_size) {
+      const Tensor images =
+          shuffled.images.slice_outer(begin, begin + cfg_.batch_size);
+      const auto labels = shuffled.label_slice(begin, cfg_.batch_size);
+      loss_sum += train_batch(images, labels);
+      ++batches;
+    }
+
+    const auto [main_acc, bin_acc] = evaluate(test_set);
+    EpochStats es;
+    es.epoch = epoch;
+    es.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches)
+                                : 0.0;
+    es.main_accuracy = main_acc;
+    es.binary_accuracy = bin_acc;
+    result.curve.push_back(es);
+    if (cfg_.verbose) {
+      LCRS_INFO("epoch " << epoch << " loss " << es.train_loss << " M_acc "
+                         << main_acc << " B_acc " << bin_acc);
+    }
+  }
+
+  const auto [main_acc, bin_acc] = evaluate(test_set);
+  result.main_accuracy = main_acc;
+  result.binary_accuracy = bin_acc;
+  const double constraint =
+      cfg_.exit_accuracy_auto ? main_acc : cfg_.min_exit_accuracy;
+  result.exit_stats =
+      choose_threshold(screen(test_set), default_tau_grid(), constraint);
+  return result;
+}
+
+std::pair<double, double> JointTrainer::evaluate(const data::Dataset& ds,
+                                                 std::int64_t batch_size) {
+  LCRS_CHECK(ds.size() > 0, "evaluate on empty dataset");
+  std::int64_t main_correct = 0, bin_correct = 0;
+  for (std::int64_t begin = 0; begin < ds.size(); begin += batch_size) {
+    const std::int64_t count = std::min(batch_size, ds.size() - begin);
+    const Tensor images = ds.images.slice_outer(begin, begin + count);
+    const auto labels = ds.label_slice(begin, count);
+    CompositeOutput out = net_.forward(images, /*train=*/false);
+    const auto main_pred = argmax_rows(out.main_logits);
+    const auto bin_pred = argmax_rows(out.binary_logits);
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (main_pred[static_cast<std::size_t>(i)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        ++main_correct;
+      }
+      if (bin_pred[static_cast<std::size_t>(i)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        ++bin_correct;
+      }
+    }
+  }
+  const double n = static_cast<double>(ds.size());
+  return {static_cast<double>(main_correct) / n,
+          static_cast<double>(bin_correct) / n};
+}
+
+std::vector<ExitSample> JointTrainer::screen(const data::Dataset& ds,
+                                             std::int64_t batch_size) {
+  std::vector<ExitSample> samples;
+  samples.reserve(static_cast<std::size_t>(ds.size()));
+  for (std::int64_t begin = 0; begin < ds.size(); begin += batch_size) {
+    const std::int64_t count = std::min(batch_size, ds.size() - begin);
+    const Tensor images = ds.images.slice_outer(begin, begin + count);
+    const auto labels = ds.label_slice(begin, count);
+    CompositeOutput out = net_.forward_binary_only(images);
+    const Tensor probs = softmax_rows(out.binary_logits);
+    const auto preds = argmax_rows(out.binary_logits);
+    const std::int64_t classes = probs.dim(1);
+    for (std::int64_t i = 0; i < count; ++i) {
+      ExitSample s;
+      s.entropy = normalized_entropy(probs.data() + i * classes, classes);
+      s.binary_correct = preds[static_cast<std::size_t>(i)] ==
+                         labels[static_cast<std::size_t>(i)];
+      samples.push_back(s);
+    }
+  }
+  return samples;
+}
+
+}  // namespace lcrs::core

@@ -1,0 +1,86 @@
+// Joint training of the composite network (paper Algorithm 1, Eq. 1-6).
+//
+// Each minibatch runs one forward through the shared stage and both
+// branches, computes the summed softmax cross-entropy loss (Eq. 1), and
+// backpropagates both branch gradients jointly into the shared stage.
+// The two branches keep separate optimizers/learning rates, mirroring
+// Algorithm 1's separate eta_main / eta_binary updates; binary layers
+// internally binarize on forward and apply Eq. 5/6 on backward while the
+// optimizer updates full-precision master weights.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/composite.h"
+#include "core/exit_policy.h"
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+
+namespace lcrs::core {
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 32;
+  double lr_main = 1e-3;
+  double lr_binary = 2e-3;  // binary branch converges slower through STE
+  double weight_decay_main = 1e-4;   // deep mains overfit small sets fast
+  double weight_decay_binary = 0.0;  // master weights live in [-1, 1]
+  double grad_clip_norm = 5.0;       // global-norm clip per branch;
+                                     // <= 0 disables
+  std::int64_t lr_decay_epochs = 8;  // StepDecay period
+  double lr_decay_gamma = 0.5;
+  // Tau screening constraint on the accuracy of exited samples. When
+  // exit_accuracy_auto is true the constraint is the measured main-branch
+  // accuracy: a browser exit should be no worse than asking the edge.
+  double min_exit_accuracy = 0.90;
+  bool exit_accuracy_auto = true;
+  bool verbose = true;
+};
+
+/// Per-epoch evaluation record (feeds the Fig. 5 training curves).
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;
+  double main_accuracy = 0.0;
+  double binary_accuracy = 0.0;
+};
+
+/// Final outcome of a joint training run (one Table I row).
+struct TrainResult {
+  std::vector<EpochStats> curve;
+  double main_accuracy = 0.0;    // M_Acc on the test set
+  double binary_accuracy = 0.0;  // B_Acc on the test set
+  ExitStats exit_stats;          // screened tau + exit fraction
+};
+
+class JointTrainer {
+ public:
+  JointTrainer(CompositeNetwork& net, const TrainConfig& cfg);
+
+  /// Runs Algorithm 1 over the training set, evaluating on the test set
+  /// each epoch; afterwards screens tau on the test set.
+  TrainResult train(const data::Dataset& train_set,
+                    const data::Dataset& test_set, Rng& rng);
+
+  /// One optimizer step on a single minibatch; returns the joint loss.
+  double train_batch(const Tensor& images,
+                     const std::vector<std::int64_t>& labels);
+
+  /// Branch accuracies over a dataset (inference mode, batched).
+  std::pair<double, double> evaluate(const data::Dataset& ds,
+                                     std::int64_t batch_size = 64);
+
+  /// Screening records (entropy + binary correctness) for tau selection.
+  std::vector<ExitSample> screen(const data::Dataset& ds,
+                                 std::int64_t batch_size = 64);
+
+ private:
+  CompositeNetwork& net_;
+  TrainConfig cfg_;
+  std::unique_ptr<nn::Optimizer> opt_main_;
+  std::unique_ptr<nn::Optimizer> opt_binary_;
+};
+
+}  // namespace lcrs::core

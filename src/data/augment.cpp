@@ -1,0 +1,194 @@
+#include "data/augment.h"
+
+#include <cmath>
+
+namespace lcrs::data {
+
+namespace {
+
+struct ImageView {
+  const Tensor* t;
+  std::int64_t c, h, w, offset;
+};
+
+ImageView view_single(const Tensor& image) {
+  if (image.rank() == 3) {
+    return {&image, image.dim(0), image.dim(1), image.dim(2), 0};
+  }
+  LCRS_CHECK(image.rank() == 4 && image.dim(0) == 1,
+             "augment expects [C,H,W] or [1,C,H,W], got "
+                 << image.shape().to_string());
+  return {&image, image.dim(1), image.dim(2), image.dim(3), 0};
+}
+
+float bilinear(const float* plane, std::int64_t h, std::int64_t w, double y,
+               double x) {
+  if (y < -1.0 || y > static_cast<double>(h) || x < -1.0 ||
+      x > static_cast<double>(w)) {
+    return 0.0f;
+  }
+  const std::int64_t y0 = static_cast<std::int64_t>(std::floor(y));
+  const std::int64_t x0 = static_cast<std::int64_t>(std::floor(x));
+  const double fy = y - static_cast<double>(y0);
+  const double fx = x - static_cast<double>(x0);
+  auto sample = [&](std::int64_t yy, std::int64_t xx) -> double {
+    if (yy < 0 || yy >= h || xx < 0 || xx >= w) return 0.0;
+    return plane[yy * w + xx];
+  };
+  return static_cast<float>(
+      (1 - fy) * ((1 - fx) * sample(y0, x0) + fx * sample(y0, x0 + 1)) +
+      fy * ((1 - fx) * sample(y0 + 1, x0) + fx * sample(y0 + 1, x0 + 1)));
+}
+
+/// Applies the inverse affine map (out pixel -> source pixel) about the
+/// image centre: src = A * (dst - centre) + centre - shift.
+Tensor affine(const Tensor& image, double a00, double a01, double a10,
+              double a11, double dy, double dx) {
+  const ImageView v = view_single(image);
+  const double cy = (static_cast<double>(v.h) - 1.0) / 2.0;
+  const double cx = (static_cast<double>(v.w) - 1.0) / 2.0;
+  Tensor out(image.shape());
+  for (std::int64_t c = 0; c < v.c; ++c) {
+    const float* src = image.data() + c * v.h * v.w;
+    float* dst = out.data() + c * v.h * v.w;
+    for (std::int64_t y = 0; y < v.h; ++y) {
+      for (std::int64_t x = 0; x < v.w; ++x) {
+        const double ry = static_cast<double>(y) - cy - dy;
+        const double rx = static_cast<double>(x) - cx - dx;
+        const double sy = a00 * ry + a01 * rx + cy;
+        const double sx = a10 * ry + a11 * rx + cx;
+        dst[y * v.w + x] = bilinear(src, v.h, v.w, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor rotate(const Tensor& image, double degrees) {
+  const double rad = degrees * 3.14159265358979323846 / 180.0;
+  const double c = std::cos(rad), s = std::sin(rad);
+  // Inverse rotation.
+  return affine(image, c, -s, s, c, 0.0, 0.0);
+}
+
+Tensor translate(const Tensor& image, double dy, double dx) {
+  return affine(image, 1.0, 0.0, 0.0, 1.0, dy, dx);
+}
+
+Tensor zoom(const Tensor& image, double factor) {
+  LCRS_CHECK(factor > 0.0, "zoom factor must be positive");
+  const double inv = 1.0 / factor;
+  return affine(image, inv, 0.0, 0.0, inv, 0.0, 0.0);
+}
+
+Tensor flip_horizontal(const Tensor& image) {
+  const ImageView v = view_single(image);
+  Tensor out(image.shape());
+  for (std::int64_t c = 0; c < v.c; ++c) {
+    const float* src = image.data() + c * v.h * v.w;
+    float* dst = out.data() + c * v.h * v.w;
+    for (std::int64_t y = 0; y < v.h; ++y) {
+      for (std::int64_t x = 0; x < v.w; ++x) {
+        dst[y * v.w + x] = src[y * v.w + (v.w - 1 - x)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor flip_vertical(const Tensor& image) {
+  const ImageView v = view_single(image);
+  Tensor out(image.shape());
+  for (std::int64_t c = 0; c < v.c; ++c) {
+    const float* src = image.data() + c * v.h * v.w;
+    float* dst = out.data() + c * v.h * v.w;
+    for (std::int64_t y = 0; y < v.h; ++y) {
+      for (std::int64_t x = 0; x < v.w; ++x) {
+        dst[y * v.w + x] = src[(v.h - 1 - y) * v.w + x];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor color_perturb(const Tensor& image, Rng& rng, double gain_jitter,
+                     double bias_jitter) {
+  const ImageView v = view_single(image);
+  Tensor out(image.shape());
+  for (std::int64_t c = 0; c < v.c; ++c) {
+    const float gain =
+        static_cast<float>(1.0 + rng.uniform(-gain_jitter, gain_jitter));
+    const float bias =
+        static_cast<float>(rng.uniform(-bias_jitter, bias_jitter));
+    const float* src = image.data() + c * v.h * v.w;
+    float* dst = out.data() + c * v.h * v.w;
+    for (std::int64_t i = 0; i < v.h * v.w; ++i) {
+      dst[i] = src[i] * gain + bias;
+    }
+  }
+  return out;
+}
+
+Tensor random_augment(const Tensor& image, const AugmentParams& params,
+                      Rng& rng) {
+  Tensor out = image;
+  if (params.max_rotate_deg > 0.0) {
+    out = rotate(out, rng.uniform(-params.max_rotate_deg,
+                                  params.max_rotate_deg));
+  }
+  if (params.max_translate_px > 0.0) {
+    out = translate(out,
+                    rng.uniform(-params.max_translate_px,
+                                params.max_translate_px),
+                    rng.uniform(-params.max_translate_px,
+                                params.max_translate_px));
+  }
+  if (params.min_zoom != 1.0 || params.max_zoom != 1.0) {
+    out = zoom(out, rng.uniform(params.min_zoom, params.max_zoom));
+  }
+  if (params.flip_h_prob > 0.0 && rng.bernoulli(params.flip_h_prob)) {
+    out = flip_horizontal(out);
+  }
+  if (params.flip_v_prob > 0.0 && rng.bernoulli(params.flip_v_prob)) {
+    out = flip_vertical(out);
+  }
+  if (params.gain_jitter > 0.0 || params.bias_jitter > 0.0) {
+    out = color_perturb(out, rng, params.gain_jitter, params.bias_jitter);
+  }
+  return out;
+}
+
+Dataset augment_dataset(const Dataset& ds, std::int64_t copies,
+                        const AugmentParams& params, Rng& rng) {
+  ds.check();
+  LCRS_CHECK(copies >= 1, "augment_dataset needs copies >= 1");
+  const std::int64_t n = ds.size();
+  const std::int64_t sample = ds.images.numel() / n;
+
+  Dataset out;
+  out.name = ds.name + "-aug";
+  out.num_classes = ds.num_classes;
+  out.images =
+      Tensor{Shape{n * copies, ds.channels(), ds.height(), ds.width()}};
+  out.labels.resize(static_cast<std::size_t>(n * copies));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor src = ds.images.slice_outer(i, i + 1)
+                           .reshaped(Shape{ds.channels(), ds.height(),
+                                           ds.width()});
+    for (std::int64_t k = 0; k < copies; ++k) {
+      const Tensor aug = random_augment(src, params, rng);
+      const std::int64_t dst_idx = i * copies + k;
+      std::copy(aug.data(), aug.data() + sample,
+                out.images.data() + dst_idx * sample);
+      out.labels[static_cast<std::size_t>(dst_idx)] =
+          ds.labels[static_cast<std::size_t>(i)];
+    }
+  }
+  out.check();
+  return out;
+}
+
+}  // namespace lcrs::data

@@ -1,0 +1,54 @@
+// Image augmentation (paper Sec. V-C: "rotation, translation, zoom, flips
+// and colour perturbation" to expand the Web-AR logo datasets).
+//
+// All geometric ops use bilinear resampling about the image centre with
+// zero fill outside the source. Images are single samples [C, H, W] or
+// [1, C, H, W]; batch helpers expand whole datasets.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace lcrs::data {
+
+/// Counter-clockwise rotation by `degrees`.
+Tensor rotate(const Tensor& image, double degrees);
+
+/// Shift by (dy, dx) pixels (positive = down/right).
+Tensor translate(const Tensor& image, double dy, double dx);
+
+/// Scales about the centre; factor > 1 zooms in.
+Tensor zoom(const Tensor& image, double factor);
+
+/// Horizontal mirror.
+Tensor flip_horizontal(const Tensor& image);
+
+/// Vertical mirror.
+Tensor flip_vertical(const Tensor& image);
+
+/// Per-channel affine colour jitter: x -> x * gain[c] + bias[c].
+Tensor color_perturb(const Tensor& image, Rng& rng, double gain_jitter = 0.2,
+                     double bias_jitter = 0.1);
+
+/// Parameters for random augmentation draws.
+struct AugmentParams {
+  double max_rotate_deg = 15.0;
+  double max_translate_px = 2.0;
+  double min_zoom = 0.9;
+  double max_zoom = 1.1;
+  double flip_h_prob = 0.5;
+  double flip_v_prob = 0.0;
+  double gain_jitter = 0.2;
+  double bias_jitter = 0.1;
+};
+
+/// Applies a random draw of each enabled augmentation to one image.
+Tensor random_augment(const Tensor& image, const AugmentParams& params,
+                      Rng& rng);
+
+/// Expands a dataset: each source sample contributes `copies` augmented
+/// variants (the original is not included). Mirrors the paper's dataset
+/// expansion for the China Mobile / FenJiu cases.
+Dataset augment_dataset(const Dataset& ds, std::int64_t copies,
+                        const AugmentParams& params, Rng& rng);
+
+}  // namespace lcrs::data

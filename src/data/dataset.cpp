@@ -1,0 +1,97 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lcrs::data {
+
+void Dataset::check() const {
+  LCRS_CHECK(images.rank() == 4, "dataset images must be NCHW, got rank "
+                                     << images.rank());
+  LCRS_CHECK(static_cast<std::int64_t>(labels.size()) == images.dim(0),
+             "dataset " << name << ": " << labels.size() << " labels for "
+                        << images.dim(0) << " images");
+  LCRS_CHECK(num_classes > 0, "dataset " << name << " has no classes");
+  for (const auto y : labels) {
+    LCRS_CHECK(y >= 0 && y < num_classes,
+               "dataset " << name << ": label " << y << " out of range");
+  }
+}
+
+Dataset Dataset::slice(std::int64_t begin, std::int64_t count) const {
+  LCRS_CHECK(begin >= 0 && count >= 0 && begin + count <= size(),
+             "dataset slice [" << begin << ", " << begin + count
+                               << ") of size " << size());
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.images = images.slice_outer(begin, begin + count);
+  out.labels.assign(labels.begin() + begin, labels.begin() + begin + count);
+  return out;
+}
+
+Tensor Dataset::image(std::int64_t i) const {
+  return images.slice_outer(i, i + 1);
+}
+
+std::vector<std::int64_t> Dataset::label_slice(std::int64_t begin,
+                                               std::int64_t count) const {
+  LCRS_CHECK(begin >= 0 && count >= 0 && begin + count <= size(),
+             "label slice out of range");
+  return {labels.begin() + begin, labels.begin() + begin + count};
+}
+
+void shuffle(Dataset& ds, Rng& rng) {
+  const std::int64_t n = ds.size();
+  if (n <= 1) return;
+  const std::int64_t sample = ds.images.numel() / n;
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+
+  Tensor images(ds.images.shape());
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t src = perm[static_cast<std::size_t>(i)];
+    std::copy(ds.images.data() + src * sample,
+              ds.images.data() + (src + 1) * sample,
+              images.data() + i * sample);
+    labels[static_cast<std::size_t>(i)] =
+        ds.labels[static_cast<std::size_t>(src)];
+  }
+  ds.images = std::move(images);
+  ds.labels = std::move(labels);
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& ds, std::int64_t n_first) {
+  LCRS_CHECK(n_first >= 0 && n_first <= ds.size(), "bad split point");
+  return {ds.slice(0, n_first), ds.slice(n_first, ds.size() - n_first)};
+}
+
+Dataset concat(const Dataset& a, const Dataset& b) {
+  LCRS_CHECK(a.num_classes == b.num_classes &&
+                 a.channels() == b.channels() && a.height() == b.height() &&
+                 a.width() == b.width(),
+             "concat of incompatible datasets");
+  Dataset out;
+  out.name = a.name;
+  out.num_classes = a.num_classes;
+  std::vector<std::int64_t> dims = a.images.shape().dims();
+  dims[0] = a.size() + b.size();
+  out.images = Tensor{Shape(dims)};
+  std::copy(a.images.data(), a.images.data() + a.images.numel(),
+            out.images.data());
+  std::copy(b.images.data(), b.images.data() + b.images.numel(),
+            out.images.data() + a.images.numel());
+  out.labels = a.labels;
+  out.labels.insert(out.labels.end(), b.labels.begin(), b.labels.end());
+  return out;
+}
+
+std::vector<std::int64_t> class_histogram(const Dataset& ds) {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(ds.num_classes), 0);
+  for (const auto y : ds.labels) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+}  // namespace lcrs::data

@@ -1,0 +1,52 @@
+// In-memory labelled image dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace lcrs::data {
+
+/// A batch of images with integer labels. Images are NCHW float32,
+/// normalized to roughly [-1, 1] by the generators.
+struct Dataset {
+  std::string name;
+  Tensor images;                     // [N, C, H, W]
+  std::vector<std::int64_t> labels;  // N entries in [0, num_classes)
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return images.rank() == 4 ? images.dim(0) : 0; }
+  std::int64_t channels() const { return images.dim(1); }
+  std::int64_t height() const { return images.dim(2); }
+  std::int64_t width() const { return images.dim(3); }
+
+  /// Validates internal consistency; throws on corruption.
+  void check() const;
+
+  /// Copies samples [begin, begin+count) into a new dataset.
+  Dataset slice(std::int64_t begin, std::int64_t count) const;
+
+  /// Copies one image as a [1, C, H, W] tensor.
+  Tensor image(std::int64_t i) const;
+
+  /// Batch labels for samples [begin, begin+count).
+  std::vector<std::int64_t> label_slice(std::int64_t begin,
+                                        std::int64_t count) const;
+};
+
+/// Random in-place permutation of (image, label) pairs.
+void shuffle(Dataset& ds, Rng& rng);
+
+/// Splits into (first `n_first` samples, rest).
+std::pair<Dataset, Dataset> split(const Dataset& ds, std::int64_t n_first);
+
+/// Concatenates two datasets with identical shape/class metadata.
+Dataset concat(const Dataset& a, const Dataset& b);
+
+/// Per-class sample counts; length num_classes.
+std::vector<std::int64_t> class_histogram(const Dataset& ds);
+
+}  // namespace lcrs::data

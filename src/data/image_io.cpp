@@ -1,0 +1,91 @@
+#include "data/image_io.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace lcrs::data {
+
+namespace {
+
+struct View {
+  const Tensor* t;
+  std::int64_t c, h, w;
+  std::int64_t offset;  // flat offset of the image within the tensor
+};
+
+View single(const Tensor& image, std::int64_t index = 0) {
+  if (image.rank() == 3) {
+    LCRS_CHECK(index == 0, "index into rank-3 image");
+    return {&image, image.dim(0), image.dim(1), image.dim(2), 0};
+  }
+  LCRS_CHECK(image.rank() == 4, "write_image expects [C,H,W] or NCHW");
+  LCRS_CHECK(index >= 0 && index < image.dim(0), "image index out of range");
+  const std::int64_t per = image.dim(1) * image.dim(2) * image.dim(3);
+  return {&image, image.dim(1), image.dim(2), image.dim(3), index * per};
+}
+
+std::uint8_t to_byte(float v, float lo, float hi) {
+  const float x = (v - lo) / (hi - lo);
+  return static_cast<std::uint8_t>(
+      std::clamp(x * 255.0f + 0.5f, 0.0f, 255.0f));
+}
+
+void write_planes(std::ofstream& out, const View& v, float lo, float hi) {
+  const float* base = v.t->data() + v.offset;
+  for (std::int64_t y = 0; y < v.h; ++y) {
+    for (std::int64_t x = 0; x < v.w; ++x) {
+      for (std::int64_t c = 0; c < v.c; ++c) {
+        const char b = static_cast<char>(
+            to_byte(base[(c * v.h + y) * v.w + x], lo, hi));
+        out.write(&b, 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void write_image(const std::string& path, const Tensor& image, float lo,
+                 float hi) {
+  const View v = single(image);
+  LCRS_CHECK(v.c == 1 || v.c == 3, "write_image supports 1 or 3 channels");
+  LCRS_CHECK(hi > lo, "write_image needs hi > lo");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open image for writing: " + path);
+  out << (v.c == 3 ? "P6" : "P5") << "\n"
+      << v.w << " " << v.h << "\n255\n";
+  write_planes(out, v, lo, hi);
+  if (!out) throw IoError("short image write: " + path);
+}
+
+void write_image_grid(const std::string& path, const Tensor& batch,
+                      std::int64_t count, std::int64_t cols, float lo,
+                      float hi) {
+  LCRS_CHECK(batch.rank() == 4, "write_image_grid expects NCHW");
+  LCRS_CHECK(count >= 1 && count <= batch.dim(0), "bad grid count");
+  LCRS_CHECK(cols >= 1, "bad grid cols");
+  const std::int64_t c = batch.dim(1), h = batch.dim(2), w = batch.dim(3);
+  const std::int64_t rows = (count + cols - 1) / cols;
+  const std::int64_t gh = rows * h + (rows - 1);
+  const std::int64_t gw = cols * w + (cols - 1);
+
+  Tensor grid = Tensor::full(Shape{c, gh, gw}, lo);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t r = i / cols, col = i % cols;
+    const View v = single(batch, i);
+    const float* src = batch.data() + v.offset;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          grid.data()[(ch * gh + r * (h + 1) + y) * gw + col * (w + 1) + x] =
+              src[(ch * h + y) * w + x];
+        }
+      }
+    }
+  }
+  write_image(path, grid, lo, hi);
+}
+
+}  // namespace lcrs::data

@@ -1,0 +1,22 @@
+// Minimal image output (binary PPM/PGM) for inspecting synthetic data and
+// logo renders -- the repo equivalent of the paper's Fig. 9 screenshots.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace lcrs::data {
+
+/// Writes a [C, H, W] (or [1, C, H, W]) tensor as PPM (C == 3) or PGM
+/// (C == 1). Values are mapped from [lo, hi] to 0..255 with clamping.
+void write_image(const std::string& path, const Tensor& image,
+                 float lo = -1.0f, float hi = 1.0f);
+
+/// Tiles `count` images from an NCHW batch into one image (grid of
+/// `cols` columns with a 1-pixel gap) and writes it.
+void write_image_grid(const std::string& path, const Tensor& batch,
+                      std::int64_t count, std::int64_t cols,
+                      float lo = -1.0f, float hi = 1.0f);
+
+}  // namespace lcrs::data

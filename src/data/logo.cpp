@@ -1,0 +1,174 @@
+#include "data/logo.h"
+
+#include <cmath>
+
+namespace lcrs::data {
+
+namespace {
+
+constexpr std::int64_t kSide = 32;
+
+struct Color {
+  float r, g, b;
+};
+
+/// Deterministic brand style drawn from the brand's own substream.
+struct BrandStyle {
+  Color primary, secondary, background;
+  int motif;          // which shape family
+  double size;        // motif scale in [0.25, 0.45] of the image
+  double angle;       // motif orientation
+  int repeats;        // stripes / spokes count
+};
+
+BrandStyle style_for(const LogoSpec& spec, std::int64_t brand) {
+  Rng rng(spec.logo_seed * 1315423911ull + static_cast<std::uint64_t>(brand));
+  auto color = [&rng]() {
+    return Color{static_cast<float>(rng.uniform(-0.9, 0.9)),
+                 static_cast<float>(rng.uniform(-0.9, 0.9)),
+                 static_cast<float>(rng.uniform(-0.9, 0.9))};
+  };
+  BrandStyle s;
+  s.primary = color();
+  s.secondary = color();
+  s.background = Color{static_cast<float>(rng.uniform(-0.3, 0.3)),
+                       static_cast<float>(rng.uniform(-0.3, 0.3)),
+                       static_cast<float>(rng.uniform(-0.3, 0.3))};
+  s.motif = static_cast<int>(rng.randint(0, 3));
+  s.size = rng.uniform(0.25, 0.45);
+  s.angle = rng.uniform(0.0, 3.14159265);
+  s.repeats = static_cast<int>(rng.randint(2, 5));
+  return s;
+}
+
+void put(Tensor& img, std::int64_t y, std::int64_t x, const Color& c) {
+  img.data()[0 * kSide * kSide + y * kSide + x] = c.r;
+  img.data()[1 * kSide * kSide + y * kSide + x] = c.g;
+  img.data()[2 * kSide * kSide + y * kSide + x] = c.b;
+}
+
+}  // namespace
+
+std::vector<std::string> brand_names(const LogoSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(spec.num_brands));
+  for (std::int64_t b = 0; b < spec.num_brands; ++b) {
+    if (b == 0) {
+      names.emplace_back("ChinaMobile");
+    } else if (b == 1) {
+      names.emplace_back("FenJiu");
+    } else {
+      names.push_back("Brand" + std::to_string(b));
+    }
+  }
+  return names;
+}
+
+Tensor render_logo(const LogoSpec& spec, std::int64_t brand) {
+  LCRS_CHECK(brand >= 0 && brand < spec.num_brands,
+             "brand " << brand << " out of range");
+  const BrandStyle s = style_for(spec, brand);
+  Tensor img{Shape{3, kSide, kSide}};
+
+  const double cy = (kSide - 1) / 2.0, cx = (kSide - 1) / 2.0;
+  const double radius = s.size * kSide;
+
+  for (std::int64_t y = 0; y < kSide; ++y) {
+    for (std::int64_t x = 0; x < kSide; ++x) {
+      const double ry = y - cy, rx = x - cx;
+      const double r = std::sqrt(ry * ry + rx * rx);
+      const double theta = std::atan2(ry, rx) + s.angle;
+      Color c = s.background;
+      switch (s.motif) {
+        case 0: {  // concentric rings
+          if (r < radius) {
+            const int band = static_cast<int>(r / radius * s.repeats);
+            c = (band % 2 == 0) ? s.primary : s.secondary;
+          }
+          break;
+        }
+        case 1: {  // angular spokes / wedges
+          if (r < radius) {
+            const int sector = static_cast<int>(
+                std::floor((theta + 3.14159265) / (2 * 3.14159265) *
+                           (2 * s.repeats)));
+            c = (sector % 2 == 0) ? s.primary : s.secondary;
+          }
+          break;
+        }
+        case 2: {  // diagonal bars clipped to a square
+          const double u = ry * std::cos(s.angle) + rx * std::sin(s.angle);
+          if (std::fabs(ry) < radius && std::fabs(rx) < radius) {
+            const int stripe = static_cast<int>(
+                std::floor((u + radius) / (2 * radius) * s.repeats));
+            c = (stripe % 2 == 0) ? s.primary : s.secondary;
+          }
+          break;
+        }
+        default: {  // checkerboard medallion
+          if (r < radius) {
+            const int qy = static_cast<int>(
+                std::floor((ry + radius) / (2 * radius) * s.repeats));
+            const int qx = static_cast<int>(
+                std::floor((rx + radius) / (2 * radius) * s.repeats));
+            c = ((qy + qx) % 2 == 0) ? s.primary : s.secondary;
+          }
+          break;
+        }
+      }
+      put(img, y, x, c);
+    }
+  }
+  return img;
+}
+
+LogoData make_logo_data(const LogoSpec& spec, Rng& rng) {
+  LCRS_CHECK(spec.num_brands >= 2, "need at least the two paper brands");
+  LCRS_CHECK(spec.base_per_brand >= 2 && spec.augment_copies >= 1,
+             "logo spec too small");
+
+  // Clean renders plus sensor noise form the "collected" base set.
+  Dataset base;
+  base.name = "logos";
+  base.num_classes = spec.num_brands;
+  const std::int64_t n_base = spec.num_brands * spec.base_per_brand;
+  base.images = Tensor{Shape{n_base, 3, kSide, kSide}};
+  base.labels.resize(static_cast<std::size_t>(n_base));
+  const std::int64_t sample = 3 * kSide * kSide;
+  std::int64_t idx = 0;
+  for (std::int64_t b = 0; b < spec.num_brands; ++b) {
+    const Tensor clean = render_logo(spec, b);
+    for (std::int64_t i = 0; i < spec.base_per_brand; ++i, ++idx) {
+      float* dst = base.images.data() + idx * sample;
+      for (std::int64_t j = 0; j < sample; ++j) {
+        dst[j] = clean[j] +
+                 static_cast<float>(rng.normal(0.0, spec.camera_noise_std));
+      }
+      base.labels[static_cast<std::size_t>(idx)] = b;
+    }
+  }
+  base.check();
+
+  // Paper's augmentation pipeline: rotation, translation, zoom, flips,
+  // colour perturbation.
+  AugmentParams params;
+  params.max_rotate_deg = 20.0;
+  params.max_translate_px = 3.0;
+  params.min_zoom = 0.85;
+  params.max_zoom = 1.15;
+  params.flip_h_prob = 0.5;
+  params.flip_v_prob = 0.1;
+  params.gain_jitter = 0.25;
+  params.bias_jitter = 0.15;
+  Dataset expanded = augment_dataset(base, spec.augment_copies, params, rng);
+  shuffle(expanded, rng);
+
+  const std::int64_t n_test = expanded.size() / 5;
+  auto [test, train] = split(expanded, n_test);
+  LogoData out{std::move(train), std::move(test), brand_names(spec)};
+  out.train.name = "logos-train";
+  out.test.name = "logos-test";
+  return out;
+}
+
+}  // namespace lcrs::data

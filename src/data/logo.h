@@ -1,0 +1,47 @@
+// Synthetic brand-logo dataset for the Web-AR case studies (paper Sec.
+// V-C: China Mobile and FenJiu logo recognition).
+//
+// Each brand gets a deterministic geometric logo (rings, bars, wedges,
+// checkers in brand colours) rendered to 3x32x32; the dataset is then
+// expanded with the paper's augmentation pipeline, mimicking "collect a
+// batch of logos ... and use data augmentation techniques to expand the
+// dataset".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/augment.h"
+#include "data/dataset.h"
+
+namespace lcrs::data {
+
+/// Configuration of the logo data generator.
+struct LogoSpec {
+  std::int64_t num_brands = 10;     // classes; first two are the paper's
+  std::int64_t base_per_brand = 8;  // "collected" clean renders per brand
+  std::int64_t augment_copies = 24; // augmented variants per clean render
+  double camera_noise_std = 0.08;   // sensor noise on every render
+  std::uint64_t logo_seed = 99;     // brand artwork is a function of this
+
+  std::int64_t samples_per_brand() const {
+    return base_per_brand * augment_copies;
+  }
+};
+
+/// Human-readable brand names; index = class label. The first two are
+/// "ChinaMobile" and "FenJiu" to match the paper's applications.
+std::vector<std::string> brand_names(const LogoSpec& spec);
+
+/// Renders one clean logo [3, 32, 32] for the given brand.
+Tensor render_logo(const LogoSpec& spec, std::int64_t brand);
+
+/// Full augmented train/test pair.
+struct LogoData {
+  Dataset train;
+  Dataset test;
+  std::vector<std::string> names;
+};
+LogoData make_logo_data(const LogoSpec& spec, Rng& rng);
+
+}  // namespace lcrs::data

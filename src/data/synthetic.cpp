@@ -1,0 +1,245 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+namespace lcrs::data {
+
+void SyntheticSpec::validate() const {
+  LCRS_CHECK(channels >= 1 && height >= 8 && width >= 8,
+             "synthetic spec needs channels>=1 and at least 8x8 images");
+  LCRS_CHECK(num_classes >= 2, "synthetic spec needs >= 2 classes");
+  LCRS_CHECK(noise_std >= 0.0 && jitter_px >= 0.0, "negative noise/jitter");
+  LCRS_CHECK(shared_background >= 0.0 && shared_background < 1.0,
+             "shared_background must be in [0, 1)");
+  LCRS_CHECK(confusion >= 0.0 && confusion < 1.0,
+             "confusion must be in [0, 1)");
+  LCRS_CHECK(contrast_jitter >= 0.0 && contrast_jitter < 1.0,
+             "contrast_jitter must be in [0, 1)");
+}
+
+SyntheticSpec mnist_like() {
+  SyntheticSpec s;
+  s.name = "synthetic-mnist";
+  s.channels = 1;
+  s.height = s.width = 28;
+  s.num_classes = 10;
+  s.blobs_per_class = 3;
+  s.gratings_per_class = 1;
+  s.noise_std = 0.45;
+  s.jitter_px = 2.0;
+  s.shared_background = 0.15;
+  s.confusion = 0.45;
+  s.contrast_jitter = 0.25;
+  s.prototype_seed = 11;
+  return s;
+}
+
+SyntheticSpec fashion_mnist_like() {
+  SyntheticSpec s = mnist_like();
+  s.name = "synthetic-fashion";
+  s.blobs_per_class = 4;
+  s.gratings_per_class = 2;
+  s.noise_std = 0.55;
+  s.shared_background = 0.22;
+  s.confusion = 0.55;
+  s.prototype_seed = 23;
+  return s;
+}
+
+SyntheticSpec cifar10_like() {
+  SyntheticSpec s;
+  s.name = "synthetic-cifar10";
+  s.channels = 3;
+  s.height = s.width = 32;
+  s.num_classes = 10;
+  s.blobs_per_class = 4;
+  s.gratings_per_class = 3;
+  s.noise_std = 0.85;
+  s.jitter_px = 2.5;
+  s.shared_background = 0.35;
+  s.confusion = 0.75;
+  s.contrast_jitter = 0.35;
+  s.prototype_seed = 37;
+  return s;
+}
+
+SyntheticSpec cifar100_like() {
+  SyntheticSpec s = cifar10_like();
+  s.name = "synthetic-cifar100";
+  s.num_classes = 100;
+  s.noise_std = 0.90;
+  s.shared_background = 0.40;
+  s.confusion = 0.70;
+  s.prototype_seed = 53;
+  return s;
+}
+
+SyntheticSpec spec_by_name(const std::string& dataset) {
+  if (dataset == "MNIST") return mnist_like();
+  if (dataset == "FashionMNIST") return fashion_mnist_like();
+  if (dataset == "CIFAR10") return cifar10_like();
+  if (dataset == "CIFAR100") return cifar100_like();
+  throw InvalidArgument("unknown dataset name: " + dataset);
+}
+
+namespace {
+
+struct Blob {
+  double cy, cx, sigma, amplitude;
+};
+
+struct Grating {
+  double freq, angle, phase, amplitude;
+};
+
+/// One class prototype per channel: blobs + gratings rendered additively.
+struct Prototype {
+  std::vector<std::vector<Blob>> blobs;        // [channel][blob]
+  std::vector<std::vector<Grating>> gratings;  // [channel][grating]
+};
+
+Prototype make_prototype(const SyntheticSpec& spec, Rng& rng) {
+  Prototype p;
+  p.blobs.resize(static_cast<std::size_t>(spec.channels));
+  p.gratings.resize(static_cast<std::size_t>(spec.channels));
+  for (std::int64_t c = 0; c < spec.channels; ++c) {
+    auto& blobs = p.blobs[static_cast<std::size_t>(c)];
+    for (int i = 0; i < spec.blobs_per_class; ++i) {
+      blobs.push_back(Blob{
+          rng.uniform(0.2, 0.8) * static_cast<double>(spec.height),
+          rng.uniform(0.2, 0.8) * static_cast<double>(spec.width),
+          rng.uniform(1.5, 4.0),
+          rng.uniform(0.5, 1.2) * (rng.bernoulli(0.5) ? 1.0 : -1.0),
+      });
+    }
+    auto& gratings = p.gratings[static_cast<std::size_t>(c)];
+    for (int i = 0; i < spec.gratings_per_class; ++i) {
+      gratings.push_back(Grating{
+          rng.uniform(0.15, 0.6),
+          rng.uniform(0.0, 3.14159265),
+          rng.uniform(0.0, 6.2831853),
+          rng.uniform(0.2, 0.6),
+      });
+    }
+  }
+  return p;
+}
+
+/// Renders a prototype at a translation offset into `out` [C*H*W].
+void render(const SyntheticSpec& spec, const Prototype& proto, double dy,
+            double dx, float* out) {
+  for (std::int64_t c = 0; c < spec.channels; ++c) {
+    float* plane = out + c * spec.height * spec.width;
+    const auto& blobs = proto.blobs[static_cast<std::size_t>(c)];
+    const auto& gratings = proto.gratings[static_cast<std::size_t>(c)];
+    for (std::int64_t y = 0; y < spec.height; ++y) {
+      for (std::int64_t x = 0; x < spec.width; ++x) {
+        double v = 0.0;
+        const double py = static_cast<double>(y) - dy;
+        const double px = static_cast<double>(x) - dx;
+        for (const auto& b : blobs) {
+          const double r2 = (py - b.cy) * (py - b.cy) +
+                            (px - b.cx) * (px - b.cx);
+          v += b.amplitude * std::exp(-r2 / (2.0 * b.sigma * b.sigma));
+        }
+        for (const auto& g : gratings) {
+          const double u = px * std::cos(g.angle) + py * std::sin(g.angle);
+          v += g.amplitude * std::sin(g.freq * u + g.phase);
+        }
+        plane[y * spec.width + x] += static_cast<float>(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synthetic(const SyntheticSpec& spec, std::int64_t n, Rng& rng) {
+  spec.validate();
+  LCRS_CHECK(n > 0, "make_synthetic needs n > 0");
+
+  // Prototypes are derived from the spec seed only, so train and test sets
+  // (and repeated runs) see the same class structure.
+  Rng proto_rng(spec.prototype_seed);
+  std::vector<Prototype> protos;
+  protos.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (std::int64_t c = 0; c < spec.num_classes; ++c) {
+    protos.push_back(make_prototype(spec, proto_rng));
+  }
+  const Prototype background = make_prototype(spec, proto_rng);
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.num_classes = spec.num_classes;
+  ds.images = Tensor{Shape{n, spec.channels, spec.height, spec.width}};
+  ds.labels.resize(static_cast<std::size_t>(n));
+
+  const std::int64_t sample_size =
+      spec.channels * spec.height * spec.width;
+  std::vector<float> class_buf(static_cast<std::size_t>(sample_size));
+  std::vector<float> confuser_buf(static_cast<std::size_t>(sample_size));
+  std::vector<float> bg_buf(static_cast<std::size_t>(sample_size));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t label = i % spec.num_classes;
+    ds.labels[static_cast<std::size_t>(i)] = label;
+    const double dy = rng.uniform(-spec.jitter_px, spec.jitter_px);
+    const double dx = rng.uniform(-spec.jitter_px, spec.jitter_px);
+
+    std::fill(class_buf.begin(), class_buf.end(), 0.0f);
+    render(spec, protos[static_cast<std::size_t>(label)], dy, dx,
+           class_buf.data());
+
+    // Structured ambiguity: blend in a random other class's prototype
+    // with a random weight up to `confusion`. This -- not pixel noise --
+    // is what separates the easy and hard presets.
+    double w_conf = 0.0;
+    if (spec.confusion > 0.0 && spec.num_classes > 1) {
+      std::int64_t other = rng.randint(0, spec.num_classes - 2);
+      if (other >= label) ++other;
+      w_conf = rng.uniform(0.0, spec.confusion);
+      std::fill(confuser_buf.begin(), confuser_buf.end(), 0.0f);
+      render(spec, protos[static_cast<std::size_t>(other)], dy, dx,
+             confuser_buf.data());
+    }
+
+    float* dst = ds.images.data() + i * sample_size;
+    const double wc = (1.0 - spec.shared_background) * (1.0 - w_conf);
+    if (spec.shared_background > 0.0) {
+      std::fill(bg_buf.begin(), bg_buf.end(), 0.0f);
+      render(spec, background, dy, dx, bg_buf.data());
+    }
+    const double contrast =
+        spec.contrast_jitter > 0.0
+            ? rng.uniform(1.0 - spec.contrast_jitter,
+                          1.0 + spec.contrast_jitter)
+            : 1.0;
+    for (std::int64_t j = 0; j < sample_size; ++j) {
+      double v = wc * class_buf[static_cast<std::size_t>(j)];
+      if (w_conf > 0.0) {
+        v += (1.0 - spec.shared_background) * w_conf *
+             confuser_buf[static_cast<std::size_t>(j)];
+      }
+      if (spec.shared_background > 0.0) {
+        v += spec.shared_background * bg_buf[static_cast<std::size_t>(j)];
+      }
+      v = contrast * v + rng.normal(0.0, spec.noise_std);
+      // Soft clamp to [-1, 1] keeps inputs in the STE window.
+      dst[j] = static_cast<float>(std::tanh(v));
+    }
+  }
+  ds.check();
+  return ds;
+}
+
+TrainTest make_synthetic_pair(const SyntheticSpec& spec, std::int64_t n_train,
+                              std::int64_t n_test, Rng& rng) {
+  TrainTest tt{make_synthetic(spec, n_train, rng),
+               make_synthetic(spec, n_test, rng)};
+  shuffle(tt.train, rng);
+  shuffle(tt.test, rng);
+  return tt;
+}
+
+}  // namespace lcrs::data

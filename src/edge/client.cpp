@@ -1,0 +1,61 @@
+#include "edge/client.h"
+
+#include "core/entropy.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::edge {
+
+BrowserClient::BrowserClient(webinfer::Engine engine, core::ExitPolicy policy,
+                             std::uint16_t port)
+    : engine_(std::move(engine)), policy_(policy), port_(port) {}
+
+ClientResult BrowserClient::classify(const Tensor& sample) {
+  LCRS_CHECK(sample.rank() == 4 && sample.dim(0) == 1,
+             "classify expects a single [1,C,H,W] sample");
+  const Tensor shared = engine_.forward_shared(sample);
+  const Tensor logits = engine_.forward_branch(shared);
+  const Tensor probs = softmax_rows(logits);
+  const double entropy =
+      core::normalized_entropy(probs.data(), probs.dim(1));
+
+  ++classified_;
+  if (policy_.should_exit(entropy)) {
+    ++exited_;
+    ClientResult r;
+    r.label = argmax(probs);
+    r.exit_point = core::ExitPoint::kBinaryBranch;
+    r.entropy = entropy;
+    r.probabilities = probs;
+    return r;
+  }
+  return complete_at_edge(shared, entropy);
+}
+
+ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
+                                             double entropy) {
+  if (!conn_.has_value() || !conn_->valid()) {
+    conn_ = connect_local(port_);
+  }
+  conn_->send_frame(
+      Frame{MsgType::kCompleteRequest, make_complete_request(shared)});
+  std::optional<Frame> reply = conn_->recv_frame();
+  if (!reply.has_value() || reply->type != MsgType::kCompleteResponse) {
+    throw IoError("edge server did not return a completion response");
+  }
+  const CompleteResponse resp = parse_complete_response(reply->payload);
+
+  ClientResult r;
+  r.label = resp.label;
+  r.exit_point = core::ExitPoint::kMainBranch;
+  r.entropy = entropy;
+  r.probabilities = resp.probabilities;
+  return r;
+}
+
+double BrowserClient::exit_fraction() const {
+  return classified_ > 0
+             ? static_cast<double>(exited_) / static_cast<double>(classified_)
+             : 0.0;
+}
+
+}  // namespace lcrs::edge

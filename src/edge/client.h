@@ -1,0 +1,51 @@
+// Browser-side client: webinfer engine + entropy exit + TCP fallback.
+//
+// This is the deployed form of Algorithm 2: the "browser" (webinfer
+// engine) runs conv1 + binary branch; on an entropy miss it uploads the
+// conv1 features to the edge server and returns the server's answer.
+#pragma once
+
+#include <optional>
+
+#include "core/exit_policy.h"
+#include "core/inference.h"
+#include "edge/tcp.h"
+#include "webinfer/engine.h"
+
+namespace lcrs::edge {
+
+/// One classification outcome on the browser side.
+struct ClientResult {
+  std::int64_t label = -1;
+  core::ExitPoint exit_point = core::ExitPoint::kBinaryBranch;
+  double entropy = 0.0;
+  Tensor probabilities;
+};
+
+class BrowserClient {
+ public:
+  /// `port` is the edge server's loopback port; the connection is opened
+  /// lazily on the first entropy miss and kept alive afterwards.
+  BrowserClient(webinfer::Engine engine, core::ExitPolicy policy,
+                std::uint16_t port);
+
+  /// Runs Algorithm 2 on a single [1, C, H, W] sample.
+  ClientResult classify(const Tensor& sample);
+
+  /// Fraction of classified samples that exited at the binary branch.
+  double exit_fraction() const;
+
+  std::int64_t classified() const { return classified_; }
+
+ private:
+  ClientResult complete_at_edge(const Tensor& shared, double entropy);
+
+  webinfer::Engine engine_;
+  core::ExitPolicy policy_;
+  std::uint16_t port_;
+  std::optional<Socket> conn_;
+  std::int64_t classified_ = 0;
+  std::int64_t exited_ = 0;
+};
+
+}  // namespace lcrs::edge

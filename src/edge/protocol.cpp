@@ -1,0 +1,77 @@
+#include "edge/protocol.h"
+
+#include "common/bytes.h"
+#include "tensor/serialize.h"
+
+namespace lcrs::edge {
+
+namespace {
+constexpr std::uint32_t kFrameMagic = 0x4c435246;  // "LCRF"
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  ByteWriter w;
+  w.write_u32(kFrameMagic);
+  w.write_u8(static_cast<std::uint8_t>(frame.type));
+  w.write_u32(static_cast<std::uint32_t>(frame.payload.size()));
+  w.write_bytes(frame.payload.data(), frame.payload.size());
+  return w.take();
+}
+
+Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.read_u32() != kFrameMagic) throw ParseError("bad frame magic");
+  Frame f;
+  const std::uint8_t type = r.read_u8();
+  if (type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    throw ParseError("unknown frame type");
+  }
+  f.type = static_cast<MsgType>(type);
+  const std::uint32_t size = r.read_u32();
+  // Validate before allocating: corrupt length fields must not OOM.
+  if (size > r.remaining()) throw ParseError("frame payload truncated");
+  f.payload.resize(size);
+  r.read_bytes(f.payload.data(), size);
+  if (!r.at_end()) throw ParseError("trailing bytes after frame");
+  return f;
+}
+
+std::uint32_t parse_frame_header(const std::uint8_t* header, MsgType* type) {
+  ByteReader r(header, kFrameHeaderBytes);
+  if (r.read_u32() != kFrameMagic) throw ParseError("bad frame magic");
+  const std::uint8_t t = r.read_u8();
+  if (t > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    throw ParseError("unknown frame type");
+  }
+  if (type != nullptr) *type = static_cast<MsgType>(t);
+  return r.read_u32();
+}
+
+std::vector<std::uint8_t> make_complete_request(const Tensor& shared) {
+  ByteWriter w;
+  write_tensor(w, shared);
+  return w.take();
+}
+
+Tensor parse_complete_request(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  return read_tensor(r);
+}
+
+std::vector<std::uint8_t> make_complete_response(const CompleteResponse& r) {
+  ByteWriter w;
+  w.write_i64(r.label);
+  write_tensor(w, r.probabilities);
+  return w.take();
+}
+
+CompleteResponse parse_complete_response(
+    const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  CompleteResponse resp;
+  resp.label = r.read_i64();
+  resp.probabilities = read_tensor(r);
+  return resp;
+}
+
+}  // namespace lcrs::edge

@@ -1,0 +1,54 @@
+// Wire protocol between the browser client and the edge server.
+//
+// Length-prefixed binary frames over a byte stream:
+//   [u32 magic][u8 type][u32 payload_size][payload bytes]
+// Payloads reuse the library's tensor serialization. The same frames are
+// used by the real TCP runtime and by the protocol tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lcrs::edge {
+
+enum class MsgType : std::uint8_t {
+  kPing = 0,
+  kPong = 1,
+  kCompleteRequest = 2,   // payload: conv1 feature tensor
+  kCompleteResponse = 3,  // payload: i64 label + probability tensor
+  kShutdown = 4,
+};
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Encodes a frame into wire bytes.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Decodes one frame from `bytes`; throws ParseError on malformed input.
+Frame decode_frame(const std::vector<std::uint8_t>& bytes);
+
+/// Frame header size on the wire (magic + type + length).
+constexpr std::size_t kFrameHeaderBytes = 9;
+
+/// Parses a header, returning the payload size; throws on bad magic.
+std::uint32_t parse_frame_header(const std::uint8_t* header, MsgType* type);
+
+/// Payload builders / parsers.
+std::vector<std::uint8_t> make_complete_request(const Tensor& shared);
+Tensor parse_complete_request(const std::vector<std::uint8_t>& payload);
+
+struct CompleteResponse {
+  std::int64_t label = -1;
+  Tensor probabilities;
+};
+std::vector<std::uint8_t> make_complete_response(const CompleteResponse& r);
+CompleteResponse parse_complete_response(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace lcrs::edge

@@ -1,0 +1,107 @@
+#include "edge/server.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace lcrs::edge {
+
+CompletionFn serialize_completion(CompletionFn inner) {
+  auto mutex = std::make_shared<std::mutex>();
+  return [mutex, inner = std::move(inner)](const Tensor& shared) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    return inner(shared);
+  };
+}
+
+EdgeServer::EdgeServer(std::uint16_t port, CompletionFn complete)
+    : listener_(port), complete_(std::move(complete)) {
+  LCRS_CHECK(complete_ != nullptr, "edge server needs a completion fn");
+  acceptor_ = std::thread([this] { accept_loop(); });
+  LCRS_DEBUG("edge server listening on 127.0.0.1:" << listener_.port());
+}
+
+EdgeServer::~EdgeServer() { stop(); }
+
+void EdgeServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown_now();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (auto& c : connections_) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+  connections_.clear();
+}
+
+void EdgeServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EdgeServer::accept_loop() {
+  while (!stopping_.load()) {
+    Socket conn;
+    try {
+      conn = listener_.accept_one();
+    } catch (const IoError& e) {
+      if (stopping_.load()) break;
+      LCRS_WARN("edge accept failed: " << e.what());
+      continue;
+    }
+    if (!conn.valid()) break;  // listener shut down
+    ++connections_accepted_;
+
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    // Socket is move-only and std::function must be copyable, so hand the
+    // connection to the thread through a shared_ptr.
+    auto conn_ptr = std::make_shared<Socket>(std::move(conn));
+    std::thread worker([this, conn_ptr, done] {
+      try {
+        serve_connection(std::move(*conn_ptr));
+      } catch (const Error& e) {
+        // A broken client connection must not take the server down.
+        LCRS_WARN("edge connection error: " << e.what());
+      }
+      done->store(true);
+    });
+
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    reap_finished_locked();
+    connections_.push_back(Connection{std::move(worker), std::move(done)});
+  }
+}
+
+void EdgeServer::serve_connection(Socket conn) {
+  while (!stopping_.load()) {
+    std::optional<Frame> frame = conn.recv_frame();
+    if (!frame.has_value()) return;  // client hung up
+    switch (frame->type) {
+      case MsgType::kPing:
+        conn.send_frame(Frame{MsgType::kPong, {}});
+        break;
+      case MsgType::kCompleteRequest: {
+        const Tensor shared = parse_complete_request(frame->payload);
+        const CompleteResponse resp = complete_(shared);
+        conn.send_frame(
+            Frame{MsgType::kCompleteResponse, make_complete_response(resp)});
+        ++requests_served_;
+        break;
+      }
+      case MsgType::kShutdown:
+        stopping_.store(true);
+        listener_.shutdown_now();
+        return;
+      default:
+        throw ParseError("unexpected frame type at server");
+    }
+  }
+}
+
+}  // namespace lcrs::edge

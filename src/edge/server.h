@@ -1,0 +1,70 @@
+// Edge server hosting the main branch (paper Fig. 1/8).
+//
+// Listens on loopback TCP and serves each browser connection on its own
+// thread: every kCompleteRequest carries a conv1 feature map, the reply
+// carries the main branch's label + probabilities. The completion
+// function must be safe to call concurrently -- a mutex-guarded wrapper
+// (see serialize_completion) suffices for the single-model case, since
+// the paper's concurrency concern is edge *compute* pressure, which the
+// concurrency bench measures directly.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "edge/tcp.h"
+
+namespace lcrs::edge {
+
+/// Completes a conv1 feature map into (label, probabilities). Invoked
+/// concurrently from connection threads.
+using CompletionFn = std::function<CompleteResponse(const Tensor& shared)>;
+
+/// Wraps a non-thread-safe completion in a mutex (layer forward() caches
+/// are not concurrency-safe).
+CompletionFn serialize_completion(CompletionFn inner);
+
+class EdgeServer {
+ public:
+  /// Binds immediately (port 0 = ephemeral) and starts serving.
+  EdgeServer(std::uint16_t port, CompletionFn complete);
+
+  /// Stops the accept loop and joins every connection thread.
+  ~EdgeServer();
+
+  EdgeServer(const EdgeServer&) = delete;
+  EdgeServer& operator=(const EdgeServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  std::int64_t requests_served() const { return requests_served_.load(); }
+  std::int64_t connections_accepted() const {
+    return connections_accepted_.load();
+  }
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(Socket conn);
+  void reap_finished_locked();
+
+  Listener listener_;
+  CompletionFn complete_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> requests_served_{0};
+  std::atomic<std::int64_t> connections_accepted_{0};
+
+  std::mutex conns_mutex_;
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections_;
+  std::thread acceptor_;
+};
+
+}  // namespace lcrs::edge

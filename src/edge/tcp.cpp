@@ -1,0 +1,148 @@
+#include "edge/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lcrs::edge {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+Socket::~Socket() { close_now(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close_now();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close_now() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t size) const {
+  LCRS_CHECK(valid(), "send on invalid socket");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t size) const {
+  LCRS_CHECK(valid(), "recv on invalid socket");
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF before any bytes
+      throw IoError("connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::send_frame(const Frame& frame) const {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  send_all(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> Socket::recv_frame() const {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!recv_all(header, sizeof(header))) return std::nullopt;
+  Frame f;
+  const std::uint32_t payload_size = parse_frame_header(header, &f.type);
+  if (payload_size > (64u << 20)) throw ParseError("frame too large");
+  f.payload.resize(payload_size);
+  if (payload_size > 0 && !recv_all(f.payload.data(), payload_size)) {
+    throw IoError("connection closed mid-frame");
+  }
+  return f;
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sock_ = Socket(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, 8) < 0) throw_errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket Listener::accept_one() const {
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EBADF || errno == EINVAL) return Socket();  // shut down
+    throw_errno("accept");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+void Listener::shutdown_now() {
+  if (sock_.valid()) {
+    ::shutdown(sock_.fd(), SHUT_RDWR);
+    sock_.close_now();
+  }
+}
+
+Socket connect_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace lcrs::edge

@@ -1,0 +1,64 @@
+// Minimal RAII TCP helpers for the loopback edge-server demo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "edge/protocol.h"
+
+namespace lcrs::edge {
+
+/// Owns a socket file descriptor; closes it on destruction. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close_now();
+
+  /// Blocking full send; throws IoError on failure.
+  void send_all(const void* data, std::size_t size) const;
+
+  /// Blocking full receive; returns false on clean EOF at a frame
+  /// boundary, throws IoError on mid-message EOF or errors.
+  bool recv_all(void* data, std::size_t size) const;
+
+  /// Writes one protocol frame.
+  void send_frame(const Frame& frame) const;
+
+  /// Reads one protocol frame; returns nullopt on clean EOF.
+  std::optional<Frame> recv_frame() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1; port 0 picks an ephemeral port.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+
+  /// Accepts one connection (blocking). Returns an invalid socket when
+  /// the listener has been shut down.
+  Socket accept_one() const;
+
+  std::uint16_t port() const { return port_; }
+  void shutdown_now();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port; throws IoError on failure.
+Socket connect_local(std::uint16_t port);
+
+}  // namespace lcrs::edge

@@ -1,0 +1,75 @@
+#include "models/accounting.h"
+
+#include <cstdio>
+
+#include "binary/binary_conv2d.h"
+#include "binary/binary_linear.h"
+
+namespace lcrs::models {
+
+namespace {
+
+std::int64_t binary_bytes_of(nn::Layer& layer) {
+  if (auto* bc = dynamic_cast<binary::BinaryConv2d*>(&layer)) {
+    return bc->binary_weight_bytes();
+  }
+  if (auto* bl = dynamic_cast<binary::BinaryLinear*>(&layer)) {
+    return bl->binary_weight_bytes();
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<LayerProfile> profile_layers(nn::Sequential& model,
+                                         const Shape& sample_shape) {
+  std::vector<std::int64_t> dims{1};
+  for (const auto d : sample_shape.dims()) dims.push_back(d);
+  Tensor x{Shape(dims)};
+
+  std::vector<LayerProfile> profiles;
+  profiles.reserve(model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    nn::Layer& layer = model.layer(i);
+    x = layer.forward(x, /*train=*/false);
+    LayerProfile p;
+    p.kind = layer.kind();
+    p.flops = layer.flops_per_sample();
+    p.param_bytes = layer.param_bytes();
+    p.binary_bytes = binary_bytes_of(layer);
+    p.output_elems = x.numel();
+    p.is_binary = p.binary_bytes > 0;
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+ModelProfile summarize(const std::vector<LayerProfile>& layers) {
+  ModelProfile mp;
+  for (const auto& l : layers) {
+    mp.total_flops += l.flops;
+    mp.total_param_bytes += l.param_bytes;
+    mp.total_binary_bytes += l.is_binary ? l.binary_bytes : l.param_bytes;
+    ++mp.layer_count;
+  }
+  return mp;
+}
+
+std::int64_t browser_payload_bytes(nn::Sequential& model) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    nn::Layer& layer = model.layer(i);
+    const std::int64_t bin = binary_bytes_of(layer);
+    total += bin > 0 ? bin : layer.param_bytes();
+  }
+  return total;
+}
+
+std::string format_mb(std::int64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return std::string(buf);
+}
+
+}  // namespace lcrs::models

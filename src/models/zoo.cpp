@@ -1,0 +1,322 @@
+#include "models/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+
+namespace lcrs::models {
+
+std::string arch_name(Arch arch) {
+  switch (arch) {
+    case Arch::kLeNet:
+      return "LeNet";
+    case Arch::kAlexNet:
+      return "AlexNet";
+    case Arch::kResNet18:
+      return "ResNet18";
+    case Arch::kVgg16:
+      return "VGG16";
+  }
+  return "?";
+}
+
+Arch arch_by_name(const std::string& name) {
+  if (name == "LeNet") return Arch::kLeNet;
+  if (name == "AlexNet") return Arch::kAlexNet;
+  if (name == "ResNet18") return Arch::kResNet18;
+  if (name == "VGG16") return Arch::kVgg16;
+  throw InvalidArgument("unknown architecture: " + name);
+}
+
+void ModelConfig::validate() const {
+  LCRS_CHECK(in_channels >= 1 && in_h >= 16 && in_w >= 16,
+             "model input must be >= 16x16 with >= 1 channel");
+  LCRS_CHECK(num_classes >= 2, "model needs >= 2 classes");
+  LCRS_CHECK(width > 0.0 && width <= 4.0, "width multiplier out of range");
+}
+
+namespace {
+
+/// Applies the width multiplier with a floor so tiny widths stay usable.
+std::int64_t scaled(std::int64_t channels, double width) {
+  return std::max<std::int64_t>(
+      4, static_cast<std::int64_t>(std::llround(channels * width)));
+}
+
+using Seq = nn::Sequential;
+
+struct Stage {
+  std::unique_ptr<Seq> seq = std::make_unique<Seq>();
+  std::int64_t c, h, w;  // current feature-map shape
+
+  void conv(std::int64_t out_c, std::int64_t k, std::int64_t stride,
+            std::int64_t pad, Rng& rng, bool bias = true) {
+    seq->emplace<nn::Conv2d>(c, out_c, k, stride, pad, h, w, rng, bias);
+    c = out_c;
+    h = (h + 2 * pad - k) / stride + 1;
+    w = (w + 2 * pad - k) / stride + 1;
+  }
+
+  void bn() { seq->emplace<nn::BatchNorm>(c); }
+  void relu() { seq->emplace<nn::ReLU>(); }
+  void tanh() { seq->emplace<nn::Tanh>(); }
+
+  void maxpool(std::int64_t k, std::int64_t stride) {
+    seq->emplace<nn::MaxPool2d>(k, stride);
+    h = (h - k) / stride + 1;
+    w = (w - k) / stride + 1;
+  }
+
+  void resblock(std::int64_t out_c, std::int64_t stride, Rng& rng) {
+    auto block = std::make_unique<nn::ResidualBlock>(c, out_c, stride, h, w,
+                                                     rng);
+    h = block->out_h();
+    w = block->out_w();
+    c = out_c;
+    seq->add(std::move(block));
+  }
+};
+
+MainBranch finish(Stage&& conv1, Stage&& rest) {
+  MainBranch mb;
+  mb.out_c = conv1.c;
+  mb.out_h = conv1.h;
+  mb.out_w = conv1.w;
+  mb.conv1 = std::move(conv1.seq);
+  mb.rest = std::move(rest.seq);
+  return mb;
+}
+
+MainBranch build_lenet(const ModelConfig& cfg, Rng& rng) {
+  // Widened LeNet-5 (the paper adjusts channel widths; classic LeNet-5 is
+  // ~0.24 MB while Table I reports ~1.7 MB).
+  const std::int64_t c1 = scaled(12, cfg.width), c2 = scaled(32, cfg.width);
+  const std::int64_t f1 = scaled(384, cfg.width), f2 = scaled(168, cfg.width);
+
+  Stage conv1{.c = cfg.in_channels, .h = cfg.in_h, .w = cfg.in_w};
+  conv1.conv(c1, 5, 1, 2, rng);
+  conv1.seq->emplace<nn::Tanh>();
+  conv1.maxpool(2, 2);
+
+  Stage rest{.c = conv1.c, .h = conv1.h, .w = conv1.w};
+  rest.conv(c2, 5, 1, 0, rng);
+  rest.seq->emplace<nn::Tanh>();
+  rest.maxpool(2, 2);
+  rest.seq->emplace<nn::Flatten>();
+  const std::int64_t flat = rest.c * rest.h * rest.w;
+  rest.seq->emplace<nn::Linear>(flat, f1, rng);
+  rest.seq->emplace<nn::Tanh>();
+  rest.seq->emplace<nn::Linear>(f1, f2, rng);
+  rest.seq->emplace<nn::Tanh>();
+  rest.seq->emplace<nn::Linear>(f2, cfg.num_classes, rng);
+  return finish(std::move(conv1), std::move(rest));
+}
+
+MainBranch build_alexnet(const ModelConfig& cfg, Rng& rng) {
+  // CIFAR-style AlexNet with conv BatchNorm (without normalization the
+  // 5-conv stack does not train on small inputs); FC widths chosen so the
+  // full-width model lands near the paper's ~91 MB.
+  const std::int64_t c1 = scaled(64, cfg.width);
+  const std::int64_t c2 = scaled(192, cfg.width);
+  const std::int64_t c3 = scaled(384, cfg.width);
+  const std::int64_t c4 = scaled(256, cfg.width);
+  const std::int64_t c5 = scaled(256, cfg.width);
+  const std::int64_t fc = scaled(3072, cfg.width);
+
+  Stage conv1{.c = cfg.in_channels, .h = cfg.in_h, .w = cfg.in_w};
+  conv1.conv(c1, 3, 1, 1, rng);
+  conv1.bn();
+  conv1.relu();
+  conv1.maxpool(2, 2);
+
+  Stage rest{.c = conv1.c, .h = conv1.h, .w = conv1.w};
+  rest.conv(c2, 3, 1, 1, rng);
+  rest.bn();
+  rest.relu();
+  rest.maxpool(2, 2);
+  rest.conv(c3, 3, 1, 1, rng);
+  rest.bn();
+  rest.relu();
+  rest.conv(c4, 3, 1, 1, rng);
+  rest.bn();
+  rest.relu();
+  rest.conv(c5, 3, 1, 1, rng);
+  rest.bn();
+  rest.relu();
+  rest.maxpool(2, 2);
+  rest.seq->emplace<nn::Flatten>();
+  const std::int64_t flat = rest.c * rest.h * rest.w;
+  if (cfg.dropout > 0.0) {
+    rest.seq->emplace<nn::Dropout>(static_cast<float>(cfg.dropout), rng);
+  }
+  rest.seq->emplace<nn::Linear>(flat, fc, rng);
+  rest.seq->emplace<nn::ReLU>();
+  if (cfg.dropout > 0.0) {
+    rest.seq->emplace<nn::Dropout>(static_cast<float>(cfg.dropout), rng);
+  }
+  rest.seq->emplace<nn::Linear>(fc, fc, rng);
+  rest.seq->emplace<nn::ReLU>();
+  rest.seq->emplace<nn::Linear>(fc, cfg.num_classes, rng);
+  return finish(std::move(conv1), std::move(rest));
+}
+
+MainBranch build_resnet18(const ModelConfig& cfg, Rng& rng) {
+  const std::int64_t base = scaled(64, cfg.width);
+
+  Stage conv1{.c = cfg.in_channels, .h = cfg.in_h, .w = cfg.in_w};
+  conv1.conv(base, 3, 1, 1, rng, /*bias=*/false);
+  conv1.bn();
+  conv1.relu();
+
+  Stage rest{.c = conv1.c, .h = conv1.h, .w = conv1.w};
+  rest.resblock(base, 1, rng);
+  rest.resblock(base, 1, rng);
+  rest.resblock(scaled(128, cfg.width), 2, rng);
+  rest.resblock(scaled(128, cfg.width), 1, rng);
+  rest.resblock(scaled(256, cfg.width), 2, rng);
+  rest.resblock(scaled(256, cfg.width), 1, rng);
+  rest.resblock(scaled(512, cfg.width), 2, rng);
+  rest.resblock(scaled(512, cfg.width), 1, rng);
+  rest.seq->emplace<nn::GlobalAvgPool>();
+  rest.seq->emplace<nn::Linear>(scaled(512, cfg.width), cfg.num_classes, rng);
+  return finish(std::move(conv1), std::move(rest));
+}
+
+MainBranch build_vgg16(const ModelConfig& cfg, Rng& rng) {
+  // vgg16_bn-style: BatchNorm after every conv (plain VGG16 is known not
+  // to train from scratch without it).
+  auto ch = [&](std::int64_t c) { return scaled(c, cfg.width); };
+
+  Stage conv1{.c = cfg.in_channels, .h = cfg.in_h, .w = cfg.in_w};
+  conv1.conv(ch(64), 3, 1, 1, rng);
+  conv1.bn();
+  conv1.relu();
+
+  Stage rest{.c = conv1.c, .h = conv1.h, .w = conv1.w};
+  auto block = [&](std::int64_t out_c, int convs) {
+    for (int i = 0; i < convs; ++i) {
+      rest.conv(out_c, 3, 1, 1, rng);
+      rest.bn();
+      rest.relu();
+    }
+    // Small inputs (e.g. 28x28) run out of spatial size before the fifth
+    // stage; skip the pool once the map cannot halve again.
+    if (rest.h >= 2 && rest.w >= 2) rest.maxpool(2, 2);
+  };
+  block(ch(64), 1);    // completes the 2-conv 64 stage
+  block(ch(128), 2);
+  block(ch(256), 3);
+  block(ch(512), 3);
+  block(ch(512), 3);
+  rest.seq->emplace<nn::Flatten>();
+  const std::int64_t flat = rest.c * rest.h * rest.w;
+  if (cfg.dropout > 0.0) {
+    rest.seq->emplace<nn::Dropout>(static_cast<float>(cfg.dropout), rng);
+  }
+  rest.seq->emplace<nn::Linear>(flat, ch(512), rng);
+  rest.seq->emplace<nn::ReLU>();
+  rest.seq->emplace<nn::Linear>(ch(512), cfg.num_classes, rng);
+  return finish(std::move(conv1), std::move(rest));
+}
+
+}  // namespace
+
+MainBranch build_main_branch(const ModelConfig& cfg, Rng& rng) {
+  cfg.validate();
+  switch (cfg.arch) {
+    case Arch::kLeNet:
+      return build_lenet(cfg, rng);
+    case Arch::kAlexNet:
+      return build_alexnet(cfg, rng);
+    case Arch::kResNet18:
+      return build_resnet18(cfg, rng);
+    case Arch::kVgg16:
+      return build_vgg16(cfg, rng);
+  }
+  throw InvalidArgument("unknown architecture enum");
+}
+
+std::unique_ptr<nn::Sequential> build_monolithic(const ModelConfig& cfg,
+                                                 Rng& rng) {
+  MainBranch mb = build_main_branch(cfg, rng);
+  auto whole = std::make_unique<nn::Sequential>();
+  // Flatten the two stages into one layer list so partition points can
+  // fall on any layer boundary.
+  for (auto& layer : mb.conv1->release_layers()) whole->add(std::move(layer));
+  for (auto& layer : mb.rest->release_layers()) whole->add(std::move(layer));
+  return whole;
+}
+
+BinaryBranchConfig default_branch(Arch arch) {
+  BinaryBranchConfig bc;
+  switch (arch) {
+    case Arch::kLeNet:
+      bc = {.n_binary_conv = 1, .n_binary_fc = 1, .conv_channels = 24,
+            .fc_width = 192};
+      break;
+    case Arch::kAlexNet:
+      bc = {.n_binary_conv = 1, .n_binary_fc = 2, .conv_channels = 96,
+            .fc_width = 512};
+      break;
+    case Arch::kResNet18:
+      bc = {.n_binary_conv = 1, .n_binary_fc = 1, .conv_channels = 96,
+            .fc_width = 384};
+      break;
+    case Arch::kVgg16:
+      bc = {.n_binary_conv = 1, .n_binary_fc = 1, .conv_channels = 96,
+            .fc_width = 448};
+      break;
+  }
+  return bc;
+}
+
+std::unique_ptr<nn::Sequential> build_binary_branch(
+    const BinaryBranchConfig& bc, std::int64_t in_c, std::int64_t in_h,
+    std::int64_t in_w, std::int64_t num_classes, Rng& rng) {
+  LCRS_CHECK(bc.n_binary_conv >= 0 && bc.n_binary_fc >= 0,
+             "negative branch layer counts");
+  LCRS_CHECK(bc.n_binary_conv + bc.n_binary_fc >= 1,
+             "binary branch needs at least one binary layer");
+  LCRS_CHECK(bc.conv_channels >= 1 && bc.fc_width >= 1,
+             "branch widths must be positive");
+
+  // XNOR-Net block order: BatchNorm comes BEFORE each binary layer. This
+  // is essential -- conv1 outputs of ReLU networks are non-negative, so
+  // without re-centering, sign(I) would be the all-ones tensor and the
+  // binary layers would see no sign information at all.
+  auto seq = std::make_unique<nn::Sequential>();
+  std::int64_t c = in_c, h = in_h, w = in_w;
+  for (int i = 0; i < bc.n_binary_conv; ++i) {
+    seq->emplace<nn::BatchNorm>(c);
+    seq->emplace<binary::BinaryConv2d>(c, bc.conv_channels, 3, 1, 1, h, w,
+                                       rng);
+    c = bc.conv_channels;
+    if (h >= 8 && w >= 8) {  // keep at least a 4x4 map for the FC stack
+      seq->emplace<nn::MaxPool2d>(2, 2);
+      h /= 2;
+      w /= 2;
+    }
+  }
+  seq->emplace<nn::Flatten>();
+  std::int64_t features = c * h * w;
+  for (int i = 0; i < bc.n_binary_fc; ++i) {
+    seq->emplace<nn::BatchNorm>(features);
+    seq->emplace<binary::BinaryLinear>(features, bc.fc_width, rng);
+    features = bc.fc_width;
+  }
+  // Last layer is full precision, per the paper; BN + HardTanh condition
+  // its input range.
+  seq->emplace<nn::BatchNorm>(features);
+  seq->emplace<nn::HardTanh>();
+  seq->emplace<nn::Linear>(features, num_classes, rng);
+  return seq;
+}
+
+}  // namespace lcrs::models

@@ -1,0 +1,80 @@
+// Model zoo: the paper's four main-branch networks and the binary branch
+// generator (paper Sec. IV-A / IV-D.3).
+//
+// Every architecture is adapted to the small-image datasets exactly as the
+// paper does ("we adjust several parameters of networks such as input
+// channel and output channel"). A width multiplier scales channel counts
+// so that joint training stays tractable on one CPU core; model-size
+// accounting always uses width = 1.0 (the full architecture).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "binary/binary_conv2d.h"
+#include "binary/binary_linear.h"
+#include "nn/sequential.h"
+
+namespace lcrs::models {
+
+enum class Arch { kLeNet, kAlexNet, kResNet18, kVgg16 };
+
+std::string arch_name(Arch arch);
+Arch arch_by_name(const std::string& name);
+
+/// Input geometry + class count + width scaling for a model build.
+struct ModelConfig {
+  Arch arch = Arch::kLeNet;
+  std::int64_t in_channels = 1;
+  std::int64_t in_h = 28;
+  std::int64_t in_w = 28;
+  std::int64_t num_classes = 10;
+  double width = 1.0;  // channel multiplier (1.0 = paper-size network)
+  double dropout = 0.5;  // FC dropout in AlexNet/VGG16 (0 disables; lower
+                         // it when training on small synthetic sets where
+                         // dropout noise can pin the head at uniform)
+
+  void validate() const;
+};
+
+/// The main branch split at the LCRS share point: `conv1` is the stage the
+/// browser always executes (first conv + its activation/pool), `rest`
+/// finishes the network at the edge server (Fig. 2).
+struct MainBranch {
+  std::unique_ptr<nn::Sequential> conv1;
+  std::unique_ptr<nn::Sequential> rest;
+  // Shape of conv1's output feature map for one sample.
+  std::int64_t out_c = 0, out_h = 0, out_w = 0;
+
+  Shape conv1_output_shape(std::int64_t batch) const {
+    return Shape{batch, out_c, out_h, out_w};
+  }
+};
+
+MainBranch build_main_branch(const ModelConfig& cfg, Rng& rng);
+
+/// Builds the whole main branch as one Sequential (conv1 + rest); used by
+/// the partitioning baselines which may cut anywhere.
+std::unique_ptr<nn::Sequential> build_monolithic(const ModelConfig& cfg,
+                                                 Rng& rng);
+
+/// Structure knobs of the binary branch (Fig. 4's sweep axes).
+struct BinaryBranchConfig {
+  int n_binary_conv = 1;      // binary convolutional layers
+  int n_binary_fc = 1;        // binary fully-connected layers
+  std::int64_t conv_channels = 64;  // channels of each binary conv
+  std::int64_t fc_width = 256;      // width of each binary FC
+};
+
+/// Default branch structure the paper recommends for each main branch
+/// (one binary conv + one or two binary FC, final float FC).
+BinaryBranchConfig default_branch(Arch arch);
+
+/// Builds the binary branch: input is conv1's [out_c, out_h, out_w]
+/// feature map, output is `num_classes` logits. The last layer is a
+/// full-precision Linear, per Sec. IV-D.3.
+std::unique_ptr<nn::Sequential> build_binary_branch(
+    const BinaryBranchConfig& bc, std::int64_t in_c, std::int64_t in_h,
+    std::int64_t in_w, std::int64_t num_classes, Rng& rng);
+
+}  // namespace lcrs::models

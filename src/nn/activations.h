@@ -1,0 +1,42 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace lcrs::nn {
+
+/// Rectified linear unit.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "relu"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Hyperbolic tangent (used by the classic LeNet variant).
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Hard tanh clamp to [-1, 1]; the activation used in front of binary
+/// layers so the straight-through estimator's |x| <= 1 window is honest.
+class HardTanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "hardtanh"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+}  // namespace lcrs::nn

@@ -1,0 +1,44 @@
+// Batch normalization over channels of an NCHW tensor.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace lcrs::nn {
+
+/// BatchNorm2d: per-channel normalization with learned scale/shift and
+/// running statistics for inference. Also accepts rank-2 [N, C] inputs
+/// (BatchNorm1d behaviour) so binary FC stacks can normalize too.
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(std::int64_t channels, float momentum = 0.1f,
+                     float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<NamedState> state_tensors() override {
+    return {{"bn.running_mean", &running_mean_},
+            {"bn.running_var", &running_var_}};
+  }
+  std::string kind() const override { return "batchnorm"; }
+
+  std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Forward cache (train mode).
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [C]
+  Shape input_shape_;
+};
+
+}  // namespace lcrs::nn

@@ -1,0 +1,29 @@
+// Inverted dropout regularizer.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace lcrs::nn {
+
+/// Drops activations with probability p during training and rescales the
+/// survivors by 1/(1-p); identity at inference.
+class Dropout : public Layer {
+ public:
+  Dropout(float p, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "dropout"; }
+
+  float drop_probability() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;  // layer-local stream: dropout masks are reproducible
+  std::vector<float> mask_;
+};
+
+}  // namespace lcrs::nn

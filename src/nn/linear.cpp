@@ -1,0 +1,65 @@
+#include "nn/linear.h"
+
+#include "tensor/gemm.h"
+
+namespace lcrs::nn {
+
+Linear::Linear(std::int64_t in, std::int64_t out, Rng& rng, bool bias)
+    : in_(in),
+      out_(out),
+      has_bias_(bias),
+      weight_("linear.weight", Tensor::kaiming(Shape{out, in}, rng, in)),
+      bias_("linear.bias", Tensor::zeros(Shape{out})) {
+  LCRS_CHECK(in > 0 && out > 0, "linear dims must be positive");
+}
+
+Tensor Linear::forward(const Tensor& input, bool train) {
+  LCRS_CHECK(input.rank() == 2 && input.dim(1) == in_,
+             "linear expects [batch x " << in_ << "], got "
+                                        << input.shape().to_string());
+  const std::int64_t n = input.dim(0);
+  // y[n x out] = x[n x in] * W^T (W stored [out x in])
+  Tensor out{Shape{n, out_}};
+  gemm_bt(input.data(), weight_.value.data(), out.data(), n, in_, out_);
+  if (has_bias_) {
+    for (std::int64_t b = 0; b < n; ++b) {
+      float* row = out.data() + b * out_;
+      for (std::int64_t o = 0; o < out_; ++o) row[o] += bias_.value[o];
+    }
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  LCRS_CHECK(cached_input_.numel() > 0,
+             "linear backward without cached forward");
+  const Tensor& input = cached_input_;
+  const std::int64_t n = input.dim(0);
+  LCRS_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == n &&
+                 grad_output.dim(1) == out_,
+             "linear grad_output shape mismatch");
+
+  // dW[out x in] += gout^T[out x n] * x[n x in]
+  gemm_at(grad_output.data(), input.data(), weight_.grad.data(), out_, n,
+          in_, 1.0f);
+  if (has_bias_) {
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* row = grad_output.data() + b * out_;
+      for (std::int64_t o = 0; o < out_; ++o) bias_.grad[o] += row[o];
+    }
+  }
+  // dx[n x in] = gout[n x out] * W[out x in]
+  Tensor grad_input{Shape{n, in_}};
+  gemm(grad_output.data(), weight_.value.data(), grad_input.data(), n, out_,
+       in_);
+  return grad_input;
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+}  // namespace lcrs::nn

@@ -1,0 +1,36 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  LCRS_CHECK(logits.rank() == 2, "loss expects [batch x classes] logits");
+  const std::int64_t n = logits.dim(0), classes = logits.dim(1);
+  LCRS_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "label count " << labels.size() << " != batch " << n);
+
+  LossResult result;
+  result.probabilities = softmax_rows(logits);
+  result.grad_logits = result.probabilities;
+
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t b = 0; b < n; ++b) {
+    const std::int64_t y = labels[static_cast<std::size_t>(b)];
+    LCRS_CHECK(y >= 0 && y < classes, "label " << y << " out of range 0.."
+                                               << classes - 1);
+    const float p = result.probabilities.at2(b, y);
+    total += -std::log(std::max(p, 1e-12f));
+    result.grad_logits.at2(b, y) -= 1.0f;
+  }
+  scale_inplace(result.grad_logits, inv_n);
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace lcrs::nn

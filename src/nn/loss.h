@@ -1,0 +1,24 @@
+// Softmax cross-entropy loss (Eq. 2/3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lcrs::nn {
+
+/// Result of a loss evaluation: mean loss over the batch plus the gradient
+/// w.r.t. the logits ready to feed Layer::backward.
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad_logits;      // [batch x classes]
+  Tensor probabilities;    // softmax(logits), reused by exit policies
+};
+
+/// Computes mean softmax cross-entropy of `logits` [batch x classes]
+/// against integer `labels`. The gradient is (softmax - onehot) / batch.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+}  // namespace lcrs::nn

@@ -1,0 +1,109 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::nn {
+
+double accuracy(const Tensor& logits,
+                const std::vector<std::int64_t>& labels) {
+  const auto preds = argmax_rows(logits);
+  LCRS_CHECK(preds.size() == labels.size(), "accuracy: size mismatch");
+  LCRS_CHECK(!labels.empty(), "accuracy of empty batch");
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double topk_accuracy(const Tensor& logits,
+                     const std::vector<std::int64_t>& labels,
+                     std::int64_t k) {
+  LCRS_CHECK(logits.rank() == 2, "topk expects rank-2 logits");
+  LCRS_CHECK(k >= 1 && k <= logits.dim(1), "invalid k " << k);
+  LCRS_CHECK(!labels.empty(), "topk of empty batch");
+  const std::int64_t n = logits.dim(0), classes = logits.dim(1);
+  std::int64_t correct = 0;
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(classes));
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* row = logits.data() + b * classes;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      idx[static_cast<std::size_t>(c)] = c;
+    }
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [&](std::int64_t a, std::int64_t bb) {
+                        return row[a] > row[bb];
+                      });
+    const std::int64_t y = labels[static_cast<std::size_t>(b)];
+    for (std::int64_t j = 0; j < k; ++j) {
+      if (idx[static_cast<std::size_t>(j)] == y) {
+        ++correct;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  LCRS_CHECK(num_classes >= 2, "confusion matrix needs >= 2 classes");
+}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t predicted) {
+  LCRS_CHECK(truth >= 0 && truth < classes_ && predicted >= 0 &&
+                 predicted < classes_,
+             "confusion add out of range");
+  ++counts_[static_cast<std::size_t>(truth * classes_ + predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(const Tensor& logits,
+                                const std::vector<std::int64_t>& labels) {
+  const auto preds = argmax_rows(logits);
+  LCRS_CHECK(preds.size() == labels.size(), "confusion batch size mismatch");
+  for (std::size_t i = 0; i < labels.size(); ++i) add(labels[i], preds[i]);
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth,
+                                    std::int64_t predicted) const {
+  LCRS_CHECK(truth >= 0 && truth < classes_ && predicted >= 0 &&
+                 predicted < classes_,
+             "confusion count out of range");
+  return counts_[static_cast<std::size_t>(truth * classes_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (std::int64_t c = 0; c < classes_; ++c) diag += count(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::int64_t truth) const {
+  std::int64_t row = 0;
+  for (std::int64_t p = 0; p < classes_; ++p) row += count(truth, p);
+  if (row == 0) return 1.0;
+  return static_cast<double>(count(truth, truth)) /
+         static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::int64_t predicted) const {
+  std::int64_t col = 0;
+  for (std::int64_t t = 0; t < classes_; ++t) col += count(t, predicted);
+  if (col == 0) return 1.0;
+  return static_cast<double>(count(predicted, predicted)) /
+         static_cast<double>(col);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double sum = 0.0;
+  for (std::int64_t c = 0; c < classes_; ++c) sum += recall(c);
+  return sum / static_cast<double>(classes_);
+}
+
+}  // namespace lcrs::nn

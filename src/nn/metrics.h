@@ -1,0 +1,49 @@
+// Classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lcrs::nn {
+
+/// Fraction of rows of `logits` whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+/// Top-k accuracy (k >= 1).
+double topk_accuracy(const Tensor& logits,
+                     const std::vector<std::int64_t>& labels, std::int64_t k);
+
+/// Row-normalized confusion counts. cm[truth][predicted] = count.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  void add(std::int64_t truth, std::int64_t predicted);
+  void add_batch(const Tensor& logits,
+                 const std::vector<std::int64_t>& labels);
+
+  std::int64_t count(std::int64_t truth, std::int64_t predicted) const;
+  std::int64_t total() const { return total_; }
+  std::int64_t num_classes() const { return classes_; }
+
+  /// Overall accuracy (trace / total); 0 when empty.
+  double accuracy() const;
+
+  /// Recall of one class (diagonal / row sum); 1 when the class is empty.
+  double recall(std::int64_t truth) const;
+
+  /// Precision of one class (diagonal / column sum); 1 when unpredicted.
+  double precision(std::int64_t predicted) const;
+
+  /// Mean per-class recall (balanced accuracy).
+  double balanced_accuracy() const;
+
+ private:
+  std::int64_t classes_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> counts_;  // [classes x classes] row-major
+};
+
+}  // namespace lcrs::nn

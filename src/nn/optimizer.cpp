@@ -1,0 +1,87 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace lcrs::nn {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  LCRS_CHECK(lr > 0.0, "learning rate must be positive");
+  LCRS_CHECK(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0,1)");
+}
+
+void Sgd::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    Tensor& val = p->value;
+    Tensor& grad = p->grad;
+    if (momentum_ > 0.0) {
+      auto [it, inserted] = velocity_.try_emplace(p, val.shape());
+      Tensor& vel = it->second;
+      (void)inserted;
+      for (std::int64_t i = 0; i < val.numel(); ++i) {
+        const float g =
+            grad[i] + static_cast<float>(weight_decay_) * val[i];
+        vel[i] = static_cast<float>(momentum_) * vel[i] + g;
+        val[i] -= static_cast<float>(lr_) * vel[i];
+      }
+    } else {
+      for (std::int64_t i = 0; i < val.numel(); ++i) {
+        const float g =
+            grad[i] + static_cast<float>(weight_decay_) * val[i];
+        val[i] -= static_cast<float>(lr_) * g;
+      }
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Param*>& params, double max_norm) {
+  LCRS_CHECK(max_norm > 0.0, "clip_grad_norm needs max_norm > 0");
+  double sq = 0.0;
+  for (const Param* p : params) {
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Param* p : params) {
+      for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+        p->grad[i] *= scale;
+      }
+    }
+  }
+  return norm;
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {
+  LCRS_CHECK(lr > 0.0, "learning rate must be positive");
+}
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : params) {
+    Tensor& val = p->value;
+    Tensor& grad = p->grad;
+    Tensor& m = m_.try_emplace(p, val.shape()).first->second;
+    Tensor& v = v_.try_emplace(p, val.shape()).first->second;
+    for (std::int64_t i = 0; i < val.numel(); ++i) {
+      const double g =
+          grad[i] + weight_decay_ * static_cast<double>(val[i]);
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      val[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace lcrs::nn

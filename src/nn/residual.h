@@ -1,0 +1,46 @@
+// Basic residual block (ResNet-18 style).
+#pragma once
+
+#include <memory>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+
+namespace lcrs::nn {
+
+/// y = relu( bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x) ) where the
+/// shortcut is identity, or a strided 1x1 conv + bn when the block changes
+/// resolution or channel count.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::int64_t in_c, std::int64_t out_c, std::int64_t stride,
+                std::int64_t in_h, std::int64_t in_w, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::vector<NamedState> state_tensors() override;
+  std::vector<Layer*> children() override;
+  std::string kind() const override { return "resblock"; }
+  std::int64_t flops_per_sample() const override;
+
+  std::int64_t out_channels() const { return out_c_; }
+  std::int64_t out_h() const { return conv2_->geometry().out_h(); }
+  std::int64_t out_w() const { return conv2_->geometry().out_w(); }
+
+ private:
+  std::int64_t out_c_;
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<BatchNorm> bn1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<BatchNorm> bn2_;
+  std::unique_ptr<Conv2d> shortcut_conv_;  // null for identity shortcut
+  std::unique_ptr<BatchNorm> shortcut_bn_;
+
+  // Forward caches for the hand-written backward pass.
+  Tensor cached_relu1_in_;   // pre-activation of inner ReLU
+  Tensor cached_sum_;        // main + shortcut, pre final ReLU
+};
+
+}  // namespace lcrs::nn

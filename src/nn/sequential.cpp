@@ -1,0 +1,59 @@
+#include "nn/sequential.h"
+
+namespace lcrs::nn {
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::vector<Layer::NamedState> Sequential::state_tensors() {
+  std::vector<NamedState> all;
+  for (auto& layer : layers_) {
+    for (const NamedState& s : layer->state_tensors()) all.push_back(s);
+  }
+  return all;
+}
+
+std::int64_t Sequential::flops_per_sample() const {
+  std::int64_t f = 0;
+  for (const auto& layer : layers_) f += layer->flops_per_sample();
+  return f;
+}
+
+Tensor Sequential::forward_prefix(const Tensor& input, std::size_t n_layers,
+                                  bool train) {
+  LCRS_CHECK(n_layers <= layers_.size(), "prefix longer than model");
+  Tensor x = input;
+  for (std::size_t i = 0; i < n_layers; ++i) x = layers_[i]->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::forward_suffix(const Tensor& intermediate,
+                                  std::size_t n_layers, bool train) {
+  LCRS_CHECK(n_layers <= layers_.size(), "suffix start beyond model");
+  Tensor x = intermediate;
+  for (std::size_t i = n_layers; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(x, train);
+  }
+  return x;
+}
+
+}  // namespace lcrs::nn

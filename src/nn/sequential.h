@@ -1,0 +1,72 @@
+// Sequential container of layers.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace lcrs::nn {
+
+/// Runs child layers in order; backward() runs them in reverse. Also the
+/// unit of model partitioning: baselines cut Sequential chains at layer
+/// boundaries, so it exposes per-layer access and prefix execution.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for builder-style chaining.
+  Sequential& add(LayerPtr layer) {
+    LCRS_CHECK(layer != nullptr, "cannot add null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::vector<NamedState> state_tensors() override;
+  std::vector<Layer*> children() override {
+    std::vector<Layer*> out;
+    out.reserve(layers_.size());
+    for (auto& l : layers_) out.push_back(l.get());
+    return out;
+  }
+  std::string kind() const override { return "sequential"; }
+  std::int64_t flops_per_sample() const override;
+
+  std::size_t size() const { return layers_.size(); }
+  bool empty() const { return layers_.empty(); }
+  Layer& layer(std::size_t i) {
+    LCRS_CHECK(i < layers_.size(), "layer index out of range");
+    return *layers_[i];
+  }
+  const Layer& layer(std::size_t i) const {
+    LCRS_CHECK(i < layers_.size(), "layer index out of range");
+    return *layers_[i];
+  }
+
+  /// Runs only layers [0, n_layers) -- used by partition-point baselines.
+  Tensor forward_prefix(const Tensor& input, std::size_t n_layers,
+                        bool train = false);
+
+  /// Runs layers [n_layers, size()) on an intermediate activation.
+  Tensor forward_suffix(const Tensor& intermediate, std::size_t n_layers,
+                        bool train = false);
+
+  /// Moves all layers out, leaving this container empty. Used to splice
+  /// stage-built models into one flat layer list for the partitioners.
+  std::vector<LayerPtr> release_layers() { return std::move(layers_); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace lcrs::nn

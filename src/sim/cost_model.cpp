@@ -1,0 +1,34 @@
+#include "sim/cost_model.h"
+
+#include "tensor/serialize.h"
+
+namespace lcrs::sim {
+
+CostModel CostModel::paper_default() {
+  return CostModel(mobile_web_browser(), edge_server(), lte_4g());
+}
+
+double CostModel::compute_ms(const std::vector<models::LayerProfile>& layers,
+                             std::size_t begin, std::size_t end,
+                             const DeviceModel& device) const {
+  LCRS_CHECK(begin <= end && end <= layers.size(),
+             "compute_ms slice out of range");
+  double ms = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    ms += layers[i].is_binary ? device.compute_binary_ms(layers[i].flops)
+                              : device.compute_ms(layers[i].flops);
+  }
+  return ms;
+}
+
+std::int64_t CostModel::boundary_bytes(
+    const std::vector<models::LayerProfile>& layers, std::size_t cut,
+    std::int64_t input_elems) {
+  LCRS_CHECK(cut <= layers.size(), "boundary cut out of range");
+  const std::int64_t elems =
+      cut == 0 ? input_elems : layers[cut - 1].output_elems;
+  // Wire framing matches the tensor serializer: header + f32 payload.
+  return 8 + 8 * 4 + 4 * elems;
+}
+
+}  // namespace lcrs::sim

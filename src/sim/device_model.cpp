@@ -1,0 +1,23 @@
+#include "sim/device_model.h"
+
+namespace lcrs::sim {
+
+DeviceSpec mobile_web_browser() {
+  // Single-threaded WASM on a 2017 flagship phone: tens of MFLOP/s
+  // effective for naive float conv loops. Binary layers replace 64 MACs
+  // with one XOR+POPCNT; measured end-to-end gain is well below the 64x
+  // ideal, the paper cites XNOR-Net's ~58x kernel bound.
+  return DeviceSpec{"mobile-web-browser", 0.05, 32.0};
+}
+
+DeviceSpec mobile_native() {
+  // Native NEON-optimized inference on the same SoC.
+  return DeviceSpec{"mobile-native", 2.0, 32.0};
+}
+
+DeviceSpec edge_server() {
+  // Dual E5-2640 class box with an optimized BLAS.
+  return DeviceSpec{"edge-server", 50.0, 8.0};
+}
+
+}  // namespace lcrs::sim

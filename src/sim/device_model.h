@@ -1,0 +1,65 @@
+// Compute-device throughput models.
+//
+// Three device classes appear in the paper's evaluation (Sec. V):
+//  * the mobile *web browser* (HUAWEI Mate 9 running Firefox, JS/WASM) --
+//    the slowest executor, but binary layers run through XNOR kernels
+//    with a large effective speedup;
+//  * a *native mobile device* profile -- what Neurosurgeon's partition
+//    decision was designed for (its published partition points assume
+//    native execution, not a browser);
+//  * the *edge server* (IBM X3640M4, E5-2640).
+// Throughputs are effective sustained GFLOP/s calibrated to the paper's
+// hardware class; see EXPERIMENTS.md for the calibration notes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace lcrs::sim {
+
+struct DeviceSpec {
+  std::string name;
+  double gflops = 1.0;          // sustained float throughput
+  double binary_speedup = 1.0;  // divisor applied to binary-layer flops
+
+  void validate() const {
+    LCRS_CHECK(gflops > 0.0 && binary_speedup >= 1.0,
+               "bad device spec " << name);
+  }
+};
+
+/// Mobile web browser (WASM, single thread).
+DeviceSpec mobile_web_browser();
+
+/// Native mobile SoC profile used for Neurosurgeon's partition decision.
+DeviceSpec mobile_native();
+
+/// Edge server profile.
+DeviceSpec edge_server();
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(DeviceSpec spec) : spec_(std::move(spec)) {
+    spec_.validate();
+  }
+
+  /// Milliseconds to execute `flops` of float work.
+  double compute_ms(std::int64_t flops) const {
+    LCRS_CHECK(flops >= 0, "negative flops");
+    return static_cast<double>(flops) / (spec_.gflops * 1e9) * 1e3;
+  }
+
+  /// Milliseconds for binary-layer work (XNOR/popcount path).
+  double compute_binary_ms(std::int64_t flops) const {
+    return compute_ms(flops) / spec_.binary_speedup;
+  }
+
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace lcrs::sim

@@ -1,0 +1,51 @@
+// Mobile-device energy model.
+//
+// The paper motivates LCRS partly by the "computation and energy
+// consumption" pressure on the browser device, and Neurosurgeon's
+// original objective includes device energy. This model prices the three
+// activities a recognition spends device energy on: active compute, radio
+// transmit, radio receive. Power draws are calibrated to a 2017 flagship
+// phone on 4G (compute ~2.5 W sustained, TX ~1.8 W, RX ~1.2 W).
+#pragma once
+
+#include "common/error.h"
+
+namespace lcrs::sim {
+
+struct EnergySpec {
+  double compute_watts = 2.5;
+  double tx_watts = 1.8;
+  double rx_watts = 1.2;
+
+  void validate() const {
+    LCRS_CHECK(compute_watts > 0.0 && tx_watts > 0.0 && rx_watts > 0.0,
+               "power draws must be positive");
+  }
+};
+
+/// Mate-9-class handset on an active 4G radio.
+inline EnergySpec mobile_device_energy() { return EnergySpec{}; }
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergySpec spec = mobile_device_energy())
+      : spec_(spec) {
+    spec_.validate();
+  }
+
+  /// Millijoules for `ms` of active on-device compute.
+  double compute_mj(double ms) const { return spec_.compute_watts * ms; }
+
+  /// Millijoules for `ms` of radio transmission (uploads).
+  double tx_mj(double ms) const { return spec_.tx_watts * ms; }
+
+  /// Millijoules for `ms` of radio reception (model loads, replies).
+  double rx_mj(double ms) const { return spec_.rx_watts * ms; }
+
+  const EnergySpec& spec() const { return spec_; }
+
+ private:
+  EnergySpec spec_;
+};
+
+}  // namespace lcrs::sim

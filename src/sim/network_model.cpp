@@ -1,0 +1,55 @@
+#include "sim/network_model.h"
+
+#include "common/error.h"
+
+namespace lcrs::sim {
+
+void LinkSpec::validate() const {
+  LCRS_CHECK(downlink_mbps > 0.0 && uplink_mbps > 0.0,
+             "link bandwidths must be positive");
+  LCRS_CHECK(rtt_ms >= 0.0, "negative RTT");
+  LCRS_CHECK(jitter_frac >= 0.0 && jitter_frac < 1.0,
+             "jitter_frac must be in [0, 1)");
+}
+
+LinkSpec lte_4g() { return LinkSpec{10.0, 3.0, 20.0, 0.0}; }
+
+LinkSpec lte_4g_congested() { return LinkSpec{4.0, 1.0, 60.0, 0.3}; }
+
+LinkSpec wifi() { return LinkSpec{80.0, 40.0, 5.0, 0.0}; }
+
+NetworkModel::NetworkModel(LinkSpec spec) : spec_(spec) { spec_.validate(); }
+
+namespace {
+double transfer_ms(std::int64_t bytes, double mbps, double half_rtt_ms) {
+  LCRS_CHECK(bytes >= 0, "negative transfer size");
+  if (bytes == 0) return 0.0;
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / (mbps * 1e6);
+  return seconds * 1e3 + half_rtt_ms;
+}
+}  // namespace
+
+double NetworkModel::download_ms(std::int64_t bytes) const {
+  return transfer_ms(bytes, spec_.downlink_mbps, spec_.rtt_ms / 2.0);
+}
+
+double NetworkModel::upload_ms(std::int64_t bytes) const {
+  return transfer_ms(bytes, spec_.uplink_mbps, spec_.rtt_ms / 2.0);
+}
+
+double NetworkModel::jitter(double ms, Rng& rng) const {
+  if (spec_.jitter_frac == 0.0) return ms;
+  return ms * (1.0 + rng.uniform(-spec_.jitter_frac, spec_.jitter_frac));
+}
+
+double NetworkModel::download_ms_jittered(std::int64_t bytes,
+                                          Rng& rng) const {
+  return jitter(download_ms(bytes), rng);
+}
+
+double NetworkModel::upload_ms_jittered(std::int64_t bytes, Rng& rng) const {
+  return jitter(upload_ms(bytes), rng);
+}
+
+}  // namespace lcrs::sim

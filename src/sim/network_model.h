@@ -1,0 +1,58 @@
+// Wireless link model for the browser <-> edge-server channel.
+//
+// The paper's evaluation setting is a 4G link with a 10 Mb/s downlink and
+// a 3 Mb/s uplink (Sec. V-B). Transfer time is bytes/bandwidth plus half
+// an RTT per message; optional multiplicative jitter reproduces the
+// fluctuation the paper attributes to communication costs in Fig. 6.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace lcrs::sim {
+
+/// Link parameters. Bandwidths in megabits per second, RTT in ms.
+struct LinkSpec {
+  double downlink_mbps = 10.0;
+  double uplink_mbps = 3.0;
+  double rtt_ms = 20.0;
+  double jitter_frac = 0.0;  // 0 = deterministic; 0.2 = +-20% uniform
+
+  void validate() const;
+};
+
+/// The paper's 4G evaluation link.
+LinkSpec lte_4g();
+
+/// A congested variant used by the robustness sweeps.
+LinkSpec lte_4g_congested();
+
+/// WiFi-class link for ablations.
+LinkSpec wifi();
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(LinkSpec spec);
+
+  /// Time to push `bytes` from edge to browser (model loading, replies).
+  double download_ms(std::int64_t bytes) const;
+
+  /// Time to push `bytes` from browser to edge (tasks, intermediates).
+  double upload_ms(std::int64_t bytes) const;
+
+  /// Jittered variants draw a multiplicative factor from the spec.
+  double download_ms_jittered(std::int64_t bytes, Rng& rng) const;
+  double upload_ms_jittered(std::int64_t bytes, Rng& rng) const;
+
+  /// One request/response handshake overhead.
+  double round_trip_ms() const { return spec_.rtt_ms; }
+
+  const LinkSpec& spec() const { return spec_; }
+
+ private:
+  double jitter(double ms, Rng& rng) const;
+  LinkSpec spec_;
+};
+
+}  // namespace lcrs::sim

@@ -1,0 +1,49 @@
+#include "sim/queueing.h"
+
+#include <limits>
+
+namespace lcrs::sim {
+
+QueueStats md1_stats(double arrivals_per_sec, double service_ms) {
+  LCRS_CHECK(arrivals_per_sec >= 0.0, "negative arrival rate");
+  LCRS_CHECK(service_ms > 0.0, "service time must be positive");
+
+  QueueStats st;
+  const double service_s = service_ms / 1e3;
+  st.utilization = arrivals_per_sec * service_s;
+  if (st.utilization >= 1.0) {
+    st.stable = false;
+    st.avg_wait_ms = std::numeric_limits<double>::infinity();
+    st.avg_response_ms = std::numeric_limits<double>::infinity();
+    st.avg_queue_len = std::numeric_limits<double>::infinity();
+    return st;
+  }
+  // Pollaczek-Khinchine for deterministic service: Wq = rho*s / 2(1-rho).
+  const double rho = st.utilization;
+  const double wait_s = rho * service_s / (2.0 * (1.0 - rho));
+  st.avg_wait_ms = wait_s * 1e3;
+  st.avg_response_ms = st.avg_wait_ms + service_ms;
+  st.avg_queue_len = arrivals_per_sec * wait_s;  // Little's law
+  return st;
+}
+
+double max_sustainable_rate(double service_ms, double max_response_ms) {
+  LCRS_CHECK(service_ms > 0.0 && max_response_ms > 0.0,
+             "times must be positive");
+  if (service_ms >= max_response_ms) return 0.0;
+
+  double lo = 0.0;
+  double hi = 1e3 / service_ms;  // rho = 1 boundary
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    const QueueStats st = md1_stats(mid, service_ms);
+    if (st.stable && st.avg_response_ms <= max_response_ms) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace lcrs::sim

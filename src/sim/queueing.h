@@ -1,0 +1,65 @@
+// Edge-server concurrency model.
+//
+// The paper motivates offloading *away* from the edge with "the computing
+// cost of high concurrent requests is unacceptable" (Sec. I). This module
+// quantifies that: recognitions arrive from many browsers as a Poisson
+// stream and the edge serves them with a (near-)deterministic service
+// time, i.e. an M/D/1 queue. LCRS multiplies the edge's capacity by
+// 1 / (1 - exit_fraction): only entropy misses reach the server, and each
+// miss costs only the main-rest forward instead of the whole network.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace lcrs::sim {
+
+/// Steady-state M/D/1 statistics (Poisson arrivals, deterministic
+/// service, one server).
+struct QueueStats {
+  double utilization = 0.0;    // rho = lambda * service_time
+  double avg_wait_ms = 0.0;    // mean time in queue (excluding service)
+  double avg_response_ms = 0.0;  // wait + service
+  double avg_queue_len = 0.0;  // mean number waiting
+  bool stable = true;          // rho < 1
+};
+
+/// Computes M/D/1 stats for `arrivals_per_sec` requests against a fixed
+/// `service_ms` per request (Pollaczek-Khinchine with zero service
+/// variance). For rho >= 1 the queue diverges: stable=false and the wait
+/// fields are set to infinity.
+QueueStats md1_stats(double arrivals_per_sec, double service_ms);
+
+/// Largest Poisson arrival rate (req/s) the server sustains while keeping
+/// the mean response under `max_response_ms`. Found by bisection; 0 when
+/// even an idle server is too slow.
+double max_sustainable_rate(double service_ms, double max_response_ms);
+
+/// Per-recognition edge service times of the two deployments:
+///   edge-only: every recognition runs the full network at the edge;
+///   LCRS: only (1 - exit_fraction) of recognitions arrive, each costing
+///         the main-rest forward.
+struct EdgeLoadProfile {
+  double full_model_ms = 0.0;   // edge-only service time
+  double rest_only_ms = 0.0;    // LCRS completion service time
+  double exit_fraction = 0.8;
+
+  /// Effective service time per *recognition* under LCRS (misses only).
+  double lcrs_effective_ms() const {
+    LCRS_CHECK(exit_fraction >= 0.0 && exit_fraction <= 1.0,
+               "exit_fraction must be a probability");
+    return (1.0 - exit_fraction) * rest_only_ms;
+  }
+
+  /// How many more recognitions/sec LCRS sustains vs edge-only at equal
+  /// utilization.
+  double capacity_multiplier() const {
+    const double eff = lcrs_effective_ms();
+    LCRS_CHECK(full_model_ms > 0.0, "edge-only service time must be > 0");
+    if (eff <= 0.0) return 1e9;  // everything exits: unbounded
+    return full_model_ms / eff;
+  }
+};
+
+}  // namespace lcrs::sim

@@ -1,0 +1,125 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace lcrs {
+
+namespace {
+
+// Tile sizes chosen for ~32 KiB L1: one A tile + one B tile fit together.
+constexpr std::int64_t kTileM = 64;
+constexpr std::int64_t kTileN = 64;
+constexpr std::int64_t kTileK = 64;
+
+void scale_c(float* c, std::int64_t m, std::int64_t n, float beta) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+    return;
+  }
+  for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+}
+
+// Inner kernel: C[i0..i1, j0..j1] += A[i0..i1, k0..k1] * B[k0..k1, j0..j1].
+void tile_kernel(const float* a, const float* b, float* c, std::int64_t k,
+                 std::int64_t n, std::int64_t i0, std::int64_t i1,
+                 std::int64_t j0, std::int64_t j1, std::int64_t k0,
+                 std::int64_t k1) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, float beta) {
+  scale_c(c, m, n, beta);
+  parallel_for(m, [&](std::int64_t row_begin, std::int64_t row_end) {
+    for (std::int64_t i0 = row_begin; i0 < row_end; i0 += kTileM) {
+      const std::int64_t i1 = std::min(i0 + kTileM, row_end);
+      for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
+        const std::int64_t k1 = std::min(k0 + kTileK, k);
+        for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+          const std::int64_t j1 = std::min(j0 + kTileN, n);
+          tile_kernel(a, b, c, k, n, i0, i1, j0, j1, k0, k1);
+        }
+      }
+    }
+  });
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, float beta) {
+  // A is stored [k x m]; materialize the transpose once, then reuse the
+  // blocked kernel. The copy is O(mk) against the O(mkn) multiply.
+  std::vector<float> at(static_cast<std::size_t>(m * k));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t i = 0; i < m; ++i) at[i * k + kk] = a[kk * m + i];
+  }
+  gemm(at.data(), b, c, m, k, n, beta);
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, float beta) {
+  // B is stored [n x k]: dot products over contiguous rows of both
+  // operands, which is already cache-friendly -- no transpose needed.
+  scale_c(c, m, n, beta);
+  parallel_for(m, [&](std::int64_t row_begin, std::int64_t row_end) {
+    for (std::int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += acc;
+      }
+    }
+  });
+}
+
+void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n, float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = beta * c[i * n + j] + acc;
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  LCRS_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
+  LCRS_CHECK(a.dim(1) == b.dim(0), "matmul inner dims mismatch: "
+                                       << a.shape().to_string() << " x "
+                                       << b.shape().to_string());
+  Tensor c{Shape{a.dim(0), b.dim(1)}};
+  gemm(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b_t) {
+  LCRS_CHECK(a.rank() == 2 && b_t.rank() == 2,
+             "matmul_bt expects rank-2 tensors");
+  LCRS_CHECK(a.dim(1) == b_t.dim(1), "matmul_bt inner dims mismatch: "
+                                         << a.shape().to_string() << " x "
+                                         << b_t.shape().to_string() << "^T");
+  Tensor c{Shape{a.dim(0), b_t.dim(0)}};
+  gemm_bt(a.data(), b_t.data(), c.data(), a.dim(0), a.dim(1), b_t.dim(0));
+  return c;
+}
+
+}  // namespace lcrs

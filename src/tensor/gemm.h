@@ -1,0 +1,36 @@
+// Single-precision matrix multiplication kernels.
+//
+// Convolution in this library is im2col + GEMM, so this file is the hot
+// path for both training and full-precision inference. The blocked kernel
+// is cache-tiled and register-accumulated; `gemm_naive` is the oracle the
+// tests compare against.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace lcrs {
+
+/// C[m x n] = A[m x k] * B[k x n]. `beta` scales the existing contents of
+/// C before accumulation (0 overwrites, 1 accumulates).
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, float beta = 0.0f);
+
+/// C[m x n] = A^T[k x m]^T... i.e. A is stored [k x m] and used transposed.
+void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, float beta = 0.0f);
+
+/// C[m x n] = A[m x k] * B^T where B is stored [n x k].
+void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, float beta = 0.0f);
+
+/// Reference triple loop; used by tests as ground truth.
+void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n, float beta = 0.0f);
+
+/// Convenience wrappers on Tensor (rank-2 operands).
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul_bt(const Tensor& a, const Tensor& b_t);
+
+}  // namespace lcrs

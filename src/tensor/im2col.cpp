@@ -1,0 +1,70 @@
+#include "tensor/im2col.h"
+
+namespace lcrs {
+
+void ConvGeom::validate() const {
+  LCRS_CHECK(in_c > 0 && in_h > 0 && in_w > 0,
+             "conv geometry needs positive input dims");
+  LCRS_CHECK(kernel > 0 && stride > 0 && pad >= 0,
+             "conv geometry needs kernel>0, stride>0, pad>=0");
+  LCRS_CHECK(in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
+             "kernel " << kernel << " larger than padded input " << in_h
+                       << "x" << in_w << " pad " << pad);
+}
+
+void im2col(const float* image, const ConvGeom& g, float* cols,
+            float pad_value) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t out_pixels = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* chan = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        float* out_row = cols + row * out_pixels;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t in_y = y * g.stride + kh - g.pad;
+          if (in_y < 0 || in_y >= g.in_h) {
+            for (std::int64_t x = 0; x < ow; ++x) {
+              out_row[y * ow + x] = pad_value;
+            }
+            continue;
+          }
+          const float* in_row = chan + in_y * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t in_x = x * g.stride + kw - g.pad;
+            out_row[y * ow + x] =
+                (in_x >= 0 && in_x < g.in_w) ? in_row[in_x] : pad_value;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeom& g, float* image_grad) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t out_pixels = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* chan = image_grad + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* in_row_grad = cols + row * out_pixels;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t in_y = y * g.stride + kh - g.pad;
+          if (in_y < 0 || in_y >= g.in_h) continue;
+          float* chan_row = chan + in_y * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t in_x = x * g.stride + kw - g.pad;
+            if (in_x >= 0 && in_x < g.in_w) {
+              chan_row[in_x] += in_row_grad[y * ow + x];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lcrs

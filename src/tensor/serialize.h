@@ -1,0 +1,19 @@
+// Tensor (de)serialization into the library's byte format.
+#pragma once
+
+#include "common/bytes.h"
+#include "tensor/tensor.h"
+
+namespace lcrs {
+
+/// Appends shape + raw float32 payload.
+void write_tensor(ByteWriter& w, const Tensor& t);
+
+/// Reads a tensor previously written by write_tensor.
+Tensor read_tensor(ByteReader& r);
+
+/// Serialized size in bytes of a tensor with `numel` elements (header +
+/// payload); used by the cost model to price intermediate transfers.
+std::int64_t tensor_wire_bytes(const Shape& shape);
+
+}  // namespace lcrs

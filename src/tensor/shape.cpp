@@ -1,0 +1,18 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace lcrs {
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace lcrs

@@ -1,0 +1,56 @@
+// Tensor shape: an ordered list of dimension extents.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace lcrs {
+
+/// Immutable-ish value type describing a tensor's extents, outermost first.
+/// Convolutional tensors use NCHW order throughout the library.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  std::int64_t rank() const { return static_cast<std::int64_t>(dims_.size()); }
+
+  std::int64_t operator[](std::int64_t i) const {
+    LCRS_CHECK(i >= 0 && i < rank(), "shape index " << i << " out of rank "
+                                                    << rank());
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total number of elements (1 for a rank-0 scalar shape).
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (const auto d : dims_) n *= d;
+    return n;
+  }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "[32, 3, 28, 28]".
+  std::string to_string() const;
+
+ private:
+  void validate() const {
+    for (const auto d : dims_) {
+      LCRS_CHECK(d >= 0, "negative dimension in shape " << to_string());
+    }
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace lcrs

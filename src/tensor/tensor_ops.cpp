@@ -1,0 +1,158 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lcrs {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  LCRS_CHECK(a.same_shape(b), op << ": shape mismatch "
+                                 << a.shape().to_string() << " vs "
+                                 << b.shape().to_string());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+}
+
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] += alpha * b[i];
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] *= s;
+}
+
+double sum(const Tensor& a) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += a[i];
+  return acc;
+}
+
+double mean(const Tensor& a) {
+  LCRS_CHECK(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<double>(a.numel());
+}
+
+double mean_abs(const Tensor& a) {
+  LCRS_CHECK(a.numel() > 0, "mean_abs of empty tensor");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += std::fabs(a[i]);
+  return acc / static_cast<double>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  LCRS_CHECK(a.numel() > 0, "max of empty tensor");
+  float m = a[0];
+  for (std::int64_t i = 1; i < a.numel(); ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+std::int64_t argmax(const Tensor& a) {
+  LCRS_CHECK(a.numel() > 0, "argmax of empty tensor");
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < a.numel(); ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
+  LCRS_CHECK(logits.rank() == 2, "argmax_rows expects rank-2");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  LCRS_CHECK(cols > 0, "argmax_rows on zero columns");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = logits.data() + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  LCRS_CHECK(logits.rank() == 2, "softmax_rows expects rank-2");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Tensor sign(const Tensor& a) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = a[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  return out;
+}
+
+double l1_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += std::fabs(a[i]);
+  return acc;
+}
+
+double l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(a[i]) * a[i];
+  }
+  return std::sqrt(acc);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace lcrs

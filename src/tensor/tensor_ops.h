@@ -1,0 +1,63 @@
+// Elementwise and reduction operations on tensors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lcrs {
+
+/// out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// a += b in place.
+void add_inplace(Tensor& a, const Tensor& b);
+
+/// a += alpha * b in place (axpy).
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b);
+
+/// out = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// out = a * b elementwise (Hadamard).
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out = a * s.
+Tensor scale(const Tensor& a, float s);
+void scale_inplace(Tensor& a, float s);
+
+/// Sum of all elements.
+double sum(const Tensor& a);
+
+/// Mean of all elements.
+double mean(const Tensor& a);
+
+/// Mean of |x| over all elements (the alpha factor of XNOR-Net).
+double mean_abs(const Tensor& a);
+
+/// Max element value.
+float max_value(const Tensor& a);
+
+/// Index of the max element in a flat view.
+std::int64_t argmax(const Tensor& a);
+
+/// Row-wise argmax for a rank-2 [rows x cols] tensor.
+std::vector<std::int64_t> argmax_rows(const Tensor& logits);
+
+/// Numerically stable row-wise softmax of a rank-2 [rows x cols] tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+/// Elementwise sign with sign(0) = +1, matching XNOR-Net binarization.
+Tensor sign(const Tensor& a);
+
+/// L1 norm (sum of |x|).
+double l1_norm(const Tensor& a);
+
+/// L2 norm.
+double l2_norm(const Tensor& a);
+
+/// Largest absolute difference between two same-shaped tensors.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace lcrs

@@ -1,0 +1,217 @@
+#include "webinfer/engine.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "binary/xnor_gemm.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::webinfer {
+
+Engine::Engine(WebModel model) : model_(std::move(model)) {
+  LCRS_CHECK(model_.in_c > 0 && model_.in_h > 0 && model_.in_w > 0,
+             "engine model has no input geometry");
+  LCRS_CHECK(!model_.ops.empty(), "engine model has no ops");
+}
+
+Engine Engine::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  return Engine(deserialize(bytes));
+}
+
+namespace {
+
+Tensor run_conv(const Conv2dOp& op, const Tensor& x) {
+  const ConvGeom& g = op.geom;
+  LCRS_CHECK(x.rank() == 4 && x.dim(1) == g.in_c && x.dim(2) == g.in_h &&
+                 x.dim(3) == g.in_w,
+             "conv op input mismatch: " << x.shape().to_string());
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t pixels = oh * ow;
+  const std::int64_t patch = g.patch_size();
+  const std::int64_t in_image = g.in_c * g.in_h * g.in_w;
+
+  Tensor out{Shape{n, op.out_c, oh, ow}};
+  std::vector<float> cols(static_cast<std::size_t>(patch * pixels));
+  for (std::int64_t b = 0; b < n; ++b) {
+    im2col(x.data() + b * in_image, g, cols.data());
+    gemm(op.weight.data(), cols.data(), out.data() + b * op.out_c * pixels,
+         op.out_c, patch, pixels);
+    if (op.has_bias) {
+      float* obase = out.data() + b * op.out_c * pixels;
+      for (std::int64_t oc = 0; oc < op.out_c; ++oc) {
+        const float bv = op.bias[oc];
+        float* orow = obase + oc * pixels;
+        for (std::int64_t p = 0; p < pixels; ++p) orow[p] += bv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor run_linear(const LinearOp& op, const Tensor& x) {
+  LCRS_CHECK(x.rank() == 2 && x.dim(1) == op.in, "linear op input mismatch");
+  const std::int64_t n = x.dim(0);
+  Tensor out{Shape{n, op.out}};
+  gemm_bt(x.data(), op.weight.data(), out.data(), n, op.in, op.out);
+  if (op.has_bias) {
+    for (std::int64_t b = 0; b < n; ++b) {
+      float* row = out.data() + b * op.out;
+      for (std::int64_t o = 0; o < op.out; ++o) row[o] += op.bias[o];
+    }
+  }
+  return out;
+}
+
+Tensor run_batchnorm(const BatchNormOp& op, const Tensor& x) {
+  LCRS_CHECK((x.rank() == 4 || x.rank() == 2) && x.dim(1) == op.channels,
+             "batchnorm op input mismatch");
+  const std::int64_t n = x.dim(0);
+  const std::int64_t spatial = x.rank() == 4 ? x.dim(2) * x.dim(3) : 1;
+  Tensor out(x.shape());
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < op.channels; ++c) {
+      const float* src = x.data() + (b * op.channels + c) * spatial;
+      float* dst = out.data() + (b * op.channels + c) * spatial;
+      const float s = op.scale[c], sh = op.shift[c];
+      for (std::int64_t i = 0; i < spatial; ++i) dst[i] = src[i] * s + sh;
+    }
+  }
+  return out;
+}
+
+Tensor run_activation(const ActivationOp& op, const Tensor& x) {
+  Tensor out(x.shape());
+  switch (op.kind) {
+    case ActivationOp::Kind::kReLU:
+      for (std::int64_t i = 0; i < x.numel(); ++i) {
+        out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      }
+      break;
+    case ActivationOp::Kind::kTanh:
+      for (std::int64_t i = 0; i < x.numel(); ++i) out[i] = std::tanh(x[i]);
+      break;
+    case ActivationOp::Kind::kHardTanh:
+      for (std::int64_t i = 0; i < x.numel(); ++i) {
+        out[i] = x[i] > 1.0f ? 1.0f : (x[i] < -1.0f ? -1.0f : x[i]);
+      }
+      break;
+  }
+  return out;
+}
+
+Tensor run_maxpool(const MaxPoolOp& op, const Tensor& x) {
+  LCRS_CHECK(x.rank() == 4, "maxpool op expects NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h - op.kernel) / op.stride + 1;
+  const std::int64_t ow = (w - op.kernel) / op.stride + 1;
+  LCRS_CHECK(oh >= 1 && ow >= 1, "maxpool op output is empty");
+  Tensor out{Shape{n, c, oh, ow}};
+  std::int64_t oi = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (b * c + ch) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xx = 0; xx < ow; ++xx, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < op.kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < op.kernel; ++kx) {
+              best = std::max(best, plane[(y * op.stride + ky) * w +
+                                          (xx * op.stride + kx)]);
+            }
+          }
+          out[oi] = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor run_gap(const Tensor& x) {
+  LCRS_CHECK(x.rank() == 4, "gap op expects NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  const std::int64_t plane = x.dim(2) * x.dim(3);
+  const float inv = 1.0f / static_cast<float>(plane);
+  Tensor out{Shape{n, c}};
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* p = x.data() + (b * c + ch) * plane;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < plane; ++i) acc += p[i];
+      out.at2(b, ch) = acc * inv;
+    }
+  }
+  return out;
+}
+
+struct OpRunner {
+  Tensor x;
+
+  void operator()(const Conv2dOp& op) { x = run_conv(op, x); }
+  void operator()(const BinaryConv2dOp& op) {
+    x = binary::xnor_conv2d(x, op.geom, op.weight_bits, op.alpha);
+  }
+  void operator()(const LinearOp& op) { x = run_linear(op, x); }
+  void operator()(const BinaryLinearOp& op) {
+    x = binary::xnor_linear(x, op.weight_bits, op.alpha,
+                            op.has_bias ? &op.bias : nullptr);
+  }
+  void operator()(const BatchNormOp& op) { x = run_batchnorm(op, x); }
+  void operator()(const ActivationOp& op) { x = run_activation(op, x); }
+  void operator()(const MaxPoolOp& op) { x = run_maxpool(op, x); }
+  void operator()(const GlobalAvgPoolOp&) { x = run_gap(x); }
+  void operator()(const FlattenOp&) {
+    LCRS_CHECK(x.rank() >= 2, "flatten op expects rank >= 2");
+    x = x.reshaped(Shape{x.dim(0), x.numel() / x.dim(0)});
+  }
+};
+
+}  // namespace
+
+Tensor Engine::forward(const Tensor& input) const {
+  LCRS_CHECK(input.rank() == 4 && input.dim(1) == model_.in_c &&
+                 input.dim(2) == model_.in_h && input.dim(3) == model_.in_w,
+             "engine input " << input.shape().to_string()
+                             << " does not match model geometry");
+  OpRunner runner{input};
+  for (const Op& op : model_.ops) std::visit(runner, op);
+  LCRS_CHECK(runner.x.rank() == 2 && runner.x.dim(1) == model_.num_classes,
+             "engine output is not [N x classes]: "
+                 << runner.x.shape().to_string());
+  return std::move(runner.x);
+}
+
+Tensor Engine::forward_shared(const Tensor& input) const {
+  LCRS_CHECK(input.rank() == 4 && input.dim(1) == model_.in_c &&
+                 input.dim(2) == model_.in_h && input.dim(3) == model_.in_w,
+             "engine shared input mismatch");
+  OpRunner runner{input};
+  for (std::int64_t i = 0; i < model_.shared_op_count; ++i) {
+    std::visit(runner, model_.ops[static_cast<std::size_t>(i)]);
+  }
+  return std::move(runner.x);
+}
+
+Tensor Engine::forward_branch(const Tensor& shared) const {
+  OpRunner runner{shared};
+  for (std::size_t i = static_cast<std::size_t>(model_.shared_op_count);
+       i < model_.ops.size(); ++i) {
+    std::visit(runner, model_.ops[i]);
+  }
+  LCRS_CHECK(runner.x.rank() == 2 && runner.x.dim(1) == model_.num_classes,
+             "engine branch output is not [N x classes]");
+  return std::move(runner.x);
+}
+
+Tensor Engine::predict_probabilities(const Tensor& sample) const {
+  return softmax_rows(forward(sample));
+}
+
+std::int64_t Engine::model_bytes() const {
+  return static_cast<std::int64_t>(serialize(model_).size());
+}
+
+}  // namespace lcrs::webinfer

@@ -1,0 +1,19 @@
+// Export of a trained composite network's browser part into the flat
+// WebModel format (the paper's C++ -> Emscripten conversion step, Fig. 3).
+#pragma once
+
+#include "core/composite.h"
+#include "webinfer/format.h"
+
+namespace lcrs::webinfer {
+
+/// Converts the shared conv1 stage plus the binary branch of a trained
+/// composite network into a self-contained WebModel. Binary layers are
+/// packed (prepare_browser_inference is invoked internally); BatchNorm is
+/// folded into per-channel scale/shift using its running statistics.
+/// Throws InvalidArgument on a layer kind the browser engine cannot run.
+WebModel export_browser_model(core::CompositeNetwork& net,
+                              std::int64_t in_c, std::int64_t in_h,
+                              std::int64_t in_w);
+
+}  // namespace lcrs::webinfer

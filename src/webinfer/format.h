@@ -1,0 +1,88 @@
+// Flat model format of the browser inference library (paper Sec. IV-C,
+// Fig. 3).
+//
+// In the paper the trained conv1 + binary branch are converted by a C++
+// tool into a JS/WASM-loadable blob; this header defines exactly that
+// blob: a linear list of forward-only ops with their (bit-packed where
+// binary) weights. The format is self-contained -- the engine never needs
+// the training framework.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "binary/bitmatrix.h"
+#include "common/bytes.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+
+namespace lcrs::webinfer {
+
+struct Conv2dOp {
+  ConvGeom geom;
+  std::int64_t out_c = 0;
+  bool has_bias = true;
+  Tensor weight;  // [out_c, in_c, k, k]
+  Tensor bias;    // [out_c]
+};
+
+struct BinaryConv2dOp {
+  ConvGeom geom;
+  std::int64_t out_c = 0;
+  binary::BitMatrix weight_bits;  // [out_c x patch]
+  Tensor alpha;                   // [out_c]
+};
+
+struct LinearOp {
+  std::int64_t in = 0, out = 0;
+  bool has_bias = true;
+  Tensor weight;  // [out x in]
+  Tensor bias;
+};
+
+struct BinaryLinearOp {
+  std::int64_t in = 0, out = 0;
+  bool has_bias = true;
+  binary::BitMatrix weight_bits;  // [out x in]
+  Tensor alpha;                   // [out]
+  Tensor bias;                    // [out] float bias kept full precision
+};
+
+struct BatchNormOp {
+  std::int64_t channels = 0;
+  Tensor scale;  // gamma / sqrt(running_var + eps)
+  Tensor shift;  // beta - running_mean * scale
+};
+
+struct ActivationOp {
+  enum class Kind : std::uint8_t { kReLU = 0, kTanh = 1, kHardTanh = 2 };
+  Kind kind = Kind::kReLU;
+};
+
+struct MaxPoolOp {
+  std::int64_t kernel = 2, stride = 2;
+};
+
+struct GlobalAvgPoolOp {};
+
+struct FlattenOp {};
+
+using Op = std::variant<Conv2dOp, BinaryConv2dOp, LinearOp, BinaryLinearOp,
+                        BatchNormOp, ActivationOp, MaxPoolOp,
+                        GlobalAvgPoolOp, FlattenOp>;
+
+/// A serializable forward-only model. ops[0, shared_op_count) are the
+/// shared conv1 stage whose output is uploaded to the edge server when
+/// the binary branch is not confident (Algorithm 2's `t`).
+struct WebModel {
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::int64_t num_classes = 0;
+  std::int64_t shared_op_count = 0;
+  std::vector<Op> ops;
+};
+
+/// Binary (de)serialization of the blob the browser downloads.
+std::vector<std::uint8_t> serialize(const WebModel& model);
+WebModel deserialize(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace lcrs::webinfer

@@ -1,0 +1,181 @@
+// Tests of the binarization math and bit-packed kernels: alpha scaling
+// (Algorithm 1 line 9), STE (Eq. 5), Eq. 6, BitMatrix packing, and the
+// XNOR GEMM against its float-sign oracle across shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "binary/binarize.h"
+#include "binary/bitmatrix.h"
+#include "binary/input_scale.h"
+#include "binary/xnor_gemm.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::binary {
+namespace {
+
+TEST(Binarize, AlphaIsPerFilterMeanAbs) {
+  Tensor w{Shape{2, 3}};
+  w.at2(0, 0) = 1.0f; w.at2(0, 1) = -2.0f; w.at2(0, 2) = 3.0f;
+  w.at2(1, 0) = -4.0f; w.at2(1, 1) = 0.0f; w.at2(1, 2) = 2.0f;
+  const BinarizedFilters b = binarize_filters(w);
+  EXPECT_FLOAT_EQ(b.alpha[0], 2.0f);
+  EXPECT_FLOAT_EQ(b.alpha[1], 2.0f);
+  EXPECT_FLOAT_EQ(b.sign.at2(0, 1), -1.0f);
+  EXPECT_FLOAT_EQ(b.sign.at2(1, 1), 1.0f);  // sign(0) = +1
+}
+
+TEST(Binarize, AlphaSignMinimizesL2ApproximationError) {
+  // Property from XNOR-Net: alpha = mean|w| minimizes ||W - a*sign(W)||^2
+  // over a. Any perturbed a must do no better.
+  Rng rng(1);
+  const Tensor w = Tensor::randn(Shape{1, 64}, rng);
+  const BinarizedFilters b = binarize_filters(w);
+  auto err = [&](float a) {
+    double e = 0.0;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      const double d = w[i] - a * b.sign[i];
+      e += d * d;
+    }
+    return e;
+  };
+  const float alpha = b.alpha[0];
+  EXPECT_LE(err(alpha), err(alpha * 1.1f) + 1e-9);
+  EXPECT_LE(err(alpha), err(alpha * 0.9f) + 1e-9);
+}
+
+TEST(Binarize, SteClipGatesOutsideWindow) {
+  Tensor x{Shape{4}};
+  x[0] = -2.0f; x[1] = -0.5f; x[2] = 0.9f; x[3] = 1.5f;
+  const Tensor g = Tensor::ones(Shape{4});
+  const Tensor out = ste_clip(g, x);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 1.0f);
+  EXPECT_EQ(out[2], 1.0f);
+  EXPECT_EQ(out[3], 0.0f);
+}
+
+TEST(Binarize, Eq6CombinesMeanAndSteTerms) {
+  Tensor w{Shape{1, 4}};
+  w[0] = 0.5f; w[1] = -0.5f; w[2] = 2.0f; w[3] = -0.25f;
+  Tensor g = Tensor::ones(Shape{1, 4});
+  Tensor alpha{Shape{1}};
+  alpha[0] = 0.8f;
+  const Tensor out = eq6_weight_grad(g, w, alpha);
+  // In-window weights get 1/n + alpha; out-of-window only 1/n.
+  EXPECT_FLOAT_EQ(out[0], 0.25f + 0.8f);
+  EXPECT_FLOAT_EQ(out[2], 0.25f);
+}
+
+TEST(BitMatrix, PackUnpackRoundTrip) {
+  Rng rng(2);
+  const Tensor t = Tensor::randn(Shape{5, 130}, rng);  // >2 words per row
+  const BitMatrix m = BitMatrix::pack(t);
+  const Tensor back = m.unpack();
+  const Tensor expected = sign(t);
+  EXPECT_EQ(max_abs_diff(back, expected), 0.0f);
+}
+
+TEST(BitMatrix, SetGetAndBounds) {
+  BitMatrix m(2, 70);
+  EXPECT_FALSE(m.get(1, 69));
+  m.set(1, 69, true);
+  EXPECT_TRUE(m.get(1, 69));
+  m.set(1, 69, false);
+  EXPECT_FALSE(m.get(1, 69));
+  EXPECT_THROW(m.get(2, 0), Error);
+  EXPECT_THROW(m.set(0, 70, true), Error);
+}
+
+TEST(BitMatrix, DotMatchesFloatSignDot) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn(Shape{1, 100}, rng);
+  const Tensor b = Tensor::randn(Shape{1, 100}, rng);
+  const BitMatrix pa = BitMatrix::pack(a);
+  const BitMatrix pb = BitMatrix::pack(b);
+  float expected = 0.0f;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    expected += (a[i] >= 0 ? 1.0f : -1.0f) * (b[i] >= 0 ? 1.0f : -1.0f);
+  }
+  EXPECT_EQ(static_cast<float>(pa.dot_row(0, pb.row(0))), expected);
+}
+
+TEST(BitMatrix, SerializeRoundTrip) {
+  Rng rng(4);
+  const BitMatrix m = BitMatrix::pack(Tensor::randn(Shape{7, 93}, rng));
+  ByteWriter w;
+  m.serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(BitMatrix::deserialize(r) == m);
+}
+
+TEST(BitMatrix, PayloadIs32xSmallerThanFloat) {
+  const BitMatrix m(256, 1024);  // multiple of 64: no padding waste
+  EXPECT_EQ(m.payload_bytes(), 256 * 1024 / 8);
+  EXPECT_EQ(m.payload_bytes() * 32, 256 * 1024 * 4);
+}
+
+using XnorShape = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class XnorGemmShapes : public ::testing::TestWithParam<XnorShape> {};
+
+TEST_P(XnorGemmShapes, MatchesFloatSignGemm) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 31 + k * 7 + n);
+  const Tensor a = Tensor::randn(Shape{m, k}, rng);
+  const Tensor b = Tensor::randn(Shape{n, k}, rng);
+
+  const Tensor fast = xnor_matmul(BitMatrix::pack(a), BitMatrix::pack(b));
+
+  // Oracle: float GEMM on the sign matrices.
+  const Tensor sa = sign(a), sb = sign(b);
+  Tensor ref{Shape{m, n}};
+  gemm_bt(sa.data(), sb.data(), ref.data(), m, k, n);
+
+  EXPECT_EQ(max_abs_diff(fast, ref), 0.0f)
+      << "xnor path must be bit-exact (integer dot products)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XnorGemmShapes,
+    ::testing::Values(XnorShape{1, 1, 1}, XnorShape{1, 64, 1},
+                      XnorShape{3, 63, 5}, XnorShape{8, 64, 8},
+                      XnorShape{16, 65, 16}, XnorShape{32, 128, 10},
+                      XnorShape{10, 300, 7}, XnorShape{64, 27, 196}));
+
+TEST(InputScale, KMatchesManualBoxFilter) {
+  // 1-channel 3x3 input, 3x3 kernel, stride 1, pad 1 -> K is the padded
+  // 3x3 box average of |I|.
+  Tensor x{Shape{1, 1, 3, 3}};
+  for (std::int64_t i = 0; i < 9; ++i) x[i] = (i % 2 == 0) ? 1.0f : -1.0f;
+  const ConvGeom g{1, 3, 3, 3, 1, 1};
+  const Tensor k = input_scale_K(x, g);
+  EXPECT_EQ(k.shape(), (Shape{1, 3, 3}));
+  // Centre pixel sees all 9 values of |I| = 1 -> K = 1.
+  EXPECT_FLOAT_EQ(k[4], 1.0f);
+  // Corner sees 4 values inside, 5 padded zeros -> 4/9.
+  EXPECT_NEAR(k[0], 4.0f / 9.0f, 1e-6);
+}
+
+TEST(InputScale, KAveragesChannels) {
+  Tensor x{Shape{1, 2, 2, 2}};
+  for (std::int64_t i = 0; i < 4; ++i) x[i] = 2.0f;    // channel 0
+  for (std::int64_t i = 4; i < 8; ++i) x[i] = -4.0f;   // channel 1
+  const ConvGeom g{2, 2, 2, 2, 1, 0};
+  const Tensor k = input_scale_K(x, g);
+  EXPECT_EQ(k.numel(), 1);
+  EXPECT_FLOAT_EQ(k[0], 3.0f);  // mean(|2|, |-4|) = 3, box over 2x2 of 3s
+}
+
+TEST(InputScale, RowScaleIsMeanAbs) {
+  Tensor x{Shape{2, 4}};
+  x.at2(0, 0) = 1.0f; x.at2(0, 1) = -3.0f;
+  x.at2(1, 2) = 8.0f;
+  const Tensor beta = input_scale_rows(x);
+  EXPECT_FLOAT_EQ(beta[0], 1.0f);
+  EXPECT_FLOAT_EQ(beta[1], 2.0f);
+}
+
+}  // namespace
+}  // namespace lcrs::binary

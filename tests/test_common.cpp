@@ -1,0 +1,183 @@
+// Unit tests for src/common: errors, bytes, rng, parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace lcrs {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    LCRS_CHECK(1 == 2, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(LCRS_CHECK(true));
+  EXPECT_NO_THROW(LCRS_CHECK(2 > 1, "never seen"));
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw IoError("x"), Error);
+}
+
+TEST(Bytes, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFull);
+  w.write_i64(-42);
+  w.write_f32(3.5f);
+  w.write_f64(-2.25);
+  w.write_string("hello lcrs");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_EQ(r.read_f32(), 3.5f);
+  EXPECT_EQ(r.read_f64(), -2.25);
+  EXPECT_EQ(r.read_string(), "hello lcrs");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, TruncationThrowsParseError) {
+  ByteWriter w;
+  w.write_u32(7);
+  ByteReader r(w.bytes());
+  (void)r.read_u32();
+  EXPECT_THROW(r.read_u64(), ParseError);
+}
+
+TEST(Bytes, NegativeFloatBitsSurvive) {
+  ByteWriter w;
+  w.write_f32(-0.0f);
+  ByteReader r(w.bytes());
+  const float v = r.read_f32();
+  EXPECT_EQ(v, 0.0f);
+  EXPECT_TRUE(std::signbit(v));
+}
+
+TEST(Bytes, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lcrs_bytes_test.bin";
+  std::vector<std::uint8_t> data{1, 2, 3, 250, 251};
+  write_file(path, data);
+  EXPECT_EQ(read_file(path), data);
+  std::remove(path.c_str());
+}
+
+TEST(Bytes, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/really/not/here.bin"), IoError);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.randint(0, 1000000) == b.randint(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(7);
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng fresh(7);
+  (void)fresh.engine()();  // parent consumed one draw for the fork
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.randint(0, 1 << 30) == fresh.randint(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RandintBoundsInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.randint(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, RandintEmptyRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.randint(5, 4), Error);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Parallel, CoversEntireRange) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(257, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(10,
+                   [](std::int64_t, std::int64_t) {
+                     throw InvalidArgument("worker boom");
+                   }),
+      InvalidArgument);
+}
+
+TEST(Parallel, RespectsThreadOverride) {
+  set_parallel_thread_count(3);
+  EXPECT_EQ(parallel_thread_count(), 3);
+  set_parallel_thread_count(0);  // back to auto
+  EXPECT_GE(parallel_thread_count(), 1);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  const double t0 = sw.seconds();
+  EXPECT_GE(t0, 0.0);
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GE(sw.seconds(), t0);
+}
+
+}  // namespace
+}  // namespace lcrs

@@ -1,0 +1,326 @@
+// Dataset substrate tests: synthetic generators, augmentation ops, logo
+// data, and dataset utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "data/logo.h"
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::data {
+namespace {
+
+TEST(Synthetic, PresetsMatchPaperShapes) {
+  EXPECT_EQ(mnist_like().channels, 1);
+  EXPECT_EQ(mnist_like().height, 28);
+  EXPECT_EQ(mnist_like().num_classes, 10);
+  EXPECT_EQ(fashion_mnist_like().channels, 1);
+  EXPECT_EQ(cifar10_like().channels, 3);
+  EXPECT_EQ(cifar10_like().height, 32);
+  EXPECT_EQ(cifar100_like().num_classes, 100);
+}
+
+TEST(Synthetic, SpecLookupByName) {
+  EXPECT_EQ(spec_by_name("MNIST").name, "synthetic-mnist");
+  EXPECT_EQ(spec_by_name("CIFAR100").num_classes, 100);
+  EXPECT_THROW(spec_by_name("ImageNet"), InvalidArgument);
+}
+
+TEST(Synthetic, GeneratesBalancedLabeledData) {
+  Rng rng(1);
+  const Dataset ds = make_synthetic(mnist_like(), 200, rng);
+  EXPECT_EQ(ds.size(), 200);
+  EXPECT_EQ(ds.images.shape(), (Shape{200, 1, 28, 28}));
+  const auto hist = class_histogram(ds);
+  for (const auto h : hist) EXPECT_EQ(h, 20);
+}
+
+TEST(Synthetic, PixelsAreBounded) {
+  Rng rng(2);
+  const Dataset ds = make_synthetic(cifar10_like(), 50, rng);
+  for (std::int64_t i = 0; i < ds.images.numel(); ++i) {
+    EXPECT_GE(ds.images[i], -1.0f);
+    EXPECT_LE(ds.images[i], 1.0f);
+  }
+}
+
+TEST(Synthetic, SameSeedSameData) {
+  Rng a(7), b(7);
+  const Dataset da = make_synthetic(mnist_like(), 30, a);
+  const Dataset db = make_synthetic(mnist_like(), 30, b);
+  EXPECT_EQ(max_abs_diff(da.images, db.images), 0.0f);
+  EXPECT_EQ(da.labels, db.labels);
+}
+
+TEST(Synthetic, ClassesAreSeparable) {
+  // Same-class samples must be closer to each other than to other
+  // classes on average; otherwise nothing could learn the data.
+  Rng rng(3);
+  const Dataset ds = make_synthetic(mnist_like(), 100, rng);
+  const std::int64_t sample = ds.images.numel() / ds.size();
+  double intra = 0.0, inter = 0.0;
+  std::int64_t n_intra = 0, n_inter = 0;
+  for (std::int64_t i = 0; i < 40; ++i) {
+    for (std::int64_t j = i + 1; j < 40; ++j) {
+      double d = 0.0;
+      for (std::int64_t p = 0; p < sample; ++p) {
+        const double diff =
+            ds.images[i * sample + p] - ds.images[j * sample + p];
+        d += diff * diff;
+      }
+      if (ds.labels[static_cast<std::size_t>(i)] ==
+          ds.labels[static_cast<std::size_t>(j)]) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(Synthetic, Cifar10IsHarderThanMnist) {
+  // Difficulty knob sanity: more shared background + noise means lower
+  // separation ratio for the CIFAR-like presets.
+  auto ratio = [](const SyntheticSpec& spec) {
+    Rng rng(4);
+    const Dataset ds = make_synthetic(spec, 120, rng);
+    const std::int64_t sample = ds.images.numel() / ds.size();
+    double intra = 0.0, inter = 0.0;
+    std::int64_t ni = 0, nj = 0;
+    for (std::int64_t i = 0; i < 60; ++i) {
+      for (std::int64_t j = i + 1; j < 60; ++j) {
+        double d = 0.0;
+        for (std::int64_t p = 0; p < sample; ++p) {
+          const double diff =
+              ds.images[i * sample + p] - ds.images[j * sample + p];
+          d += diff * diff;
+        }
+        if (ds.labels[static_cast<std::size_t>(i)] ==
+            ds.labels[static_cast<std::size_t>(j)]) {
+          intra += d; ++ni;
+        } else {
+          inter += d; ++nj;
+        }
+      }
+    }
+    return (inter / nj) / (intra / ni);
+  };
+  EXPECT_GT(ratio(mnist_like()), ratio(cifar10_like()));
+}
+
+TEST(Dataset, SliceAndLabelSlice) {
+  Rng rng(5);
+  const Dataset ds = make_synthetic(mnist_like(), 20, rng);
+  const Dataset s = ds.slice(5, 10);
+  EXPECT_EQ(s.size(), 10);
+  EXPECT_EQ(s.labels[0], ds.labels[5]);
+  EXPECT_EQ(ds.label_slice(5, 3),
+            (std::vector<std::int64_t>{ds.labels[5], ds.labels[6],
+                                       ds.labels[7]}));
+  EXPECT_THROW(ds.slice(15, 10), Error);
+}
+
+TEST(Dataset, ShuffleKeepsPairsTogether) {
+  Rng rng(6);
+  Dataset ds = make_synthetic(mnist_like(), 40, rng);
+  // Tag each image's first pixel with its label so we can verify pairing.
+  const std::int64_t sample = ds.images.numel() / ds.size();
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    ds.images[i * sample] =
+        static_cast<float>(ds.labels[static_cast<std::size_t>(i)]) / 100.0f;
+  }
+  shuffle(ds, rng);
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    EXPECT_FLOAT_EQ(
+        ds.images[i * sample],
+        static_cast<float>(ds.labels[static_cast<std::size_t>(i)]) / 100.0f);
+  }
+}
+
+TEST(Dataset, SplitAndConcatRoundTrip) {
+  Rng rng(7);
+  const Dataset ds = make_synthetic(mnist_like(), 30, rng);
+  const auto [a, b] = split(ds, 12);
+  EXPECT_EQ(a.size(), 12);
+  EXPECT_EQ(b.size(), 18);
+  const Dataset joined = concat(a, b);
+  EXPECT_EQ(max_abs_diff(joined.images, ds.images), 0.0f);
+  EXPECT_EQ(joined.labels, ds.labels);
+}
+
+TEST(Augment, FlipTwiceIsIdentity) {
+  Rng rng(8);
+  const Tensor img = Tensor::randn(Shape{3, 8, 8}, rng);
+  EXPECT_EQ(max_abs_diff(flip_horizontal(flip_horizontal(img)), img), 0.0f);
+  EXPECT_EQ(max_abs_diff(flip_vertical(flip_vertical(img)), img), 0.0f);
+}
+
+TEST(Augment, IntegerTranslationShiftsExactly) {
+  Tensor img{Shape{1, 4, 4}};
+  img[5] = 1.0f;  // pixel (1,1)
+  const Tensor t = translate(img, 1.0, 2.0);
+  EXPECT_FLOAT_EQ(t[2 * 4 + 3], 1.0f);  // now at (2,3)
+  EXPECT_FLOAT_EQ(t[5], 0.0f);
+}
+
+TEST(Augment, ZeroRotationIsIdentity) {
+  Rng rng(9);
+  const Tensor img = Tensor::randn(Shape{1, 9, 9}, rng);
+  EXPECT_LT(max_abs_diff(rotate(img, 0.0), img), 1e-6f);
+}
+
+TEST(Augment, Rotation90MovesCorners) {
+  Tensor img{Shape{1, 5, 5}};
+  img[0 * 5 + 4] = 1.0f;  // top-right, i.e. (row 0, col 4)
+  const Tensor r = rotate(img, 90.0);
+  // In image (y-down) coordinates a +90 degree rotation sends the
+  // top-right corner to the bottom-right.
+  EXPECT_NEAR(r[4 * 5 + 4], 1.0f, 1e-5);
+  EXPECT_NEAR(r[0 * 5 + 4], 0.0f, 1e-5);
+}
+
+TEST(Augment, UnitZoomIsIdentity) {
+  Rng rng(10);
+  const Tensor img = Tensor::randn(Shape{2, 7, 7}, rng);
+  EXPECT_LT(max_abs_diff(zoom(img, 1.0), img), 1e-6f);
+}
+
+TEST(Augment, ColorPerturbPreservesShapePerChannel) {
+  Rng rng(11);
+  const Tensor img = Tensor::ones(Shape{3, 4, 4});
+  const Tensor c = color_perturb(img, rng, 0.5, 0.5);
+  // Inside each channel the transform is affine on a constant image, so
+  // all pixels of a channel stay equal.
+  for (std::int64_t ch = 0; ch < 3; ++ch) {
+    const float v0 = c[ch * 16];
+    for (std::int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(c[ch * 16 + i], v0);
+  }
+}
+
+TEST(Augment, DatasetExpansionMultipliesSize) {
+  Rng rng(12);
+  const Dataset ds = make_synthetic(mnist_like(), 10, rng);
+  AugmentParams params;
+  const Dataset aug = augment_dataset(ds, 5, params, rng);
+  EXPECT_EQ(aug.size(), 50);
+  // Labels replicate blockwise.
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    for (std::int64_t k = 0; k < 5; ++k) {
+      EXPECT_EQ(aug.labels[static_cast<std::size_t>(i * 5 + k)],
+                ds.labels[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+class AugmentAngles : public ::testing::TestWithParam<double> {};
+
+TEST_P(AugmentAngles, RotateThenUnrotateRestoresInterior) {
+  // Composition property: rotate(a) then rotate(-a) is identity up to
+  // resampling blur; check the interior (borders lose data to zero fill).
+  const double angle = GetParam();
+  Rng rng(40);
+  Tensor img{Shape{1, 16, 16}};
+  // Smooth image so bilinear round-trips are tight.
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      img[y * 16 + x] = static_cast<float>(
+          0.5 * std::sin(0.4 * y) + 0.5 * std::cos(0.3 * x));
+    }
+  }
+  const Tensor round = rotate(rotate(img, angle), -angle);
+  double err = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t y = 4; y < 12; ++y) {
+    for (std::int64_t x = 4; x < 12; ++x) {
+      err += std::fabs(round[y * 16 + x] - img[y * 16 + x]);
+      ++count;
+    }
+  }
+  EXPECT_LT(err / static_cast<double>(count), 0.05) << "angle " << angle;
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, AugmentAngles,
+                         ::testing::Values(5.0, 15.0, 30.0, 45.0, 90.0));
+
+TEST(Augment, ZoomOutThenInRestoresInterior) {
+  Tensor img{Shape{1, 16, 16}};
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      img[y * 16 + x] = static_cast<float>(
+          0.5 * std::sin(0.3 * y) - 0.5 * std::cos(0.25 * x));
+    }
+  }
+  const Tensor round = zoom(zoom(img, 0.8), 1.25);
+  double err = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t y = 5; y < 11; ++y) {
+    for (std::int64_t x = 5; x < 11; ++x) {
+      err += std::fabs(round[y * 16 + x] - img[y * 16 + x]);
+      ++count;
+    }
+  }
+  EXPECT_LT(err / static_cast<double>(count), 0.08);
+}
+
+TEST(Augment, RandomAugmentPreservesShapeAndFiniteness) {
+  Rng rng(41);
+  const Tensor img = Tensor::randn(Shape{3, 20, 20}, rng);
+  AugmentParams params;
+  params.flip_v_prob = 0.5;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Tensor out = random_augment(img, params, rng);
+    ASSERT_EQ(out.shape(), img.shape());
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(out[i]));
+    }
+  }
+}
+
+TEST(Synthetic, ConfusionKnobValidation) {
+  SyntheticSpec s = mnist_like();
+  s.confusion = 1.0;
+  EXPECT_THROW(s.validate(), Error);
+  s.confusion = 0.5;
+  s.contrast_jitter = 1.0;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(Logo, BrandArtworkIsDeterministicAndDistinct) {
+  LogoSpec spec;
+  const Tensor a1 = render_logo(spec, 0);
+  const Tensor a2 = render_logo(spec, 0);
+  EXPECT_EQ(max_abs_diff(a1, a2), 0.0f);
+  const Tensor b = render_logo(spec, 1);
+  EXPECT_GT(max_abs_diff(a1, b), 0.1f);
+}
+
+TEST(Logo, NamesIncludePaperBrands) {
+  LogoSpec spec;
+  const auto names = brand_names(spec);
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[0], "ChinaMobile");
+  EXPECT_EQ(names[1], "FenJiu");
+}
+
+TEST(Logo, MakeLogoDataProducesTrainTestSplit) {
+  LogoSpec spec;
+  spec.num_brands = 4;
+  spec.base_per_brand = 4;
+  spec.augment_copies = 5;
+  Rng rng(13);
+  const LogoData data = make_logo_data(spec, rng);
+  EXPECT_EQ(data.train.size() + data.test.size(), 4 * 4 * 5);
+  EXPECT_EQ(data.train.num_classes, 4);
+  EXPECT_GT(data.test.size(), 0);
+  data.train.check();
+  data.test.check();
+}
+
+}  // namespace
+}  // namespace lcrs::data

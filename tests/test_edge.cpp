@@ -1,0 +1,357 @@
+// Edge runtime tests: protocol frames, TCP transport, the live
+// EdgeServer/BrowserClient loop, agreement between the socket runtime and
+// the in-process Algorithm 2, and the simulated LocalRuntime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "core/inference.h"
+#include "data/synthetic.h"
+#include "edge/client.h"
+#include "edge/local_runtime.h"
+#include "edge/server.h"
+#include "tensor/tensor_ops.h"
+#include "webinfer/export.h"
+
+namespace lcrs::edge {
+namespace {
+
+TEST(Protocol, FrameRoundTrip) {
+  Frame f;
+  f.type = MsgType::kCompleteRequest;
+  f.payload = {1, 2, 3, 4, 5};
+  const Frame back = decode_frame(encode_frame(f));
+  EXPECT_EQ(back.type, f.type);
+  EXPECT_EQ(back.payload, f.payload);
+}
+
+TEST(Protocol, EmptyPayloadFrames) {
+  const Frame back = decode_frame(encode_frame(Frame{MsgType::kPing, {}}));
+  EXPECT_EQ(back.type, MsgType::kPing);
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(Protocol, BadMagicAndTypeRejected) {
+  auto bytes = encode_frame(Frame{MsgType::kPong, {9}});
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(decode_frame(bytes), ParseError);
+
+  auto bytes2 = encode_frame(Frame{MsgType::kPong, {9}});
+  bytes2[4] = 200;  // invalid type
+  EXPECT_THROW(decode_frame(bytes2), ParseError);
+}
+
+TEST(Protocol, CompletePayloadsRoundTrip) {
+  Rng rng(1);
+  const Tensor shared = Tensor::randn(Shape{1, 6, 14, 14}, rng);
+  const Tensor back = parse_complete_request(make_complete_request(shared));
+  EXPECT_EQ(max_abs_diff(shared, back), 0.0f);
+
+  CompleteResponse resp;
+  resp.label = 7;
+  resp.probabilities = Tensor::rand(Shape{1, 10}, rng);
+  const CompleteResponse rback =
+      parse_complete_response(make_complete_response(resp));
+  EXPECT_EQ(rback.label, 7);
+  EXPECT_EQ(max_abs_diff(rback.probabilities, resp.probabilities), 0.0f);
+}
+
+TEST(Tcp, LoopbackFrameExchange) {
+  Listener listener(0);
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread server([&] {
+    Socket conn = listener.accept_one();
+    ASSERT_TRUE(conn.valid());
+    auto frame = conn.recv_frame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::kPing);
+    conn.send_frame(Frame{MsgType::kPong, frame->payload});
+  });
+
+  Socket client = connect_local(listener.port());
+  client.send_frame(Frame{MsgType::kPing, {42, 43}});
+  auto reply = client.recv_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kPong);
+  EXPECT_EQ(reply->payload, (std::vector<std::uint8_t>{42, 43}));
+  server.join();
+}
+
+TEST(Tcp, CleanEofReturnsNullopt) {
+  Listener listener(0);
+  std::thread server([&] {
+    Socket conn = listener.accept_one();
+    // Close immediately without sending anything.
+  });
+  Socket client = connect_local(listener.port());
+  server.join();
+  EXPECT_FALSE(client.recv_frame().has_value());
+}
+
+TEST(Tcp, ConnectToDeadPortThrows) {
+  // Grab an ephemeral port, then close the listener to free it.
+  std::uint16_t dead_port;
+  {
+    Listener l(0);
+    dead_port = l.port();
+    l.shutdown_now();
+  }
+  EXPECT_THROW(connect_local(dead_port), IoError);
+}
+
+core::CompositeNetwork make_net(Rng& rng) {
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  return core::CompositeNetwork::build(cfg, rng);
+}
+
+TEST(EdgeServer, ServesCompletionsAndCounts) {
+  Rng rng(2);
+  core::CompositeNetwork net = make_net(rng);
+  EdgeServer server(0, [&](const Tensor& shared) {
+    const Tensor logits = net.forward_main_from_shared(shared);
+    CompleteResponse r;
+    r.probabilities = softmax_rows(logits);
+    r.label = argmax(r.probabilities);
+    return r;
+  });
+
+  Socket conn = connect_local(server.port());
+  const Tensor x = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+  const Tensor shared = net.shared_stage().forward(x, false);
+  conn.send_frame(
+      Frame{MsgType::kCompleteRequest, make_complete_request(shared)});
+  auto reply = conn.recv_frame();
+  ASSERT_TRUE(reply.has_value());
+  const CompleteResponse resp = parse_complete_response(reply->payload);
+
+  // The served answer matches a local main-branch forward exactly.
+  const Tensor local_logits = net.forward_main_from_shared(shared);
+  EXPECT_EQ(resp.label, argmax(softmax_rows(local_logits)));
+  conn.close_now();
+  // Poll until the server has recorded the request.
+  for (int i = 0; i < 100 && server.requests_served() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.requests_served(), 1);
+}
+
+TEST(EndToEnd, SocketRuntimeMatchesInProcessAlgorithm2) {
+  Rng rng(3);
+  core::CompositeNetwork net = make_net(rng);
+  // Warm batchnorm-free LeNet needs no stat warmup; export directly.
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+
+  EdgeServer server(0, [&](const Tensor& shared) {
+    const Tensor logits = net.forward_main_from_shared(shared);
+    CompleteResponse r;
+    r.probabilities = softmax_rows(logits);
+    r.label = argmax(r.probabilities);
+    return r;
+  });
+
+  const core::ExitPolicy policy{0.6};
+  BrowserClient client(std::move(engine), policy, server.port());
+
+  const Tensor batch = Tensor::randn(Shape{12, 1, 28, 28}, rng);
+  int agreements = 0;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    const Tensor sample = batch.slice_outer(i, i + 1);
+    const ClientResult via_socket = client.classify(sample);
+    const core::InferenceResult via_core =
+        core::collaborative_infer(net, policy, sample);
+    EXPECT_EQ(via_socket.exit_point, via_core.exit_point) << "sample " << i;
+    if (via_socket.label == via_core.predicted) ++agreements;
+  }
+  // Engine vs framework float noise can flip a rare argmax tie, but the
+  // overwhelming majority must agree.
+  EXPECT_GE(agreements, 11);
+  EXPECT_GE(client.exit_fraction(), 0.0);
+  EXPECT_LE(client.exit_fraction(), 1.0);
+}
+
+TEST(EndToEnd, ForcedMissAlwaysAsksServer) {
+  Rng rng(4);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+  EdgeServer server(0, [&](const Tensor& shared) {
+    const Tensor logits = net.forward_main_from_shared(shared);
+    CompleteResponse r;
+    r.probabilities = softmax_rows(logits);
+    r.label = argmax(r.probabilities);
+    return r;
+  });
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       server.port());
+  for (int i = 0; i < 3; ++i) {
+    const ClientResult r =
+        client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+    EXPECT_EQ(r.exit_point, core::ExitPoint::kMainBranch);
+  }
+  EXPECT_DOUBLE_EQ(client.exit_fraction(), 0.0);
+  for (int i = 0; i < 100 && server.requests_served() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.requests_served(), 3);
+}
+
+TEST(EdgeServer, ServesConcurrentClients) {
+  Rng rng(21);
+  core::CompositeNetwork net = make_net(rng);
+  // Eval-mode forwards are thread-safe (all layer caching is train-gated),
+  // so completions run genuinely in parallel.
+  EdgeServer server(0, [&](const Tensor& shared) {
+    const Tensor logits = net.forward_main_from_shared(shared);
+    CompleteResponse r;
+    r.probabilities = softmax_rows(logits);
+    r.label = argmax(r.probabilities);
+    return r;
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsEach = 5;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        Rng crng(100 + c);
+        Socket conn = connect_local(server.port());
+        core::CompositeNetwork& shared_net = net;
+        for (int i = 0; i < kRequestsEach; ++i) {
+          const Tensor x = Tensor::randn(Shape{1, 1, 28, 28}, crng);
+          const Tensor shared = shared_net.shared_stage().forward(x, false);
+          conn.send_frame(Frame{MsgType::kCompleteRequest,
+                                make_complete_request(shared)});
+          auto reply = conn.recv_frame();
+          if (!reply.has_value() ||
+              reply->type != MsgType::kCompleteResponse) {
+            ++failures;
+            return;
+          }
+          const CompleteResponse resp =
+              parse_complete_response(reply->payload);
+          const Tensor local = shared_net.forward_main_from_shared(shared);
+          if (resp.label != argmax(softmax_rows(local))) ++failures;
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int i = 0;
+       i < 200 && server.requests_served() < kClients * kRequestsEach; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.requests_served(), kClients * kRequestsEach);
+  EXPECT_EQ(server.connections_accepted(), kClients);
+}
+
+TEST(EdgeServer, SerializeCompletionGuardsSharedState) {
+  int concurrent = 0;
+  int max_concurrent = 0;
+  std::mutex probe_mutex;
+  CompletionFn raw = [&](const Tensor&) {
+    {
+      std::lock_guard<std::mutex> lock(probe_mutex);
+      ++concurrent;
+      max_concurrent = std::max(max_concurrent, concurrent);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      std::lock_guard<std::mutex> lock(probe_mutex);
+      --concurrent;
+    }
+    CompleteResponse r;
+    r.label = 1;
+    r.probabilities = Tensor::ones(Shape{1, 2});
+    return r;
+  };
+  EdgeServer server(0, serialize_completion(std::move(raw)));
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      Socket conn = connect_local(server.port());
+      conn.send_frame(Frame{MsgType::kCompleteRequest,
+                            make_complete_request(Tensor{Shape{1, 2}})});
+      (void)conn.recv_frame();
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(max_concurrent, 1);  // serialized despite concurrent clients
+  // The served counter increments after the reply is written; poll.
+  for (int i = 0; i < 200 && server.requests_served() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.requests_served(), 3);
+}
+
+TEST(LocalRuntime, TimelineReflectsExitDecision) {
+  Rng rng(5);
+  core::CompositeNetwork net = make_net(rng);
+  LocalRuntime always_exit(net, core::ExitPolicy{1.1},
+                           sim::CostModel::paper_default(),
+                           Shape{1, 28, 28});
+  LocalRuntime never_exit(net, core::ExitPolicy{0.0},
+                          sim::CostModel::paper_default(), Shape{1, 28, 28});
+
+  const Tensor x = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+  const SimStep fast = always_exit.classify(x, rng);
+  EXPECT_EQ(fast.exit_point, core::ExitPoint::kBinaryBranch);
+  EXPECT_EQ(fast.upload_ms, 0.0);
+  EXPECT_EQ(fast.edge_ms, 0.0);
+  EXPECT_GT(fast.browser_ms, 0.0);
+
+  const SimStep slow = never_exit.classify(x, rng);
+  EXPECT_EQ(slow.exit_point, core::ExitPoint::kMainBranch);
+  EXPECT_GT(slow.upload_ms, 0.0);
+  EXPECT_GT(slow.total_ms(), fast.total_ms());
+}
+
+TEST(LocalRuntime, JitteredUploadsStayWithinLinkBounds) {
+  Rng rng(31);
+  core::CompositeNetwork net = make_net(rng);
+  sim::LinkSpec link = sim::lte_4g();
+  link.jitter_frac = 0.2;
+  LocalRuntime runtime(net, core::ExitPolicy{0.0},  // force collaboration
+                       sim::CostModel{sim::mobile_web_browser(),
+                                      sim::edge_server(), link},
+                       Shape{1, 28, 28});
+  const sim::NetworkModel clean{sim::lte_4g()};
+  const Tensor x = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+  // Every upload must fall within +-20% of the deterministic time.
+  const SimStep probe = runtime.classify(x, rng);
+  ASSERT_GT(probe.upload_ms, 0.0);
+  double lo = probe.upload_ms, hi = probe.upload_ms;
+  for (int i = 0; i < 30; ++i) {
+    const double up = runtime.classify(x, rng).upload_ms;
+    lo = std::min(lo, up);
+    hi = std::max(hi, up);
+  }
+  EXPECT_GT(hi, lo);  // jitter actually varies
+  const double base = (lo + hi) / 2.0;
+  EXPECT_GE(lo, base * 0.75);
+  EXPECT_LE(hi, base * 1.25);
+}
+
+TEST(LocalRuntime, AmortizedLoadScalesWithSession) {
+  Rng rng(6);
+  core::CompositeNetwork net = make_net(rng);
+  sim::Scenario short_session;
+  short_session.session_samples = 10;
+  sim::Scenario long_session;
+  long_session.session_samples = 1000;
+  LocalRuntime a(net, core::ExitPolicy{0.5}, sim::CostModel::paper_default(),
+                 Shape{1, 28, 28}, short_session);
+  LocalRuntime b(net, core::ExitPolicy{0.5}, sim::CostModel::paper_default(),
+                 Shape{1, 28, 28}, long_session);
+  EXPECT_GT(a.amortized_load_ms(), b.amortized_load_ms());
+  EXPECT_EQ(a.browser_model_bytes(), b.browser_model_bytes());
+}
+
+}  // namespace
+}  // namespace lcrs::edge

@@ -1,0 +1,117 @@
+// Robustness fuzzing of every deserializer: random single-byte mutations
+// and truncations of valid artifacts must either parse or throw
+// lcrs::Error -- never crash, hang, or corrupt memory. (Run under ASAN
+// for the full guarantee; in a plain build this still catches unchecked
+// size fields and missing bounds checks.)
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "core/checkpoint.h"
+#include "edge/protocol.h"
+#include "nn/model_io.h"
+#include "tensor/serialize.h"
+#include "webinfer/export.h"
+
+namespace lcrs {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Applies `parse` to mutated/truncated copies of `valid`; counts
+/// survivals (parse succeeded despite mutation -- benign payload bits).
+template <typename Fn>
+void fuzz(const Bytes& valid, Fn parse, int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  // Parsing the pristine input must succeed.
+  ASSERT_NO_THROW(parse(valid));
+
+  for (int t = 0; t < trials; ++t) {
+    Bytes mutated = valid;
+    const int op = static_cast<int>(rng.randint(0, 2));
+    if (op == 0 && !mutated.empty()) {  // flip one byte
+      const auto pos = static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] ^= static_cast<std::uint8_t>(rng.randint(1, 255));
+    } else if (op == 1) {  // truncate
+      mutated.resize(static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(mutated.size()) - 1)));
+    } else {  // append garbage
+      for (int i = 0; i < 8; ++i) {
+        mutated.push_back(static_cast<std::uint8_t>(rng.randint(0, 255)));
+      }
+    }
+    try {
+      parse(mutated);  // surviving a benign mutation is fine
+    } catch (const Error&) {
+      // expected rejection path
+    } catch (const std::exception& e) {
+      FAIL() << "non-lcrs exception escaped: " << e.what();
+    }
+  }
+}
+
+TEST(Fuzz, TensorDeserializer) {
+  Rng rng(1);
+  ByteWriter w;
+  write_tensor(w, Tensor::randn(Shape{3, 4, 5}, rng));
+  fuzz(w.bytes(),
+       [](const Bytes& b) {
+         ByteReader r(b);
+         (void)read_tensor(r);
+       },
+       400, 11);
+}
+
+TEST(Fuzz, ProtocolFrames) {
+  Rng rng(2);
+  const edge::Frame frame{edge::MsgType::kCompleteRequest,
+                          edge::make_complete_request(
+                              Tensor::randn(Shape{1, 4, 7, 7}, rng))};
+  fuzz(edge::encode_frame(frame),
+       [](const Bytes& b) {
+         const edge::Frame f = edge::decode_frame(b);
+         if (f.type == edge::MsgType::kCompleteRequest) {
+           (void)edge::parse_complete_request(f.payload);
+         }
+       },
+       400, 22);
+}
+
+TEST(Fuzz, WebModelBlob) {
+  Rng rng(3);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const Bytes blob =
+      webinfer::serialize(webinfer::export_browser_model(net, 1, 28, 28));
+  fuzz(blob, [](const Bytes& b) { (void)webinfer::deserialize(b); }, 300,
+       33);
+}
+
+TEST(Fuzz, ModelParams) {
+  Rng rng(4);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const Bytes params = nn::save_params(net.binary_branch());
+  // Loading mutates the target; use a scratch network per parse.
+  const models::BinaryBranchConfig bc = models::default_branch(cfg.arch);
+  fuzz(params,
+       [&](const Bytes& b) {
+         Rng scratch_rng(5);
+         core::CompositeNetwork scratch =
+             core::CompositeNetwork::build(cfg, bc, scratch_rng);
+         nn::load_params(scratch.binary_branch(), b);
+       },
+       60, 44);
+}
+
+TEST(Fuzz, Checkpoints) {
+  Rng rng(6);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const Bytes ckpt = core::save_composite(
+      net, core::Checkpoint{cfg, models::default_branch(cfg.arch), 0.05});
+  fuzz(ckpt, [](const Bytes& b) { (void)core::load_composite(b); }, 60, 55);
+}
+
+}  // namespace
+}  // namespace lcrs

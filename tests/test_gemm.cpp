@@ -1,0 +1,129 @@
+// Property tests: every GEMM variant must match the naive oracle across a
+// sweep of shapes, including degenerate and non-tile-aligned ones.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs {
+namespace {
+
+using GemmShape = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class GemmShapes : public ::testing::TestWithParam<GemmShape> {};
+
+std::vector<float> random_matrix(std::int64_t n, Rng& rng) {
+  std::vector<float> m(static_cast<std::size_t>(n));
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+void expect_near_all(const std::vector<float>& a, const std::vector<float>& b,
+                     float tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+TEST_P(GemmShapes, BlockedMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 10007 + k * 101 + n);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c_fast(static_cast<std::size_t>(m * n), 1.0f);
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n), 1.0f);
+  gemm(a.data(), b.data(), c_fast.data(), m, k, n);
+  gemm_naive(a.data(), b.data(), c_ref.data(), m, k, n);
+  expect_near_all(c_fast, c_ref, 1e-3f * static_cast<float>(k));
+}
+
+TEST_P(GemmShapes, TransposedAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  const auto at = random_matrix(k * m, rng);  // stored [k x m]
+  const auto b = random_matrix(k * n, rng);
+  // Build the explicit transpose for the oracle.
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t i = 0; i < m; ++i) a[i * k + kk] = at[kk * m + i];
+  }
+  std::vector<float> c_fast(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_at(at.data(), b.data(), c_fast.data(), m, k, n);
+  gemm_naive(a.data(), b.data(), c_ref.data(), m, k, n);
+  expect_near_all(c_fast, c_ref, 1e-3f * static_cast<float>(k));
+}
+
+TEST_P(GemmShapes, TransposedBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(3 * m + 5 * k + 7 * n);
+  const auto a = random_matrix(m * k, rng);
+  const auto bt = random_matrix(n * k, rng);  // stored [n x k]
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t kk = 0; kk < k; ++kk) b[kk * n + j] = bt[j * k + kk];
+  }
+  std::vector<float> c_fast(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_bt(a.data(), bt.data(), c_fast.data(), m, k, n);
+  gemm_naive(a.data(), b.data(), c_ref.data(), m, k, n);
+  expect_near_all(c_fast, c_ref, 1e-3f * static_cast<float>(k));
+}
+
+TEST_P(GemmShapes, BetaOneAccumulates) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * k * n + 1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 2.0f);
+  std::vector<float> ref(static_cast<std::size_t>(m * n), 2.0f);
+  gemm(a.data(), b.data(), c.data(), m, k, n, /*beta=*/1.0f);
+  gemm_naive(a.data(), b.data(), ref.data(), m, k, n, /*beta=*/1.0f);
+  expect_near_all(c, ref, 1e-3f * static_cast<float>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{1, 64, 1},
+                      GemmShape{3, 5, 7}, GemmShape{16, 16, 16},
+                      GemmShape{64, 64, 64}, GemmShape{65, 63, 67},
+                      GemmShape{128, 27, 196}, GemmShape{10, 400, 120},
+                      GemmShape{2, 130, 257}));
+
+TEST(Matmul, TensorWrapper) {
+  Rng rng(9);
+  const Tensor a = Tensor::randn(Shape{4, 6}, rng);
+  const Tensor b = Tensor::randn(Shape{6, 3}, rng);
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{4, 3}));
+  // One spot value against a manual dot product.
+  float dot = 0.0f;
+  for (std::int64_t kk = 0; kk < 6; ++kk) dot += a.at2(1, kk) * b.at2(kk, 2);
+  EXPECT_NEAR(c.at2(1, 2), dot, 1e-4);
+}
+
+TEST(Matmul, MismatchThrows) {
+  Rng rng(9);
+  const Tensor a = Tensor::randn(Shape{4, 6}, rng);
+  const Tensor b = Tensor::randn(Shape{5, 3}, rng);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Matmul, MatmulBtEqualsExplicitTranspose) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn(Shape{5, 8}, rng);
+  const Tensor bt = Tensor::randn(Shape{7, 8}, rng);
+  Tensor b{Shape{8, 7}};
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) b.at2(j, i) = bt.at2(i, j);
+  }
+  EXPECT_LT(max_abs_diff(matmul_bt(a, bt), matmul(a, b)), 1e-4f);
+}
+
+}  // namespace
+}  // namespace lcrs

@@ -1,0 +1,136 @@
+// im2col / col2im correctness: lowered GEMM convolution must match a
+// direct sliding-window reference, and col2im must be the exact adjoint.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+namespace lcrs {
+namespace {
+
+// (in_c, in_h, in_w, kernel, stride, pad)
+using ConvCase =
+    std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+               std::int64_t, std::int64_t>;
+
+class Im2ColCases : public ::testing::TestWithParam<ConvCase> {};
+
+/// Direct convolution of one image with one filter bank (reference).
+std::vector<float> direct_conv(const std::vector<float>& image,
+                               const std::vector<float>& weight,
+                               std::int64_t out_c, const ConvGeom& g) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::vector<float> out(static_cast<std::size_t>(out_c * oh * ow), 0.0f);
+  for (std::int64_t oc = 0; oc < out_c; ++oc) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float acc = 0.0f;
+        for (std::int64_t c = 0; c < g.in_c; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+            const std::int64_t iy = y * g.stride + ky - g.pad;
+            if (iy < 0 || iy >= g.in_h) continue;
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+              const std::int64_t ix = x * g.stride + kx - g.pad;
+              if (ix < 0 || ix >= g.in_w) continue;
+              acc += image[(c * g.in_h + iy) * g.in_w + ix] *
+                     weight[((oc * g.in_c + c) * g.kernel + ky) * g.kernel +
+                            kx];
+            }
+          }
+        }
+        out[(oc * oh + y) * ow + x] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+TEST_P(Im2ColCases, LoweredConvMatchesDirect) {
+  const auto [in_c, in_h, in_w, kernel, stride, pad] = GetParam();
+  const ConvGeom g{in_c, in_h, in_w, kernel, stride, pad};
+  g.validate();
+  const std::int64_t out_c = 5;
+  Rng rng(in_c * 100 + kernel * 10 + stride);
+
+  std::vector<float> image(static_cast<std::size_t>(in_c * in_h * in_w));
+  for (auto& v : image) v = static_cast<float>(rng.normal());
+  std::vector<float> weight(
+      static_cast<std::size_t>(out_c * g.patch_size()));
+  for (auto& v : weight) v = static_cast<float>(rng.normal());
+
+  const std::int64_t pixels = g.out_h() * g.out_w();
+  std::vector<float> cols(static_cast<std::size_t>(g.patch_size() * pixels));
+  im2col(image.data(), g, cols.data());
+  std::vector<float> lowered(static_cast<std::size_t>(out_c * pixels), 0.0f);
+  gemm_naive(weight.data(), cols.data(), lowered.data(), out_c,
+             g.patch_size(), pixels);
+
+  const auto ref = direct_conv(image, weight, out_c, g);
+  ASSERT_EQ(lowered.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(lowered[i], ref[i], 1e-3) << "pixel " << i;
+  }
+}
+
+TEST_P(Im2ColCases, Col2ImIsAdjoint) {
+  // Adjoint identity: <im2col(x), y> == <x, col2im(y)> for all x, y.
+  const auto [in_c, in_h, in_w, kernel, stride, pad] = GetParam();
+  const ConvGeom g{in_c, in_h, in_w, kernel, stride, pad};
+  Rng rng(42);
+
+  const std::int64_t image_n = in_c * in_h * in_w;
+  const std::int64_t cols_n = g.patch_size() * g.out_h() * g.out_w();
+  std::vector<float> x(static_cast<std::size_t>(image_n));
+  std::vector<float> y(static_cast<std::size_t>(cols_n));
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+
+  std::vector<float> ax(static_cast<std::size_t>(cols_n));
+  im2col(x.data(), g, ax.data());
+  std::vector<float> aty(static_cast<std::size_t>(image_n), 0.0f);
+  col2im(y.data(), g, aty.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < cols_n; ++i) lhs += ax[i] * y[i];
+  for (std::int64_t i = 0; i < image_n; ++i) rhs += x[i] * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColCases,
+    ::testing::Values(ConvCase{1, 8, 8, 3, 1, 1}, ConvCase{3, 9, 7, 3, 1, 0},
+                      ConvCase{2, 12, 12, 5, 1, 2},
+                      ConvCase{4, 16, 16, 3, 2, 1},
+                      ConvCase{1, 28, 28, 5, 1, 2},
+                      ConvCase{3, 32, 32, 3, 1, 1},
+                      ConvCase{8, 10, 10, 1, 1, 0},
+                      ConvCase{2, 7, 7, 7, 1, 3}));
+
+TEST(ConvGeom, OutputMath) {
+  const ConvGeom g{3, 32, 32, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 16);
+  EXPECT_EQ(g.out_w(), 16);
+  EXPECT_EQ(g.patch_size(), 27);
+}
+
+TEST(ConvGeom, InvalidThrows) {
+  EXPECT_THROW((ConvGeom{0, 8, 8, 3, 1, 1}).validate(), Error);
+  EXPECT_THROW((ConvGeom{1, 2, 2, 5, 1, 0}).validate(), Error);
+  EXPECT_THROW((ConvGeom{1, 8, 8, 3, 0, 0}).validate(), Error);
+}
+
+TEST(Im2Col, ZeroPaddingWritesZeros) {
+  const ConvGeom g{1, 2, 2, 3, 1, 1};
+  std::vector<float> image{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> cols(static_cast<std::size_t>(9 * g.out_h() * g.out_w()));
+  im2col(image.data(), g, cols.data());
+  // Top-left output pixel, top-left kernel tap looks at (-1, -1) -> 0.
+  EXPECT_EQ(cols[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace lcrs

@@ -1,0 +1,134 @@
+// Tests for the confusion-matrix metrics and the PPM/PGM image output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "data/image_io.h"
+#include "data/logo.h"
+#include "nn/metrics.h"
+
+namespace lcrs {
+namespace {
+
+TEST(Confusion, CountsAndAccuracy) {
+  nn::ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_EQ(cm.count(0, 0), 2);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_NEAR(cm.accuracy(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(Confusion, RecallPrecisionBalanced) {
+  nn::ConfusionMatrix cm(3);
+  // class 0: 2 of 3 right; class 1: 1 of 1; class 2: 0 of 1.
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 2);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 1.0, 1e-12);
+  EXPECT_NEAR(cm.recall(2), 0.0, 1e-12);
+  EXPECT_NEAR(cm.precision(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.precision(2), 0.0, 1e-12);
+  EXPECT_NEAR(cm.balanced_accuracy(), (2.0 / 3.0 + 1.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(Confusion, EmptyClassConventions) {
+  nn::ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  EXPECT_NEAR(cm.recall(1), 1.0, 1e-12);     // no samples of class 1
+  EXPECT_NEAR(cm.precision(1), 1.0, 1e-12);  // never predicted
+}
+
+TEST(Confusion, AddBatchMatchesAccuracy) {
+  Tensor logits{Shape{3, 2}};
+  logits.at2(0, 1) = 1.0f;  // pred 1
+  logits.at2(1, 0) = 1.0f;  // pred 0
+  logits.at2(2, 1) = 1.0f;  // pred 1
+  const std::vector<std::int64_t> labels{1, 0, 0};
+  nn::ConfusionMatrix cm(2);
+  cm.add_batch(logits, labels);
+  EXPECT_NEAR(cm.accuracy(), nn::accuracy(logits, labels), 1e-12);
+}
+
+TEST(Confusion, OutOfRangeThrows) {
+  nn::ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), Error);
+  EXPECT_THROW(cm.add(0, -1), Error);
+  EXPECT_THROW(cm.count(0, 5), Error);
+}
+
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  return read_file(path);
+}
+
+TEST(ImageIo, WritesValidPpmHeaderAndSize) {
+  data::LogoSpec spec;
+  const Tensor logo = data::render_logo(spec, 0);  // [3, 32, 32]
+  const std::string path = ::testing::TempDir() + "/lcrs_logo.ppm";
+  data::write_image(path, logo);
+  const auto bytes = read_all(path);
+  std::remove(path.c_str());
+
+  const std::string header(bytes.begin(), bytes.begin() + 2);
+  EXPECT_EQ(header, "P6");
+  // P6\n32 32\n255\n + 32*32*3 payload
+  const std::string expected_hdr = "P6\n32 32\n255\n";
+  EXPECT_EQ(bytes.size(), expected_hdr.size() + 32 * 32 * 3);
+}
+
+TEST(ImageIo, GrayscaleUsesPgm) {
+  Tensor img{Shape{1, 4, 4}};
+  const std::string path = ::testing::TempDir() + "/lcrs_gray.pgm";
+  data::write_image(path, img);
+  const auto bytes = read_all(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(bytes.begin(), bytes.begin() + 2), "P5");
+}
+
+TEST(ImageIo, ValueMappingClampsToRange) {
+  Tensor img{Shape{1, 1, 3}};
+  img[0] = -5.0f;  // below lo -> 0
+  img[1] = 0.0f;   // mid -> ~128
+  img[2] = 5.0f;   // above hi -> 255
+  const std::string path = ::testing::TempDir() + "/lcrs_clamp.pgm";
+  data::write_image(path, img, -1.0f, 1.0f);
+  const auto bytes = read_all(path);
+  std::remove(path.c_str());
+  const std::size_t payload = bytes.size() - 3;
+  EXPECT_EQ(bytes[payload + 0], 0);
+  EXPECT_NEAR(bytes[payload + 1], 128, 1);
+  EXPECT_EQ(bytes[payload + 2], 255);
+}
+
+TEST(ImageIo, GridTilesBatch) {
+  Tensor batch{Shape{4, 3, 8, 8}};
+  const std::string path = ::testing::TempDir() + "/lcrs_grid.ppm";
+  data::write_image_grid(path, batch, 4, 2);
+  const auto bytes = read_all(path);
+  std::remove(path.c_str());
+  // 2x2 grid of 8x8 with 1px gaps -> 17x17.
+  const std::string expected_hdr = "P6\n17 17\n255\n";
+  EXPECT_EQ(std::string(bytes.begin(),
+                        bytes.begin() + static_cast<long>(expected_hdr.size())),
+            expected_hdr);
+}
+
+TEST(ImageIo, RejectsBadInput) {
+  EXPECT_THROW(data::write_image("/tmp/x.ppm", Tensor{Shape{2, 4, 4}}),
+               Error);  // 2 channels unsupported
+  EXPECT_THROW(
+      data::write_image("/nonexistent/dir/x.ppm", Tensor{Shape{1, 4, 4}}),
+      IoError);
+}
+
+}  // namespace
+}  // namespace lcrs

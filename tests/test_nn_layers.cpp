@@ -1,0 +1,278 @@
+// Behavioural tests of the nn layers (shapes, semantics, caching rules).
+// Gradient correctness is covered separately in test_gradcheck.cpp.
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/model_io.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs::nn {
+namespace {
+
+TEST(Conv2d, OutputShapeAndBias) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, 16, 16, rng);
+  const Tensor x = Tensor::randn(Shape{2, 3, 16, 16}, rng);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 16, 16}));
+  EXPECT_EQ(conv.param_count(), 8 * 3 * 9 + 8);
+  EXPECT_EQ(conv.flops_per_sample(), 2 * 8 * 27 * 256 + 8 * 256);
+}
+
+TEST(Conv2d, BiasShiftsOutput) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 1, 1, 0, 4, 4, rng);
+  conv.weight().value.fill(0.0f);
+  conv.bias_param().value[0] = 3.5f;
+  const Tensor y = conv.forward(Tensor{Shape{1, 1, 4, 4}}, false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], 3.5f);
+}
+
+TEST(Conv2d, WrongInputShapeThrows) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, 16, 16, rng);
+  EXPECT_THROW(conv.forward(Tensor{Shape{1, 3, 8, 8}}, false), Error);
+  EXPECT_THROW(conv.forward(Tensor{Shape{3, 16, 16}}, false), Error);
+}
+
+TEST(Conv2d, BackwardWithoutForwardThrows) {
+  Rng rng(1);
+  Conv2d conv(1, 2, 3, 1, 1, 8, 8, rng);
+  EXPECT_THROW(conv.backward(Tensor{Shape{1, 2, 8, 8}}), Error);
+}
+
+TEST(Linear, MatchesManualAffine) {
+  Rng rng(2);
+  Linear lin(3, 2, rng);
+  lin.weight().value.fill(0.0f);
+  lin.weight().value.at2(0, 1) = 2.0f;  // y0 = 2 * x1
+  lin.bias_param().value[1] = -1.0f;    // y1 = -1
+  Tensor x{Shape{1, 3}};
+  x[1] = 4.0f;
+  const Tensor y = lin.forward(x, false);
+  EXPECT_EQ(y.at2(0, 0), 8.0f);
+  EXPECT_EQ(y.at2(0, 1), -1.0f);
+}
+
+TEST(Activations, ReLUClampsNegatives) {
+  ReLU relu;
+  Tensor x{Shape{4}};
+  x[0] = -2.0f; x[1] = 0.0f; x[2] = 3.0f; x[3] = -0.1f;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 3.0f);
+  Tensor g = Tensor::ones(Shape{4});
+  const Tensor gx = relu.backward(g);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[2], 1.0f);
+}
+
+TEST(Activations, HardTanhClampsAndGates) {
+  HardTanh ht;
+  Tensor x{Shape{3}};
+  x[0] = -5.0f; x[1] = 0.5f; x[2] = 2.0f;
+  const Tensor y = ht.forward(x, true);
+  EXPECT_EQ(y[0], -1.0f);
+  EXPECT_EQ(y[1], 0.5f);
+  EXPECT_EQ(y[2], 1.0f);
+  const Tensor gx = ht.backward(Tensor::ones(Shape{3}));
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[1], 1.0f);
+  EXPECT_EQ(gx[2], 0.0f);
+}
+
+TEST(MaxPool, PicksWindowMaxAndRoutesGradient) {
+  MaxPool2d pool(2, 2);
+  Tensor x{Shape{1, 1, 2, 2}};
+  x[0] = 1.0f; x[1] = 5.0f; x[2] = 2.0f; x[3] = 3.0f;
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_EQ(y[0], 5.0f);
+  Tensor g{Shape{1, 1, 1, 1}};
+  g[0] = 7.0f;
+  const Tensor gx = pool.backward(g);
+  EXPECT_EQ(gx[1], 7.0f);
+  EXPECT_EQ(gx[0], 0.0f);
+}
+
+TEST(AvgPool, AveragesWindow) {
+  AvgPool2d pool(2, 2);
+  Tensor x{Shape{1, 1, 2, 2}};
+  x[0] = 1.0f; x[1] = 2.0f; x[2] = 3.0f; x[3] = 6.0f;
+  EXPECT_EQ(pool.forward(x, false)[0], 3.0f);
+}
+
+TEST(GlobalAvgPool, CollapsesSpatialDims) {
+  GlobalAvgPool gap;
+  Tensor x{Shape{1, 2, 2, 2}};
+  for (std::int64_t i = 0; i < 4; ++i) x[i] = 2.0f;       // channel 0
+  for (std::int64_t i = 4; i < 8; ++i) x[i] = 4.0f;       // channel 1
+  const Tensor y = gap.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_EQ(y.at2(0, 0), 2.0f);
+  EXPECT_EQ(y.at2(0, 1), 4.0f);
+  const Tensor gx = gap.backward(Tensor::ones(Shape{1, 2}));
+  EXPECT_EQ(gx[0], 0.25f);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten fl;
+  const Tensor x = Tensor::ones(Shape{2, 3, 4, 4});
+  const Tensor y = fl.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+  EXPECT_EQ(fl.backward(y).shape(), x.shape());
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  Rng rng(3);
+  BatchNorm bn(4);
+  const Tensor x = Tensor::randn(Shape{16, 4, 5, 5}, rng, 3.0f, 2.0f);
+  const Tensor y = bn.forward(x, true);
+  // Per-channel output should be ~N(0,1) since gamma=1, beta=0.
+  const std::int64_t spatial = 25;
+  for (std::int64_t c = 0; c < 4; ++c) {
+    double m = 0.0, v = 0.0;
+    for (std::int64_t b = 0; b < 16; ++b) {
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        m += y[(b * 4 + c) * spatial + i];
+      }
+    }
+    m /= 16.0 * spatial;
+    for (std::int64_t b = 0; b < 16; ++b) {
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        const double d = y[(b * 4 + c) * spatial + i] - m;
+        v += d * d;
+      }
+    }
+    v /= 16.0 * spatial;
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(v, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  Rng rng(4);
+  BatchNorm bn(2);
+  // Train a few batches so running stats move toward (5, ~1).
+  for (int i = 0; i < 200; ++i) {
+    const Tensor x = Tensor::randn(Shape{8, 2, 3, 3}, rng, 5.0f, 1.0f);
+    bn.forward(x, true);
+  }
+  const Tensor probe = Tensor::full(Shape{1, 2, 3, 3}, 5.0f);
+  const Tensor y = bn.forward(probe, false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], 0.0f, 0.2f);
+}
+
+TEST(BatchNorm, AcceptsRank2Input) {
+  Rng rng(5);
+  BatchNorm bn(8);
+  const Tensor x = Tensor::randn(Shape{16, 8}, rng);
+  EXPECT_EQ(bn.forward(x, true).shape(), x.shape());
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Rng rng(6);
+  Dropout drop(0.5f, rng);
+  const Tensor x = Tensor::randn(Shape{100}, rng);
+  EXPECT_EQ(max_abs_diff(drop.forward(x, false), x), 0.0f);
+}
+
+TEST(Dropout, TrainDropsAndRescales) {
+  Rng rng(7);
+  Dropout drop(0.5f, rng);
+  const Tensor x = Tensor::ones(Shape{10000});
+  const Tensor y = drop.forward(x, true);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // survivors scaled by 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.05);
+}
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  Rng rng(8);
+  EXPECT_THROW(Dropout(1.0f, rng), Error);
+  EXPECT_THROW(Dropout(-0.1f, rng), Error);
+}
+
+TEST(Sequential, ChainsAndCollectsParams) {
+  Rng rng(9);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 4, 3, 1, 1, 8, 8, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Flatten>();
+  seq.emplace<Linear>(4 * 64, 10, rng);
+  const Tensor y = seq.forward(Tensor::randn(Shape{2, 1, 8, 8}, rng), false);
+  EXPECT_EQ(y.shape(), (Shape{2, 10}));
+  EXPECT_EQ(seq.params().size(), 4u);  // conv w+b, linear w+b
+  EXPECT_GT(seq.flops_per_sample(), 0);
+}
+
+TEST(Sequential, PrefixSuffixComposition) {
+  Rng rng(10);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 4, 3, 1, 1, 8, 8, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Flatten>();
+  seq.emplace<Linear>(4 * 64, 10, rng);
+  const Tensor x = Tensor::randn(Shape{1, 1, 8, 8}, rng);
+  const Tensor whole = seq.forward(x, false);
+  const Tensor mid = seq.forward_prefix(x, 2);
+  const Tensor stitched = seq.forward_suffix(mid, 2);
+  EXPECT_LT(max_abs_diff(whole, stitched), 1e-5f);
+}
+
+TEST(Residual, ShapePreservingAndDownsampling) {
+  Rng rng(11);
+  ResidualBlock same(8, 8, 1, 16, 16, rng);
+  const Tensor x = Tensor::randn(Shape{2, 8, 16, 16}, rng);
+  EXPECT_EQ(same.forward(x, false).shape(), x.shape());
+
+  ResidualBlock down(8, 16, 2, 16, 16, rng);
+  EXPECT_EQ(down.forward(x, false).shape(), (Shape{2, 16, 8, 8}));
+  EXPECT_GT(down.params().size(), same.params().size());
+}
+
+TEST(ModelIo, SaveLoadRoundTrip) {
+  Rng rng(12);
+  Sequential a;
+  a.emplace<Conv2d>(1, 4, 3, 1, 1, 8, 8, rng);
+  a.emplace<Flatten>();
+  a.emplace<Linear>(4 * 64, 5, rng);
+  Rng rng2(99);
+  Sequential b;
+  b.emplace<Conv2d>(1, 4, 3, 1, 1, 8, 8, rng2);
+  b.emplace<Flatten>();
+  b.emplace<Linear>(4 * 64, 5, rng2);
+
+  const auto bytes = save_params(a);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()),
+            serialized_param_bytes(a));
+  load_params(b, bytes);
+
+  const Tensor x = Tensor::randn(Shape{1, 1, 8, 8}, rng);
+  EXPECT_EQ(max_abs_diff(a.forward(x, false), b.forward(x, false)), 0.0f);
+}
+
+TEST(ModelIo, MismatchedModelThrows) {
+  Rng rng(13);
+  Sequential a;
+  a.emplace<Linear>(4, 2, rng);
+  Sequential b;
+  b.emplace<Linear>(4, 3, rng);
+  EXPECT_THROW(load_params(b, save_params(a)), ParseError);
+}
+
+}  // namespace
+}  // namespace lcrs::nn
