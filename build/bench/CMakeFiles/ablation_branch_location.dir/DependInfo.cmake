@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_branch_location.cpp" "bench/CMakeFiles/ablation_branch_location.dir/ablation_branch_location.cpp.o" "gcc" "bench/CMakeFiles/ablation_branch_location.dir/ablation_branch_location.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcrs_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_webinfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_branch_location.dir/ablation_branch_location.cpp.o"
+  "CMakeFiles/ablation_branch_location.dir/ablation_branch_location.cpp.o.d"
+  "ablation_branch_location"
+  "ablation_branch_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branch_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_num_branches.dir/ablation_num_branches.cpp.o"
+  "CMakeFiles/ablation_num_branches.dir/ablation_num_branches.cpp.o.d"
+  "ablation_num_branches"
+  "ablation_num_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_num_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_branch_structure.dir/fig4_branch_structure.cpp.o"
+  "CMakeFiles/fig4_branch_structure.dir/fig4_branch_structure.cpp.o.d"
+  "fig4_branch_structure"
+  "fig4_branch_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_branch_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_training.dir/table1_training.cpp.o"
+  "CMakeFiles/table1_training.dir/table1_training.cpp.o.d"
+  "table1_training"
+  "table1_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_comm.dir/table3_comm.cpp.o"
+  "CMakeFiles/table3_comm.dir/table3_comm.cpp.o.d"
+  "table3_comm"
+  "table3_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_server_demo.dir/edge_server_demo.cpp.o"
+  "CMakeFiles/edge_server_demo.dir/edge_server_demo.cpp.o.d"
+  "edge_server_demo"
+  "edge_server_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_server_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

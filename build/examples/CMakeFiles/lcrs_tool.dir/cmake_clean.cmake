@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_tool.dir/lcrs_tool.cpp.o"
+  "CMakeFiles/lcrs_tool.dir/lcrs_tool.cpp.o.d"
+  "lcrs_tool"
+  "lcrs_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webar_logo_recognition.dir/webar_logo_recognition.cpp.o"
+  "CMakeFiles/webar_logo_recognition.dir/webar_logo_recognition.cpp.o.d"
+  "webar_logo_recognition"
+  "webar_logo_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webar_logo_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

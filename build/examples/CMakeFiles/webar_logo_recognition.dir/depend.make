@@ -1,0 +1,2 @@
+# Empty dependencies file for webar_logo_recognition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/approach.cpp" "src/CMakeFiles/lcrs_baselines.dir/baselines/approach.cpp.o" "gcc" "src/CMakeFiles/lcrs_baselines.dir/baselines/approach.cpp.o.d"
+  "/root/repo/src/baselines/edge_only.cpp" "src/CMakeFiles/lcrs_baselines.dir/baselines/edge_only.cpp.o" "gcc" "src/CMakeFiles/lcrs_baselines.dir/baselines/edge_only.cpp.o.d"
+  "/root/repo/src/baselines/edgent.cpp" "src/CMakeFiles/lcrs_baselines.dir/baselines/edgent.cpp.o" "gcc" "src/CMakeFiles/lcrs_baselines.dir/baselines/edgent.cpp.o.d"
+  "/root/repo/src/baselines/lcrs_approach.cpp" "src/CMakeFiles/lcrs_baselines.dir/baselines/lcrs_approach.cpp.o" "gcc" "src/CMakeFiles/lcrs_baselines.dir/baselines/lcrs_approach.cpp.o.d"
+  "/root/repo/src/baselines/mobile_only.cpp" "src/CMakeFiles/lcrs_baselines.dir/baselines/mobile_only.cpp.o" "gcc" "src/CMakeFiles/lcrs_baselines.dir/baselines/mobile_only.cpp.o.d"
+  "/root/repo/src/baselines/neurosurgeon.cpp" "src/CMakeFiles/lcrs_baselines.dir/baselines/neurosurgeon.cpp.o" "gcc" "src/CMakeFiles/lcrs_baselines.dir/baselines/neurosurgeon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_baselines.dir/baselines/approach.cpp.o"
+  "CMakeFiles/lcrs_baselines.dir/baselines/approach.cpp.o.d"
+  "CMakeFiles/lcrs_baselines.dir/baselines/edge_only.cpp.o"
+  "CMakeFiles/lcrs_baselines.dir/baselines/edge_only.cpp.o.d"
+  "CMakeFiles/lcrs_baselines.dir/baselines/edgent.cpp.o"
+  "CMakeFiles/lcrs_baselines.dir/baselines/edgent.cpp.o.d"
+  "CMakeFiles/lcrs_baselines.dir/baselines/lcrs_approach.cpp.o"
+  "CMakeFiles/lcrs_baselines.dir/baselines/lcrs_approach.cpp.o.d"
+  "CMakeFiles/lcrs_baselines.dir/baselines/mobile_only.cpp.o"
+  "CMakeFiles/lcrs_baselines.dir/baselines/mobile_only.cpp.o.d"
+  "CMakeFiles/lcrs_baselines.dir/baselines/neurosurgeon.cpp.o"
+  "CMakeFiles/lcrs_baselines.dir/baselines/neurosurgeon.cpp.o.d"
+  "liblcrs_baselines.a"
+  "liblcrs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binary/binarize.cpp" "src/CMakeFiles/lcrs_binary.dir/binary/binarize.cpp.o" "gcc" "src/CMakeFiles/lcrs_binary.dir/binary/binarize.cpp.o.d"
+  "/root/repo/src/binary/binary_conv2d.cpp" "src/CMakeFiles/lcrs_binary.dir/binary/binary_conv2d.cpp.o" "gcc" "src/CMakeFiles/lcrs_binary.dir/binary/binary_conv2d.cpp.o.d"
+  "/root/repo/src/binary/binary_linear.cpp" "src/CMakeFiles/lcrs_binary.dir/binary/binary_linear.cpp.o" "gcc" "src/CMakeFiles/lcrs_binary.dir/binary/binary_linear.cpp.o.d"
+  "/root/repo/src/binary/bitmatrix.cpp" "src/CMakeFiles/lcrs_binary.dir/binary/bitmatrix.cpp.o" "gcc" "src/CMakeFiles/lcrs_binary.dir/binary/bitmatrix.cpp.o.d"
+  "/root/repo/src/binary/input_scale.cpp" "src/CMakeFiles/lcrs_binary.dir/binary/input_scale.cpp.o" "gcc" "src/CMakeFiles/lcrs_binary.dir/binary/input_scale.cpp.o.d"
+  "/root/repo/src/binary/quantized.cpp" "src/CMakeFiles/lcrs_binary.dir/binary/quantized.cpp.o" "gcc" "src/CMakeFiles/lcrs_binary.dir/binary/quantized.cpp.o.d"
+  "/root/repo/src/binary/xnor_gemm.cpp" "src/CMakeFiles/lcrs_binary.dir/binary/xnor_gemm.cpp.o" "gcc" "src/CMakeFiles/lcrs_binary.dir/binary/xnor_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcrs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_binary.dir/binary/binarize.cpp.o"
+  "CMakeFiles/lcrs_binary.dir/binary/binarize.cpp.o.d"
+  "CMakeFiles/lcrs_binary.dir/binary/binary_conv2d.cpp.o"
+  "CMakeFiles/lcrs_binary.dir/binary/binary_conv2d.cpp.o.d"
+  "CMakeFiles/lcrs_binary.dir/binary/binary_linear.cpp.o"
+  "CMakeFiles/lcrs_binary.dir/binary/binary_linear.cpp.o.d"
+  "CMakeFiles/lcrs_binary.dir/binary/bitmatrix.cpp.o"
+  "CMakeFiles/lcrs_binary.dir/binary/bitmatrix.cpp.o.d"
+  "CMakeFiles/lcrs_binary.dir/binary/input_scale.cpp.o"
+  "CMakeFiles/lcrs_binary.dir/binary/input_scale.cpp.o.d"
+  "CMakeFiles/lcrs_binary.dir/binary/quantized.cpp.o"
+  "CMakeFiles/lcrs_binary.dir/binary/quantized.cpp.o.d"
+  "CMakeFiles/lcrs_binary.dir/binary/xnor_gemm.cpp.o"
+  "CMakeFiles/lcrs_binary.dir/binary/xnor_gemm.cpp.o.d"
+  "liblcrs_binary.a"
+  "liblcrs_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

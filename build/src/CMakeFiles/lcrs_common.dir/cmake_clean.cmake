@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/lcrs_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/lcrs_common.dir/common/logging.cpp.o"
+  "CMakeFiles/lcrs_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/lcrs_common.dir/common/parallel.cpp.o"
+  "CMakeFiles/lcrs_common.dir/common/parallel.cpp.o.d"
+  "liblcrs_common.a"
+  "liblcrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/CMakeFiles/lcrs_core.dir/core/checkpoint.cpp.o" "gcc" "src/CMakeFiles/lcrs_core.dir/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/composite.cpp" "src/CMakeFiles/lcrs_core.dir/core/composite.cpp.o" "gcc" "src/CMakeFiles/lcrs_core.dir/core/composite.cpp.o.d"
+  "/root/repo/src/core/entropy.cpp" "src/CMakeFiles/lcrs_core.dir/core/entropy.cpp.o" "gcc" "src/CMakeFiles/lcrs_core.dir/core/entropy.cpp.o.d"
+  "/root/repo/src/core/exit_policy.cpp" "src/CMakeFiles/lcrs_core.dir/core/exit_policy.cpp.o" "gcc" "src/CMakeFiles/lcrs_core.dir/core/exit_policy.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/CMakeFiles/lcrs_core.dir/core/inference.cpp.o" "gcc" "src/CMakeFiles/lcrs_core.dir/core/inference.cpp.o.d"
+  "/root/repo/src/core/joint_trainer.cpp" "src/CMakeFiles/lcrs_core.dir/core/joint_trainer.cpp.o" "gcc" "src/CMakeFiles/lcrs_core.dir/core/joint_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcrs_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_core.dir/core/checkpoint.cpp.o"
+  "CMakeFiles/lcrs_core.dir/core/checkpoint.cpp.o.d"
+  "CMakeFiles/lcrs_core.dir/core/composite.cpp.o"
+  "CMakeFiles/lcrs_core.dir/core/composite.cpp.o.d"
+  "CMakeFiles/lcrs_core.dir/core/entropy.cpp.o"
+  "CMakeFiles/lcrs_core.dir/core/entropy.cpp.o.d"
+  "CMakeFiles/lcrs_core.dir/core/exit_policy.cpp.o"
+  "CMakeFiles/lcrs_core.dir/core/exit_policy.cpp.o.d"
+  "CMakeFiles/lcrs_core.dir/core/inference.cpp.o"
+  "CMakeFiles/lcrs_core.dir/core/inference.cpp.o.d"
+  "CMakeFiles/lcrs_core.dir/core/joint_trainer.cpp.o"
+  "CMakeFiles/lcrs_core.dir/core/joint_trainer.cpp.o.d"
+  "liblcrs_core.a"
+  "liblcrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

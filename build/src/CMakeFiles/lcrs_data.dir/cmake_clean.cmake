@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_data.dir/data/augment.cpp.o"
+  "CMakeFiles/lcrs_data.dir/data/augment.cpp.o.d"
+  "CMakeFiles/lcrs_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/lcrs_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/lcrs_data.dir/data/image_io.cpp.o"
+  "CMakeFiles/lcrs_data.dir/data/image_io.cpp.o.d"
+  "CMakeFiles/lcrs_data.dir/data/logo.cpp.o"
+  "CMakeFiles/lcrs_data.dir/data/logo.cpp.o.d"
+  "CMakeFiles/lcrs_data.dir/data/synthetic.cpp.o"
+  "CMakeFiles/lcrs_data.dir/data/synthetic.cpp.o.d"
+  "liblcrs_data.a"
+  "liblcrs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

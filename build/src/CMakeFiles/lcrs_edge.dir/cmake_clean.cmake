@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_edge.dir/edge/client.cpp.o"
+  "CMakeFiles/lcrs_edge.dir/edge/client.cpp.o.d"
+  "CMakeFiles/lcrs_edge.dir/edge/local_runtime.cpp.o"
+  "CMakeFiles/lcrs_edge.dir/edge/local_runtime.cpp.o.d"
+  "CMakeFiles/lcrs_edge.dir/edge/protocol.cpp.o"
+  "CMakeFiles/lcrs_edge.dir/edge/protocol.cpp.o.d"
+  "CMakeFiles/lcrs_edge.dir/edge/server.cpp.o"
+  "CMakeFiles/lcrs_edge.dir/edge/server.cpp.o.d"
+  "CMakeFiles/lcrs_edge.dir/edge/tcp.cpp.o"
+  "CMakeFiles/lcrs_edge.dir/edge/tcp.cpp.o.d"
+  "liblcrs_edge.a"
+  "liblcrs_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_models.dir/models/accounting.cpp.o"
+  "CMakeFiles/lcrs_models.dir/models/accounting.cpp.o.d"
+  "CMakeFiles/lcrs_models.dir/models/zoo.cpp.o"
+  "CMakeFiles/lcrs_models.dir/models/zoo.cpp.o.d"
+  "liblcrs_models.a"
+  "liblcrs_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/metrics.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/metrics.cpp.o.d"
+  "/root/repo/src/nn/model_io.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/model_io.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/model_io.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/residual.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/lcrs_nn.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/lcrs_nn.dir/nn/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcrs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

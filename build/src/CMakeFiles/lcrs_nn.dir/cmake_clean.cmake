@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/batchnorm.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/batchnorm.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/conv2d.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/conv2d.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/dropout.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/dropout.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/metrics.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/metrics.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/model_io.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/model_io.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/pooling.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/pooling.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/residual.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/residual.cpp.o.d"
+  "CMakeFiles/lcrs_nn.dir/nn/sequential.cpp.o"
+  "CMakeFiles/lcrs_nn.dir/nn/sequential.cpp.o.d"
+  "liblcrs_nn.a"
+  "liblcrs_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

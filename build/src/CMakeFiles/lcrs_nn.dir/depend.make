@@ -1,0 +1,2 @@
+# Empty dependencies file for lcrs_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/lcrs_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/lcrs_sim.dir/sim/device_model.cpp.o"
+  "CMakeFiles/lcrs_sim.dir/sim/device_model.cpp.o.d"
+  "CMakeFiles/lcrs_sim.dir/sim/network_model.cpp.o"
+  "CMakeFiles/lcrs_sim.dir/sim/network_model.cpp.o.d"
+  "CMakeFiles/lcrs_sim.dir/sim/queueing.cpp.o"
+  "CMakeFiles/lcrs_sim.dir/sim/queueing.cpp.o.d"
+  "liblcrs_sim.a"
+  "liblcrs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcrs_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/gemm.cpp" "src/CMakeFiles/lcrs_tensor.dir/tensor/gemm.cpp.o" "gcc" "src/CMakeFiles/lcrs_tensor.dir/tensor/gemm.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "src/CMakeFiles/lcrs_tensor.dir/tensor/im2col.cpp.o" "gcc" "src/CMakeFiles/lcrs_tensor.dir/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "src/CMakeFiles/lcrs_tensor.dir/tensor/serialize.cpp.o" "gcc" "src/CMakeFiles/lcrs_tensor.dir/tensor/serialize.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/lcrs_tensor.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/lcrs_tensor.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/lcrs_tensor.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/lcrs_tensor.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_ops.cpp" "src/CMakeFiles/lcrs_tensor.dir/tensor/tensor_ops.cpp.o" "gcc" "src/CMakeFiles/lcrs_tensor.dir/tensor/tensor_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_tensor.dir/tensor/gemm.cpp.o"
+  "CMakeFiles/lcrs_tensor.dir/tensor/gemm.cpp.o.d"
+  "CMakeFiles/lcrs_tensor.dir/tensor/im2col.cpp.o"
+  "CMakeFiles/lcrs_tensor.dir/tensor/im2col.cpp.o.d"
+  "CMakeFiles/lcrs_tensor.dir/tensor/serialize.cpp.o"
+  "CMakeFiles/lcrs_tensor.dir/tensor/serialize.cpp.o.d"
+  "CMakeFiles/lcrs_tensor.dir/tensor/shape.cpp.o"
+  "CMakeFiles/lcrs_tensor.dir/tensor/shape.cpp.o.d"
+  "CMakeFiles/lcrs_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/lcrs_tensor.dir/tensor/tensor.cpp.o.d"
+  "CMakeFiles/lcrs_tensor.dir/tensor/tensor_ops.cpp.o"
+  "CMakeFiles/lcrs_tensor.dir/tensor/tensor_ops.cpp.o.d"
+  "liblcrs_tensor.a"
+  "liblcrs_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrs_webinfer.dir/webinfer/engine.cpp.o"
+  "CMakeFiles/lcrs_webinfer.dir/webinfer/engine.cpp.o.d"
+  "CMakeFiles/lcrs_webinfer.dir/webinfer/export.cpp.o"
+  "CMakeFiles/lcrs_webinfer.dir/webinfer/export.cpp.o.d"
+  "CMakeFiles/lcrs_webinfer.dir/webinfer/format.cpp.o"
+  "CMakeFiles/lcrs_webinfer.dir/webinfer/format.cpp.o.d"
+  "liblcrs_webinfer.a"
+  "liblcrs_webinfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrs_webinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lcrs_webinfer.
+# This may be replaced when dependencies are built.

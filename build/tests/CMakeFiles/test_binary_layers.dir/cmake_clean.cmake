@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_layers.dir/test_binary_layers.cpp.o"
+  "CMakeFiles/test_binary_layers.dir/test_binary_layers.cpp.o.d"
+  "test_binary_layers"
+  "test_binary_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_io.dir/test_metrics_io.cpp.o"
+  "CMakeFiles/test_metrics_io.dir/test_metrics_io.cpp.o.d"
+  "test_metrics_io"
+  "test_metrics_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

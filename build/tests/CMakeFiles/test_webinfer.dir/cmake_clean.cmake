@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webinfer.dir/test_webinfer.cpp.o"
+  "CMakeFiles/test_webinfer.dir/test_webinfer.cpp.o.d"
+  "test_webinfer"
+  "test_webinfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
