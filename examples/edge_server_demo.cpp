@@ -61,29 +61,58 @@ int main(int argc, char** argv) {
   const double demo_tau = std::min(result.exit_stats.tau, 0.02);
   std::printf("screened tau %.3f; using stricter demo tau %.3f\n\n",
               result.exit_stats.tau, demo_tau);
+  // Bound every edge completion: 3 attempts, capped backoff, 250 ms
+  // total budget, and binary-branch fallback when the edge is gone.
+  edge::RetryPolicy retry;
+  retry.deadline_ms = 250.0;
   edge::BrowserClient client(webinfer::Engine::from_bytes(blob),
-                             core::ExitPolicy{demo_tau}, server.port());
+                             core::ExitPolicy{demo_tau}, server.port(),
+                             retry);
   std::int64_t correct = 0;
   for (std::int64_t i = 0; i < samples; ++i) {
     const edge::ClientResult r = client.classify(tt.test.image(i));
     if (r.label == tt.test.labels[static_cast<std::size_t>(i)]) ++correct;
     if (i < 10) {
       std::printf("sample %2lld: predicted %lld (truth %lld), entropy %.3f "
-                  "%s\n",
+                  "[%s]\n",
                   static_cast<long long>(i), static_cast<long long>(r.label),
                   static_cast<long long>(
                       tt.test.labels[static_cast<std::size_t>(i)]),
-                  r.entropy,
-                  r.exit_point == core::ExitPoint::kBinaryBranch
-                      ? "[exited in browser]"
-                      : "[completed at edge]");
+                  r.entropy, core::to_string(r.exit_point));
     }
   }
 
+  const edge::ServerStats server_stats = server.stats();
   std::printf("\naccuracy %.0f%% over %lld samples; %.0f%% exited at the "
-              "binary branch;\nedge server completed %lld requests.\n",
+              "binary branch;\nedge server completed %lld requests "
+              "(%.2f ms mean).\n",
               100.0 * correct / samples, static_cast<long long>(samples),
               100.0 * client.exit_fraction(),
-              static_cast<long long>(server.requests_served()));
+              static_cast<long long>(server_stats.requests_served),
+              server_stats.mean_completion_ms());
+
+  // Graceful degradation: kill the edge server, then classify again. The
+  // client retries, gives up within its deadline, and still answers from
+  // the binary branch instead of throwing.
+  server.stop();
+  const std::int64_t offline = std::min<std::int64_t>(samples, 5);
+  std::printf("\nedge server stopped; classifying %lld more samples "
+              "offline...\n",
+              static_cast<long long>(offline));
+  std::int64_t offline_correct = 0;
+  for (std::int64_t i = 0; i < offline; ++i) {
+    const edge::ClientResult r = client.classify(tt.test.image(i));
+    if (r.label == tt.test.labels[static_cast<std::size_t>(i)]) {
+      ++offline_correct;
+    }
+  }
+  const edge::ClientStats& cs = client.stats();
+  std::printf("offline accuracy %lld/%lld; %lld fallback answers, "
+              "%lld retries, %lld reconnects.\n",
+              static_cast<long long>(offline_correct),
+              static_cast<long long>(offline),
+              static_cast<long long>(cs.fallbacks),
+              static_cast<long long>(cs.retries),
+              static_cast<long long>(cs.reconnects));
   return 0;
 }

@@ -180,9 +180,13 @@ int cmd_serve(int argc, char** argv) {
   int ch;
   while ((ch = std::getchar()) != EOF) {
   }
-  std::printf("served %lld requests over %lld connections\n",
-              static_cast<long long>(server.requests_served()),
-              static_cast<long long>(server.connections_accepted()));
+  const edge::ServerStats stats = server.stats();
+  std::printf("served %lld requests over %lld connections "
+              "(%.2f ms mean completion, %lld connection errors)\n",
+              static_cast<long long>(stats.requests_served),
+              static_cast<long long>(stats.connections_accepted),
+              stats.mean_completion_ms(),
+              static_cast<long long>(stats.connection_errors));
   return 0;
 }
 
@@ -208,14 +212,15 @@ int cmd_classify(int argc, char** argv) {
                 static_cast<long long>(i), static_cast<long long>(r.label),
                 static_cast<long long>(
                     test.labels[static_cast<std::size_t>(i)]),
-                r.entropy,
-                r.exit_point == core::ExitPoint::kBinaryBranch
-                    ? "[browser]"
-                    : "[edge]");
+                r.entropy, core::to_string(r.exit_point));
   }
-  std::printf("accuracy %.0f%%, exit fraction %.0f%%\n",
+  const edge::ClientStats& cs = client.stats();
+  std::printf("accuracy %.0f%%, exit fraction %.0f%%, fallbacks %lld, "
+              "retries %lld\n",
               100.0 * correct / static_cast<double>(test.size()),
-              100.0 * client.exit_fraction());
+              100.0 * client.exit_fraction(),
+              static_cast<long long>(cs.fallbacks),
+              static_cast<long long>(cs.retries));
   return 0;
 }
 

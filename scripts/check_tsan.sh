@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive suites under ThreadSanitizer and runs
+# them. The edge runtime (server/client threads, shutdown paths, fault
+# injection) is the only multi-threaded subsystem, so building test_edge +
+# test_common keeps the TSan cycle fast while covering every lock and
+# atomic the serving path uses.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . -DLCRS_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target test_edge test_common
+
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
+"$BUILD_DIR/tests/test_common"
+"$BUILD_DIR/tests/test_edge"
+
+echo "TSan: edge + common suites clean."

@@ -37,6 +37,14 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when an I/O deadline expires before the operation completes.
+/// Derives from IoError so transport-level retry/fallback handlers that
+/// catch IoError also cover timeouts.
+class TimeoutError : public IoError {
+ public:
+  explicit TimeoutError(const std::string& what) : IoError(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
                                              const char* file, int line,

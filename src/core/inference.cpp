@@ -5,6 +5,18 @@
 
 namespace lcrs::core {
 
+const char* to_string(ExitPoint p) {
+  switch (p) {
+    case ExitPoint::kBinaryBranch:
+      return "binary-branch";
+    case ExitPoint::kMainBranch:
+      return "main-branch";
+    case ExitPoint::kBinaryBranchFallback:
+      return "binary-branch-fallback";
+  }
+  return "unknown";
+}
+
 InferenceResult collaborative_infer(CompositeNetwork& net,
                                     const ExitPolicy& policy,
                                     const Tensor& sample) {

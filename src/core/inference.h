@@ -12,8 +12,14 @@
 
 namespace lcrs::core {
 
-/// Where the final prediction came from.
-enum class ExitPoint { kBinaryBranch, kMainBranch };
+/// Where the final prediction came from. kBinaryBranchFallback means the
+/// sample *wanted* the edge's main branch but the edge was unreachable (or
+/// the deadline expired), so the runtime degraded gracefully to the binary
+/// branch's answer instead of failing the request.
+enum class ExitPoint { kBinaryBranch, kMainBranch, kBinaryBranchFallback };
+
+/// Human-readable name for logs and demos.
+const char* to_string(ExitPoint p);
 
 /// Result of Algorithm 2 for one sample.
 struct InferenceResult {

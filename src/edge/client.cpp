@@ -1,13 +1,38 @@
 #include "edge/client.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
 #include "core/entropy.h"
 #include "tensor/tensor_ops.h"
 
 namespace lcrs::edge {
 
+void RetryPolicy::validate() const {
+  LCRS_CHECK(max_attempts >= 1, "max_attempts must be >= 1");
+  LCRS_CHECK(initial_backoff_ms >= 0.0, "negative initial_backoff_ms");
+  LCRS_CHECK(backoff_multiplier >= 1.0, "backoff_multiplier must be >= 1");
+  LCRS_CHECK(max_backoff_ms >= 0.0, "negative max_backoff_ms");
+  LCRS_CHECK(deadline_ms >= 0.0, "negative deadline_ms");
+}
+
+RetryPolicy RetryPolicy::no_retry() {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  p.initial_backoff_ms = 0.0;
+  return p;
+}
+
 BrowserClient::BrowserClient(webinfer::Engine engine, core::ExitPolicy policy,
-                             std::uint16_t port)
-    : engine_(std::move(engine)), policy_(policy), port_(port) {}
+                             std::uint16_t port, RetryPolicy retry)
+    : engine_(std::move(engine)),
+      policy_(policy),
+      port_(port),
+      retry_(retry) {
+  retry_.validate();
+}
 
 ClientResult BrowserClient::classify(const Tensor& sample) {
   LCRS_CHECK(sample.rank() == 4 && sample.dim(0) == 1,
@@ -18,9 +43,9 @@ ClientResult BrowserClient::classify(const Tensor& sample) {
   const double entropy =
       core::normalized_entropy(probs.data(), probs.dim(1));
 
-  ++classified_;
+  ++stats_.classified;
   if (policy_.should_exit(entropy)) {
-    ++exited_;
+    ++stats_.exited_binary;
     ClientResult r;
     r.label = argmax(probs);
     r.exit_point = core::ExitPoint::kBinaryBranch;
@@ -28,17 +53,21 @@ ClientResult BrowserClient::classify(const Tensor& sample) {
     r.probabilities = probs;
     return r;
   }
-  return complete_at_edge(shared, entropy);
+  return complete_at_edge(shared, probs, entropy);
 }
 
-ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
-                                             double entropy) {
+ClientResult BrowserClient::attempt_edge_completion(const Tensor& shared,
+                                                    double entropy,
+                                                    const Deadline& deadline) {
   if (!conn_.has_value() || !conn_->valid()) {
     conn_ = connect_local(port_);
+    if (connected_once_) ++stats_.reconnects;
+    connected_once_ = true;
   }
   conn_->send_frame(
-      Frame{MsgType::kCompleteRequest, make_complete_request(shared)});
-  std::optional<Frame> reply = conn_->recv_frame();
+      Frame{MsgType::kCompleteRequest, make_complete_request(shared)},
+      deadline);
+  std::optional<Frame> reply = conn_->recv_frame(deadline);
   if (!reply.has_value() || reply->type != MsgType::kCompleteResponse) {
     throw IoError("edge server did not return a completion response");
   }
@@ -52,9 +81,68 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
   return r;
 }
 
+ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
+                                             const Tensor& probs,
+                                             double entropy) {
+  const Deadline deadline = retry_.deadline_ms > 0.0
+                                ? Deadline::after_ms(retry_.deadline_ms)
+                                : Deadline::infinite();
+  double backoff_ms = retry_.initial_backoff_ms;
+  std::string last_error = "edge path deadline expired before first attempt";
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      const double sleep_ms =
+          std::min(backoff_ms, deadline.remaining_ms());
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      backoff_ms = std::min(backoff_ms * retry_.backoff_multiplier,
+                            retry_.max_backoff_ms);
+    }
+    if (deadline.expired()) break;
+    Stopwatch watch;
+    try {
+      ClientResult r = attempt_edge_completion(shared, entropy, deadline);
+      ++stats_.completed_at_edge;
+      stats_.total_edge_ms += watch.millis();
+      return r;
+    } catch (const IoError& e) {
+      // The cached connection may be dead or mid-frame desynced; never
+      // reuse it -- the next attempt reconnects from scratch.
+      conn_.reset();
+      last_error = e.what();
+      LCRS_DEBUG("edge attempt " << (attempt + 1) << "/"
+                                 << retry_.max_attempts
+                                 << " failed: " << last_error);
+    }
+  }
+
+  if (!retry_.fallback_to_binary) {
+    throw IoError("edge completion failed after " +
+                  std::to_string(retry_.max_attempts) +
+                  " attempt(s): " + last_error);
+  }
+
+  // Graceful degradation (the availability edge over partition-only
+  // baselines): answer with the binary branch even though its entropy
+  // missed tau, and tag the result so callers can count degraded answers.
+  ++stats_.fallbacks;
+  LCRS_WARN("edge unreachable (" << last_error
+                                 << "); falling back to binary branch");
+  ClientResult r;
+  r.label = argmax(probs);
+  r.exit_point = core::ExitPoint::kBinaryBranchFallback;
+  r.entropy = entropy;
+  r.probabilities = probs;
+  return r;
+}
+
 double BrowserClient::exit_fraction() const {
-  return classified_ > 0
-             ? static_cast<double>(exited_) / static_cast<double>(classified_)
+  return stats_.classified > 0
+             ? static_cast<double>(stats_.exited_binary) /
+                   static_cast<double>(stats_.classified)
              : 0.0;
 }
 

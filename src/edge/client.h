@@ -3,6 +3,14 @@
 // This is the deployed form of Algorithm 2: the "browser" (webinfer
 // engine) runs conv1 + binary branch; on an entropy miss it uploads the
 // conv1 features to the edge server and returns the server's answer.
+//
+// The edge path is hardened: every attempt is bounded by a deadline,
+// transport failures are retried with capped exponential backoff over a
+// fresh connection, and when the edge stays unreachable the client
+// degrades gracefully -- it answers with the binary branch's prediction
+// (ExitPoint::kBinaryBranchFallback) instead of throwing, which is the
+// availability story the binary branch buys us over partition-only
+// baselines like Neurosurgeon/Edgent.
 #pragma once
 
 #include <optional>
@@ -22,30 +30,72 @@ struct ClientResult {
   Tensor probabilities;
 };
 
+/// How the client behaves when the edge path fails.
+struct RetryPolicy {
+  int max_attempts = 3;            // total tries per classify (>= 1)
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 250.0;
+  double deadline_ms = 0.0;        // whole-edge-path budget; 0 = unbounded
+  bool fallback_to_binary = true;  // degrade instead of throwing
+
+  void validate() const;
+
+  /// Fail fast: one attempt, no backoff, immediate fallback.
+  static RetryPolicy no_retry();
+};
+
+/// Counters describing how the client's edge path has behaved.
+struct ClientStats {
+  std::int64_t classified = 0;        // total classify() calls
+  std::int64_t exited_binary = 0;     // confident local exits
+  std::int64_t completed_at_edge = 0; // answered by the edge's main branch
+  std::int64_t fallbacks = 0;         // edge failed -> binary answer
+  std::int64_t retries = 0;           // re-attempts after a transport error
+  std::int64_t reconnects = 0;        // connections opened after the first
+  double total_edge_ms = 0.0;         // wall time of successful edge calls
+
+  double mean_edge_ms() const {
+    return completed_at_edge > 0
+               ? total_edge_ms / static_cast<double>(completed_at_edge)
+               : 0.0;
+  }
+};
+
 class BrowserClient {
  public:
   /// `port` is the edge server's loopback port; the connection is opened
   /// lazily on the first entropy miss and kept alive afterwards.
   BrowserClient(webinfer::Engine engine, core::ExitPolicy policy,
-                std::uint16_t port);
+                std::uint16_t port, RetryPolicy retry = RetryPolicy());
 
-  /// Runs Algorithm 2 on a single [1, C, H, W] sample.
+  /// Runs Algorithm 2 on a single [1, C, H, W] sample. Never throws for
+  /// transport faults when the policy allows fallback: the worst case is a
+  /// binary-branch answer tagged kBinaryBranchFallback.
   ClientResult classify(const Tensor& sample);
 
-  /// Fraction of classified samples that exited at the binary branch.
+  /// Fraction of classified samples that exited at the binary branch
+  /// because they were confident (fallbacks are counted separately).
   double exit_fraction() const;
 
-  std::int64_t classified() const { return classified_; }
+  std::int64_t classified() const { return stats_.classified; }
+  std::int64_t fallbacks() const { return stats_.fallbacks; }
+  const ClientStats& stats() const { return stats_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
  private:
-  ClientResult complete_at_edge(const Tensor& shared, double entropy);
+  ClientResult complete_at_edge(const Tensor& shared, const Tensor& probs,
+                                double entropy);
+  ClientResult attempt_edge_completion(const Tensor& shared, double entropy,
+                                       const Deadline& deadline);
 
   webinfer::Engine engine_;
   core::ExitPolicy policy_;
   std::uint16_t port_;
+  RetryPolicy retry_;
   std::optional<Socket> conn_;
-  std::int64_t classified_ = 0;
-  std::int64_t exited_ = 0;
+  bool connected_once_ = false;
+  ClientStats stats_;
 };
 
 }  // namespace lcrs::edge

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace lcrs::edge {
 
@@ -23,15 +24,44 @@ EdgeServer::EdgeServer(std::uint16_t port, CompletionFn complete)
 
 EdgeServer::~EdgeServer() { stop(); }
 
-void EdgeServer::stop() {
-  if (stopping_.exchange(true)) return;
+void EdgeServer::request_stop() {
+  stopping_.store(true);
   listener_.shutdown_now();
-  if (acceptor_.joinable()) acceptor_.join();
+  // Wake every connection thread blocked in recv_frame: shutdown() makes
+  // the pending recv return EOF without racing the thread for the fd (the
+  // fd stays open until the Connection record is destroyed).
   std::lock_guard<std::mutex> lock(conns_mutex_);
   for (auto& c : connections_) {
+    if (c.sock) c.sock->shutdown_now();
+  }
+}
+
+void EdgeServer::stop() {
+  // Not gated on stopping_: a client's kShutdown frame sets that flag from
+  // a connection thread, and stop() must still join everything after it.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  request_stop();
+  if (acceptor_.joinable()) acceptor_.join();
+  // Join without holding conns_mutex_: a connection thread that received
+  // kShutdown may itself be inside request_stop() waiting for the lock.
+  std::vector<Connection> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns.swap(connections_);
+  }
+  for (auto& c : conns) {
     if (c.thread.joinable()) c.thread.join();
   }
-  connections_.clear();
+}
+
+ServerStats EdgeServer::stats() const {
+  ServerStats s;
+  s.requests_served = requests_served_.load();
+  s.connections_accepted = connections_accepted_.load();
+  s.connection_errors = connection_errors_.load();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  s.total_completion_ms = total_completion_ms_;
+  return s;
 }
 
 void EdgeServer::reap_finished_locked() {
@@ -59,14 +89,16 @@ void EdgeServer::accept_loop() {
     ++connections_accepted_;
 
     auto done = std::make_shared<std::atomic<bool>>(false);
-    // Socket is move-only and std::function must be copyable, so hand the
-    // connection to the thread through a shared_ptr.
+    // Socket is move-only and std::function must be copyable, so the
+    // connection lives in a shared_ptr; stop() uses the same pointer to
+    // shut the socket down underneath a blocked recv.
     auto conn_ptr = std::make_shared<Socket>(std::move(conn));
     std::thread worker([this, conn_ptr, done] {
       try {
-        serve_connection(std::move(*conn_ptr));
+        serve_connection(*conn_ptr);
       } catch (const Error& e) {
         // A broken client connection must not take the server down.
+        ++connection_errors_;
         LCRS_WARN("edge connection error: " << e.what());
       }
       done->store(true);
@@ -74,29 +106,40 @@ void EdgeServer::accept_loop() {
 
     std::lock_guard<std::mutex> lock(conns_mutex_);
     reap_finished_locked();
-    connections_.push_back(Connection{std::move(worker), std::move(done)});
+    // If stop() ran between accept and here it has already swept the
+    // list; shut this socket down now so the worker exits promptly.
+    if (stopping_.load()) conn_ptr->shutdown_now();
+    connections_.push_back(
+        Connection{std::move(worker), conn_ptr, std::move(done)});
   }
 }
 
-void EdgeServer::serve_connection(Socket conn) {
+void EdgeServer::serve_connection(Socket& conn) {
   while (!stopping_.load()) {
     std::optional<Frame> frame = conn.recv_frame();
-    if (!frame.has_value()) return;  // client hung up
+    if (!frame.has_value()) return;  // client hung up (or we shut down)
     switch (frame->type) {
       case MsgType::kPing:
         conn.send_frame(Frame{MsgType::kPong, {}});
         break;
       case MsgType::kCompleteRequest: {
         const Tensor shared = parse_complete_request(frame->payload);
+        Stopwatch watch;
         const CompleteResponse resp = complete_(shared);
+        const double completion_ms = watch.millis();
         conn.send_frame(
             Frame{MsgType::kCompleteResponse, make_complete_response(resp)});
         ++requests_served_;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          total_completion_ms_ += completion_ms;
+        }
         break;
       }
       case MsgType::kShutdown:
-        stopping_.store(true);
-        listener_.shutdown_now();
+        // Close the listener AND every live peer, so stop() converges
+        // instead of waiting for other clients to hang up on their own.
+        request_stop();
         return;
       default:
         throw ParseError("unexpected frame type at server");

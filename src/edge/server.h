@@ -7,6 +7,11 @@
 // (see serialize_completion) suffices for the single-model case, since
 // the paper's concurrency concern is edge *compute* pressure, which the
 // concurrency bench measures directly.
+//
+// Shutdown is convergent: stop() (and a kShutdown frame from any client)
+// shuts down every live peer socket, which wakes connection threads
+// blocked in recv_frame, so stop() returns promptly even with idle
+// clients holding connections open.
 #pragma once
 
 #include <atomic>
@@ -28,6 +33,20 @@ using CompletionFn = std::function<CompleteResponse(const Tensor& shared)>;
 /// are not concurrency-safe).
 CompletionFn serialize_completion(CompletionFn inner);
 
+/// Point-in-time snapshot of the server's request counters.
+struct ServerStats {
+  std::int64_t requests_served = 0;
+  std::int64_t connections_accepted = 0;
+  std::int64_t connection_errors = 0;  // connections ended by an exception
+  double total_completion_ms = 0.0;    // time spent inside the completion fn
+
+  double mean_completion_ms() const {
+    return requests_served > 0
+               ? total_completion_ms / static_cast<double>(requests_served)
+               : 0.0;
+  }
+};
+
 class EdgeServer {
  public:
   /// Binds immediately (port 0 = ephemeral) and starts serving.
@@ -44,26 +63,38 @@ class EdgeServer {
   std::int64_t connections_accepted() const {
     return connections_accepted_.load();
   }
+  ServerStats stats() const;
 
+  /// Idempotent; wakes blocked connection threads (even idle ones mid-
+  /// recv) and joins them before returning.
   void stop();
 
  private:
   void accept_loop();
-  void serve_connection(Socket conn);
+  void serve_connection(Socket& conn);
   void reap_finished_locked();
+  /// Signals shutdown without joining: closes the listener and shuts down
+  /// every live peer socket. Safe from connection threads.
+  void request_stop();
 
   Listener listener_;
   CompletionFn complete_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::int64_t> requests_served_{0};
   std::atomic<std::int64_t> connections_accepted_{0};
+  std::atomic<std::int64_t> connection_errors_{0};
+
+  mutable std::mutex stats_mutex_;
+  double total_completion_ms_ = 0.0;
 
   std::mutex conns_mutex_;
   struct Connection {
     std::thread thread;
+    std::shared_ptr<Socket> sock;  // shared with the thread for shutdown
     std::shared_ptr<std::atomic<bool>> done;
   };
   std::vector<Connection> connections_;
+  std::mutex stop_mutex_;  // serializes stop() callers
   std::thread acceptor_;
 };
 

@@ -3,11 +3,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 namespace lcrs::edge {
 
@@ -15,7 +19,82 @@ namespace {
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));
 }
+
+/// Blocks until the fd is ready for `events` (POLLIN/POLLOUT) or the
+/// deadline expires. Throws TimeoutError on expiry.
+void wait_ready(int fd, short events, const Deadline& deadline,
+                const char* what) {
+  if (deadline.is_infinite()) return;  // plain blocking I/O
+  for (;;) {
+    const double remaining = deadline.remaining_ms();
+    if (remaining <= 0.0) {
+      throw TimeoutError(std::string(what) + " deadline expired");
+    }
+    pollfd pfd{fd, events, 0};
+    const int timeout_ms =
+        static_cast<int>(std::min(remaining + 1.0, 1e9));  // ceil-ish
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (n > 0) return;  // readable/writable (or error -- recv/send reports)
+  }
+}
+
+std::atomic<FaultInjector*> g_active_injector{nullptr};
 }  // namespace
+
+Deadline Deadline::after_ms(double ms) {
+  Deadline d;
+  d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(ms));
+  return d;
+}
+
+bool Deadline::expired() const {
+  return at_.has_value() && Clock::now() >= *at_;
+}
+
+double Deadline::remaining_ms() const {
+  if (!at_.has_value()) return 1e18;
+  const double ms =
+      std::chrono::duration<double, std::milli>(*at_ - Clock::now()).count();
+  return std::max(ms, 0.0);
+}
+
+FaultInjector::FaultInjector(const sim::FaultSpec& spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  spec_.validate();
+}
+
+FaultInjector::Action FaultInjector::next_send_action() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rng_.bernoulli(spec_.close_prob)) {
+    ++connections_closed_;
+    return Action::kCloseMidFrame;
+  }
+  if (rng_.bernoulli(spec_.drop_prob)) {
+    ++frames_dropped_;
+    return Action::kDrop;
+  }
+  if (rng_.bernoulli(spec_.delay_prob)) {
+    ++frames_delayed_;
+    return Action::kDelay;
+  }
+  return Action::kNone;
+}
+
+FaultInjector::Scope::Scope(FaultInjector& injector) {
+  FaultInjector* expected = nullptr;
+  const bool installed =
+      g_active_injector.compare_exchange_strong(expected, &injector);
+  LCRS_CHECK(installed, "a FaultInjector is already installed");
+}
+
+FaultInjector::Scope::~Scope() { g_active_injector.store(nullptr); }
+
+FaultInjector* FaultInjector::active() { return g_active_injector.load(); }
 
 Socket::~Socket() { close_now(); }
 
@@ -35,11 +114,17 @@ void Socket::close_now() {
   }
 }
 
-void Socket::send_all(const void* data, std::size_t size) const {
+void Socket::shutdown_now() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::send_all(const void* data, std::size_t size,
+                      const Deadline& deadline) const {
   LCRS_CHECK(valid(), "send on invalid socket");
   const auto* p = static_cast<const std::uint8_t*>(data);
   std::size_t sent = 0;
   while (sent < size) {
+    wait_ready(fd_, POLLOUT, deadline, "send");
     const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -49,11 +134,13 @@ void Socket::send_all(const void* data, std::size_t size) const {
   }
 }
 
-bool Socket::recv_all(void* data, std::size_t size) const {
+bool Socket::recv_all(void* data, std::size_t size,
+                      const Deadline& deadline) const {
   LCRS_CHECK(valid(), "recv on invalid socket");
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t got = 0;
   while (got < size) {
+    wait_ready(fd_, POLLIN, deadline, "recv");
     const ssize_t n = ::recv(fd_, p + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -68,19 +155,40 @@ bool Socket::recv_all(void* data, std::size_t size) const {
   return true;
 }
 
-void Socket::send_frame(const Frame& frame) const {
+void Socket::send_frame(const Frame& frame, const Deadline& deadline) const {
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
-  send_all(bytes.data(), bytes.size());
+  if (FaultInjector* fi = FaultInjector::active()) {
+    switch (fi->next_send_action()) {
+      case FaultInjector::Action::kDrop:
+        return;  // frame vanishes; the peer simply never sees it
+      case FaultInjector::Action::kCloseMidFrame: {
+        // Leak a partial header so the peer observes a mid-message EOF,
+        // the worst-case desync a real broken link produces.
+        const std::size_t partial = std::min<std::size_t>(4, bytes.size());
+        send_all(bytes.data(), partial, deadline);
+        shutdown_now();
+        throw IoError("fault injector closed connection mid-frame");
+      }
+      case FaultInjector::Action::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(fi->delay_ms()));
+        break;
+      case FaultInjector::Action::kNone:
+        break;
+    }
+  }
+  send_all(bytes.data(), bytes.size(), deadline);
 }
 
-std::optional<Frame> Socket::recv_frame() const {
+std::optional<Frame> Socket::recv_frame(const Deadline& deadline) const {
   std::uint8_t header[kFrameHeaderBytes];
-  if (!recv_all(header, sizeof(header))) return std::nullopt;
+  if (!recv_all(header, sizeof(header), deadline)) return std::nullopt;
   Frame f;
   const std::uint32_t payload_size = parse_frame_header(header, &f.type);
   if (payload_size > (64u << 20)) throw ParseError("frame too large");
   f.payload.resize(payload_size);
-  if (payload_size > 0 && !recv_all(f.payload.data(), payload_size)) {
+  if (payload_size > 0 &&
+      !recv_all(f.payload.data(), payload_size, deadline)) {
     throw IoError("connection closed mid-frame");
   }
   return f;
@@ -122,10 +230,12 @@ Socket Listener::accept_one() const {
 }
 
 void Listener::shutdown_now() {
-  if (sock_.valid()) {
-    ::shutdown(sock_.fd(), SHUT_RDWR);
-    sock_.close_now();
-  }
+  // shutdown(2) only, never close(2): the acceptor thread may be blocked
+  // in accept() on this very fd, and closing would race it (and could
+  // even redirect the accept onto a recycled descriptor). shutdown wakes
+  // the accept with EINVAL; the fd is released by the destructor once the
+  // acceptor thread has been joined.
+  sock_.shutdown_now();
 }
 
 Socket connect_local(std::uint16_t port) {

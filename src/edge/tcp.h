@@ -1,12 +1,93 @@
 // Minimal RAII TCP helpers for the loopback edge-server demo.
+//
+// All blocking operations accept an optional Deadline: an absolute point
+// in time shared across every send/recv a logical operation performs, so
+// "finish this request within 50 ms" holds regardless of how many socket
+// calls it decomposes into. Expiry raises TimeoutError (an IoError).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 
+#include "common/rng.h"
 #include "edge/protocol.h"
+#include "sim/network_model.h"
 
 namespace lcrs::edge {
+
+/// Absolute wall-clock budget for a multi-step I/O operation. A
+/// default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;  // infinite
+
+  /// Expires `ms` milliseconds from now; ms <= 0 is already expired.
+  static Deadline after_ms(double ms);
+
+  /// Never expires (same as default construction).
+  static Deadline infinite() { return Deadline(); }
+
+  bool is_infinite() const { return !at_.has_value(); }
+  bool expired() const;
+
+  /// Milliseconds until expiry, clamped to 0; infinite deadlines report a
+  /// very large value.
+  double remaining_ms() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> at_;
+};
+
+/// Injects deterministic message-level faults into Socket::send_frame for
+/// failure-path tests: drop a frame, delay it, or tear the connection down
+/// mid-frame. Parameters come from sim::FaultSpec so the simulated and
+/// socket runtimes share one fault vocabulary; draws come from common/rng
+/// so a seed reproduces an exact fault sequence.
+///
+/// Install with a Scope; the active injector is process-global and
+/// consulted by every Socket::send_frame. Thread-safe.
+class FaultInjector {
+ public:
+  FaultInjector(const sim::FaultSpec& spec, std::uint64_t seed);
+
+  enum class Action { kNone, kDrop, kDelay, kCloseMidFrame };
+
+  /// Draws the fate of the next sent frame (close > drop > delay).
+  Action next_send_action();
+
+  double delay_ms() const { return spec_.delay_ms; }
+
+  std::int64_t frames_dropped() const { return frames_dropped_.load(); }
+  std::int64_t frames_delayed() const { return frames_delayed_.load(); }
+  std::int64_t connections_closed() const {
+    return connections_closed_.load();
+  }
+
+  /// RAII installer; at most one injector is active at a time.
+  class Scope {
+   public:
+    explicit Scope(FaultInjector& injector);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+  /// The currently installed injector, or nullptr.
+  static FaultInjector* active();
+
+ private:
+  sim::FaultSpec spec_;
+  std::mutex mutex_;
+  Rng rng_;
+  std::atomic<std::int64_t> frames_dropped_{0};
+  std::atomic<std::int64_t> frames_delayed_{0};
+  std::atomic<std::int64_t> connections_closed_{0};
+};
 
 /// Owns a socket file descriptor; closes it on destruction. Move-only.
 class Socket {
@@ -24,18 +105,28 @@ class Socket {
   int fd() const { return fd_; }
   void close_now();
 
-  /// Blocking full send; throws IoError on failure.
-  void send_all(const void* data, std::size_t size) const;
+  /// Wakes any thread blocked in send/recv on this socket (they see EOF or
+  /// an error) without releasing the fd, so it is safe while another
+  /// thread is mid-recv. The owner still closes via the destructor.
+  void shutdown_now() const;
+
+  /// Blocking full send; throws IoError on failure, TimeoutError if the
+  /// deadline expires first.
+  void send_all(const void* data, std::size_t size,
+                const Deadline& deadline = Deadline()) const;
 
   /// Blocking full receive; returns false on clean EOF at a frame
-  /// boundary, throws IoError on mid-message EOF or errors.
-  bool recv_all(void* data, std::size_t size) const;
+  /// boundary, throws IoError on mid-message EOF or errors, TimeoutError
+  /// if the deadline expires first.
+  bool recv_all(void* data, std::size_t size,
+                const Deadline& deadline = Deadline()) const;
 
-  /// Writes one protocol frame.
-  void send_frame(const Frame& frame) const;
+  /// Writes one protocol frame (subject to the active FaultInjector).
+  void send_frame(const Frame& frame,
+                  const Deadline& deadline = Deadline()) const;
 
   /// Reads one protocol frame; returns nullopt on clean EOF.
-  std::optional<Frame> recv_frame() const;
+  std::optional<Frame> recv_frame(const Deadline& deadline = Deadline()) const;
 
  private:
   int fd_ = -1;

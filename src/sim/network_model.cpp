@@ -18,6 +18,20 @@ LinkSpec lte_4g_congested() { return LinkSpec{4.0, 1.0, 60.0, 0.3}; }
 
 LinkSpec wifi() { return LinkSpec{80.0, 40.0, 5.0, 0.0}; }
 
+void FaultSpec::validate() const {
+  LCRS_CHECK(drop_prob >= 0.0 && drop_prob <= 1.0,
+             "drop_prob must be in [0, 1]");
+  LCRS_CHECK(delay_prob >= 0.0 && delay_prob <= 1.0,
+             "delay_prob must be in [0, 1]");
+  LCRS_CHECK(close_prob >= 0.0 && close_prob <= 1.0,
+             "close_prob must be in [0, 1]");
+  LCRS_CHECK(delay_ms >= 0.0, "negative delay_ms");
+}
+
+FaultSpec reliable_link() { return FaultSpec{}; }
+
+FaultSpec flaky_link() { return FaultSpec{0.05, 0.10, 40.0, 0.01}; }
+
 NetworkModel::NetworkModel(LinkSpec spec) : spec_(spec) { spec_.validate(); }
 
 namespace {

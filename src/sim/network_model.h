@@ -31,6 +31,28 @@ LinkSpec lte_4g_congested();
 /// WiFi-class link for ablations.
 LinkSpec wifi();
 
+/// Message-level fault parameters for a degraded link. Shared between the
+/// simulated runtime and the real TCP transport's FaultInjector so the
+/// robustness sweeps and the socket failure tests describe faults the same
+/// way. Probabilities are per message.
+struct FaultSpec {
+  double drop_prob = 0.0;        // message silently discarded
+  double delay_prob = 0.0;       // message delayed by delay_ms
+  double delay_ms = 0.0;
+  double close_prob = 0.0;       // connection torn down mid-message
+
+  void validate() const;
+  bool faultless() const {
+    return drop_prob == 0.0 && delay_prob == 0.0 && close_prob == 0.0;
+  }
+};
+
+/// A link that never misbehaves (all probabilities zero).
+FaultSpec reliable_link();
+
+/// A lossy profile for robustness sweeps: occasional drops and delays.
+FaultSpec flaky_link();
+
 class NetworkModel {
  public:
   explicit NetworkModel(LinkSpec spec);

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <future>
 #include <thread>
+
+#include "common/stopwatch.h"
 
 #include "core/inference.h"
 #include "data/synthetic.h"
@@ -336,6 +339,334 @@ TEST(LocalRuntime, JitteredUploadsStayWithinLinkBounds) {
   const double base = (lo + hi) / 2.0;
   EXPECT_GE(lo, base * 0.75);
   EXPECT_LE(hi, base * 1.25);
+}
+
+// ---------------------------------------------------------------------
+// Failure paths: deadlines, fault injection, retry/fallback, shutdown.
+
+/// Runs `fn` on a worker thread; returns false if it is still running
+/// after `timeout_ms` (the worker is detached so the suite can report the
+/// failure instead of hanging).
+template <typename Fn>
+bool finishes_within(Fn&& fn, int timeout_ms) {
+  std::packaged_task<void()> task(std::forward<Fn>(fn));
+  std::future<void> fut = task.get_future();
+  std::thread t(std::move(task));
+  const bool done = fut.wait_for(std::chrono::milliseconds(timeout_ms)) ==
+                    std::future_status::ready;
+  if (done) {
+    t.join();
+  } else {
+    t.detach();
+  }
+  return done;
+}
+
+CompletionFn completion_for(core::CompositeNetwork& net) {
+  return [&net](const Tensor& shared) {
+    const Tensor logits = net.forward_main_from_shared(shared);
+    CompleteResponse r;
+    r.probabilities = softmax_rows(logits);
+    r.label = argmax(r.probabilities);
+    return r;
+  };
+}
+
+RetryPolicy fast_retry(double deadline_ms) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.initial_backoff_ms = 2.0;
+  p.max_backoff_ms = 10.0;
+  p.deadline_ms = deadline_ms;
+  return p;
+}
+
+TEST(Deadline, ExpiryAndRemaining) {
+  EXPECT_TRUE(Deadline().is_infinite());
+  EXPECT_FALSE(Deadline::infinite().expired());
+  EXPECT_TRUE(Deadline::after_ms(-1.0).expired());
+  const Deadline d = Deadline::after_ms(10000.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 5000.0);
+  EXPECT_LE(d.remaining_ms(), 10000.0);
+  EXPECT_DOUBLE_EQ(Deadline::after_ms(-1.0).remaining_ms(), 0.0);
+}
+
+TEST(Tcp, RecvFrameDeadlineThrowsTimeout) {
+  // Hold the peer open but silent so recv blocks until the deadline.
+  Listener quiet(0);
+  std::thread holder([&] {
+    Socket conn = quiet.accept_one();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  Socket client = connect_local(quiet.port());
+  Stopwatch watch;
+  EXPECT_THROW((void)client.recv_frame(Deadline::after_ms(50.0)),
+               TimeoutError);
+  EXPECT_LT(watch.millis(), 250.0);  // expired near the deadline, not 300ms
+  holder.join();
+}
+
+TEST(Tcp, TimeoutErrorIsAnIoError) {
+  // Retry/fallback handlers catch IoError; deadlines must be included.
+  EXPECT_THROW(
+      { throw TimeoutError("t"); }, IoError);
+}
+
+TEST(FaultInjector, DeterministicActionsAndCounters) {
+  sim::FaultSpec always_drop;
+  always_drop.drop_prob = 1.0;
+  FaultInjector fi(always_drop, 7);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fi.next_send_action(), FaultInjector::Action::kDrop);
+  }
+  EXPECT_EQ(fi.frames_dropped(), 5);
+  EXPECT_EQ(fi.connections_closed(), 0);
+
+  sim::FaultSpec always_close;
+  always_close.close_prob = 1.0;
+  FaultInjector fc(always_close, 7);
+  EXPECT_EQ(fc.next_send_action(), FaultInjector::Action::kCloseMidFrame);
+  EXPECT_EQ(fc.connections_closed(), 1);
+
+  sim::FaultSpec bad;
+  bad.drop_prob = 1.5;
+  EXPECT_THROW(FaultInjector(bad, 0), Error);
+}
+
+TEST(RetryPolicyTest, ValidatesAndNoRetryPreset) {
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = RetryPolicy();
+  bad.backoff_multiplier = 0.5;
+  EXPECT_THROW(bad.validate(), Error);
+  const RetryPolicy one = RetryPolicy::no_retry();
+  EXPECT_EQ(one.max_attempts, 1);
+  one.validate();
+}
+
+TEST(EndToEnd, ServerKilledMidRequestFallsBackToBinary) {
+  Rng rng(41);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+  // Completions stall so the kill lands while a request is in flight.
+  auto server = std::make_unique<EdgeServer>(0, [&](const Tensor& shared) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return completion_for(net)(shared);
+  });
+
+  // Force every sample to the edge path.
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       server->port(), fast_retry(1000.0));
+
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    server->stop();
+  });
+  const Tensor sample = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+  Stopwatch watch;
+  const ClientResult r = client.classify(sample);  // must not throw
+  killer.join();
+
+  EXPECT_EQ(r.exit_point, core::ExitPoint::kBinaryBranchFallback);
+  EXPECT_LT(watch.millis(), 1500.0);  // bounded by the edge-path deadline
+  EXPECT_EQ(client.fallbacks(), 1);
+  EXPECT_GE(client.stats().retries, 1);
+
+  // Fallback correctness: the degraded answer IS the binary branch's
+  // prediction (always-exit policy reproduces pure binary inference).
+  const core::InferenceResult binary =
+      core::collaborative_infer(net, core::ExitPolicy{1.1}, sample);
+  EXPECT_EQ(r.label, binary.predicted);
+  EXPECT_EQ(r.label, argmax(r.probabilities));
+}
+
+TEST(EndToEnd, SlowServerTripsClientDeadline) {
+  Rng rng(42);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+  EdgeServer server(0, [&](const Tensor& shared) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    return completion_for(net)(shared);
+  });
+
+  RetryPolicy retry = fast_retry(60.0);
+  retry.max_attempts = 2;
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       server.port(), retry);
+  Stopwatch watch;
+  const ClientResult r =
+      client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+  const double elapsed = watch.millis();
+  EXPECT_EQ(r.exit_point, core::ExitPoint::kBinaryBranchFallback);
+  // The deadline, not the server's 400 ms stall, bounds the call.
+  EXPECT_LT(elapsed, 300.0);
+  EXPECT_EQ(client.fallbacks(), 1);
+}
+
+TEST(EndToEnd, ReconnectAfterMidRequestErrorThenSucceed) {
+  Rng rng(43);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+
+  // A hand-rolled flaky server: connection 1 reads the request and closes
+  // without replying; connection 2 serves correctly. The client must
+  // abandon the desynced cached socket and reconnect.
+  Listener listener(0);
+  std::thread flaky([&] {
+    {
+      Socket c = listener.accept_one();
+      (void)c.recv_frame();  // swallow the request, reply with nothing
+    }
+    Socket c = listener.accept_one();
+    auto f = c.recv_frame();
+    ASSERT_TRUE(f.has_value());
+    CompleteResponse resp;
+    resp.label = 4;
+    resp.probabilities = Tensor::ones(Shape{1, 10});
+    c.send_frame(
+        Frame{MsgType::kCompleteResponse, make_complete_response(resp)});
+  });
+
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       listener.port(), fast_retry(2000.0));
+  const ClientResult r =
+      client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+  flaky.join();
+  EXPECT_EQ(r.exit_point, core::ExitPoint::kMainBranch);
+  EXPECT_EQ(r.label, 4);
+  EXPECT_GE(client.stats().retries, 1);
+  EXPECT_GE(client.stats().reconnects, 1);
+  EXPECT_EQ(client.fallbacks(), 0);
+}
+
+TEST(EndToEnd, InjectedDropsFallBackUnderDeadline) {
+  Rng rng(44);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+  EdgeServer server(0, completion_for(net));
+
+  sim::FaultSpec black_hole;
+  black_hole.drop_prob = 1.0;  // every request frame vanishes in transit
+  FaultInjector fi(black_hole, 9);
+  RetryPolicy retry = fast_retry(80.0);
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       server.port(), retry);
+  {
+    FaultInjector::Scope scope(fi);
+    const ClientResult r =
+        client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+    EXPECT_EQ(r.exit_point, core::ExitPoint::kBinaryBranchFallback);
+  }
+  EXPECT_GE(fi.frames_dropped(), 1);
+  EXPECT_EQ(server.requests_served(), 0);
+}
+
+TEST(EndToEnd, InjectedMidFrameCloseIsCountedAsServerError) {
+  Rng rng(45);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+  EdgeServer server(0, completion_for(net));
+
+  sim::FaultSpec tear_down;
+  tear_down.close_prob = 1.0;  // every send dies mid-frame
+  FaultInjector fi(tear_down, 10);
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       server.port(), fast_retry(500.0));
+  {
+    FaultInjector::Scope scope(fi);
+    const ClientResult r =
+        client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+    EXPECT_EQ(r.exit_point, core::ExitPoint::kBinaryBranchFallback);
+  }
+  EXPECT_GE(fi.connections_closed(), 1);
+  // The server saw the torn connections as mid-message EOFs.
+  for (int i = 0; i < 200 && server.stats().connection_errors < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server.stats().connection_errors, 1);
+}
+
+TEST(EdgeServer, StopWithIdleConnectionReturnsPromptly) {
+  // Regression: stop() used to join a connection thread blocked forever
+  // in recv_frame on an idle client connection.
+  auto server = std::make_unique<EdgeServer>(0, [](const Tensor&) {
+    return CompleteResponse{0, Tensor::ones(Shape{1, 2})};
+  });
+  Socket idle_client = connect_local(server->port());
+  for (int i = 0; i < 200 && server->connections_accepted() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server->connections_accepted(), 1);
+
+  EdgeServer* raw = server.get();
+  const bool stopped = finishes_within([raw] { raw->stop(); }, 5000);
+  EXPECT_TRUE(stopped) << "stop() hung on an idle connection";
+  if (!stopped) {
+    (void)server.release();  // destructor would hang too; leak and fail
+  }
+}
+
+TEST(EdgeServer, ShutdownFrameClosesPeerConnectionsAndStopConverges) {
+  auto server = std::make_unique<EdgeServer>(0, [](const Tensor&) {
+    return CompleteResponse{0, Tensor::ones(Shape{1, 2})};
+  });
+  Socket bystander = connect_local(server->port());
+  Socket controller = connect_local(server->port());
+  for (int i = 0; i < 200 && server->connections_accepted() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server->connections_accepted(), 2);
+
+  controller.send_frame(Frame{MsgType::kShutdown, {}});
+  // The *other* connection must be closed by the server, not linger until
+  // its client hangs up.
+  EXPECT_FALSE(bystander.recv_frame(Deadline::after_ms(3000.0)).has_value());
+
+  EdgeServer* raw = server.get();
+  const bool stopped = finishes_within([raw] { raw->stop(); }, 5000);
+  EXPECT_TRUE(stopped) << "stop() did not converge after kShutdown";
+  if (!stopped) (void)server.release();
+}
+
+TEST(EdgeServer, StatsSnapshotTracksCompletions) {
+  Rng rng(46);
+  core::CompositeNetwork net = make_net(rng);
+  EdgeServer server(0, completion_for(net));
+  Socket conn = connect_local(server.port());
+  const Tensor x = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+  const Tensor shared = net.shared_stage().forward(x, false);
+  conn.send_frame(
+      Frame{MsgType::kCompleteRequest, make_complete_request(shared)});
+  ASSERT_TRUE(conn.recv_frame().has_value());
+  for (int i = 0; i < 200 && server.stats().requests_served < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.requests_served, 1);
+  EXPECT_EQ(s.connections_accepted, 1);
+  EXPECT_GE(s.total_completion_ms, 0.0);
+  EXPECT_EQ(s.mean_completion_ms(), s.total_completion_ms);
+}
+
+TEST(EndToEnd, FallbackDisabledRethrows) {
+  Rng rng(47);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+  std::uint16_t dead_port;
+  {
+    Listener l(0);
+    dead_port = l.port();
+    l.shutdown_now();
+  }
+  RetryPolicy strict = RetryPolicy::no_retry();
+  strict.fallback_to_binary = false;
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0}, dead_port,
+                       strict);
+  EXPECT_THROW(client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng)),
+               IoError);
+  EXPECT_EQ(client.fallbacks(), 0);
 }
 
 TEST(LocalRuntime, AmortizedLoadScalesWithSession) {

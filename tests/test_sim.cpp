@@ -25,6 +25,23 @@ TEST(Link, TransferMath) {
   EXPECT_DOUBLE_EQ(net.round_trip_ms(), 20.0);
 }
 
+TEST(Link, FaultSpecPresetsAndValidation) {
+  EXPECT_TRUE(reliable_link().faultless());
+  const FaultSpec flaky = flaky_link();
+  flaky.validate();
+  EXPECT_FALSE(flaky.faultless());
+
+  FaultSpec bad;
+  bad.drop_prob = -0.1;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = FaultSpec{};
+  bad.close_prob = 2.0;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = FaultSpec{};
+  bad.delay_ms = -1.0;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
 TEST(Link, MonotoneInBytes) {
   NetworkModel net{lte_4g()};
   double prev = -1.0;
