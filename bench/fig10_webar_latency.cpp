@@ -83,11 +83,13 @@ int main() {
   bench::print_rule(28);
   if (b_count > 0) {
     std::printf("%-14s %12.0f   (%lld scans exited at the browser)\n",
-                "LCRS-B", b_total / b_count, static_cast<long long>(b_count));
+                "LCRS-B", b_total / static_cast<double>(b_count),
+                static_cast<long long>(b_count));
   }
   if (m_count > 0) {
     std::printf("%-14s %12.0f   (%lld scans completed at the edge)\n",
-                "LCRS-M", m_total / m_count, static_cast<long long>(m_count));
+                "LCRS-M", m_total / static_cast<double>(m_count),
+                static_cast<long long>(m_count));
   }
   std::printf("%-14s %12.0f\n", "Neurosurgeon",
               baselines::evaluate_neurosurgeon(model, cost, scenario)

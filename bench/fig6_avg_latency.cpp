@@ -46,7 +46,8 @@ int main() {
     Rng rng(seed * 13);
     std::printf("%-10s", combo.network.c_str());
     for (const auto count : counts) {
-      double total = runtime.amortized_load_ms() * count;
+      double total =
+          runtime.amortized_load_ms() * static_cast<double>(count);
       for (std::int64_t i = 0; i < count; ++i) {
         const std::int64_t idx =
             rng.randint(0, combo.data.test.size() - 1);

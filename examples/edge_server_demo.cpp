@@ -86,7 +86,9 @@ int main(int argc, char** argv) {
   std::printf("\naccuracy %.0f%% over %lld samples; %.0f%% exited at the "
               "binary branch;\nedge server completed %lld requests "
               "(%.2f ms mean).\n",
-              100.0 * correct / samples, static_cast<long long>(samples),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(samples),
+              static_cast<long long>(samples),
               100.0 * client.exit_fraction(),
               static_cast<long long>(server_stats.requests_served),
               server_stats.mean_completion_ms());

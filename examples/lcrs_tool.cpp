@@ -153,7 +153,8 @@ int cmd_eval(int argc, char** argv) {
               100.0 * bin_cm.accuracy(),
               100.0 * bin_cm.balanced_accuracy());
   std::printf("  exit fraction at tau %.4f: %.0f%%\n", loaded.ckpt.tau,
-              100.0 * exits / static_cast<double>(test.size()));
+              100.0 * static_cast<double>(exits) /
+                  static_cast<double>(test.size()));
   return 0;
 }
 
@@ -217,7 +218,8 @@ int cmd_classify(int argc, char** argv) {
   const edge::ClientStats& cs = client.stats();
   std::printf("accuracy %.0f%%, exit fraction %.0f%%, fallbacks %lld, "
               "retries %lld\n",
-              100.0 * correct / static_cast<double>(test.size()),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(test.size()),
               100.0 * client.exit_fraction(),
               static_cast<long long>(cs.fallbacks),
               static_cast<long long>(cs.retries));

@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
   std::printf("collaborative inference over %lld samples: %.0f%% correct, "
               "%.0f%% exited at the\nbinary branch (browser); the rest were "
               "completed by the main branch (edge).\n",
-              static_cast<long long>(n), 100.0 * correct / n,
-              100.0 * exits / n);
+              static_cast<long long>(n),
+              100.0 * static_cast<double>(correct) / static_cast<double>(n),
+              100.0 * static_cast<double>(exits) / static_cast<double>(n));
   return 0;
 }

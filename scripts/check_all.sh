@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-stop correctness gate. Runs, in order:
+#   1. tier-1: full build with LCRS_WERROR=ON (expanded warning set as
+#      errors) + the complete ctest battery
+#   2. invariant lint (scripts/lint_invariants.py)
+#   3. clang-tidy over src/ (skips with a warning if not installed)
+#   4. ThreadSanitizer suites (edge runtime + kernel thread pool)
+#   5. ASan over every suite
+#   6. UBSan over every suite
+# Exits nonzero on the first failure. Fast, cheap gates run before the
+# sanitizer rebuilds so style/lint mistakes fail in seconds, not minutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+echo "==================== [1/6] tier-1 build (WERROR) + ctest"
+cmake -B build -S . -DLCRS_WERROR=ON
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+echo "==================== [2/6] invariant lint"
+python3 scripts/lint_invariants.py
+
+echo "==================== [3/6] clang-tidy"
+scripts/run_clang_tidy.sh
+
+echo "==================== [4/6] TSan"
+scripts/check_tsan.sh
+
+echo "==================== [5/6] ASan"
+scripts/check_sanitizers.sh asan
+
+echo "==================== [6/6] UBSan"
+scripts/check_sanitizers.sh ubsan
+
+echo "check_all: every gate clean."

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Memory/UB gate: builds EVERY test suite under AddressSanitizer and/or
+# UndefinedBehaviorSanitizer and runs the full ctest battery, including
+# test_fuzz_parsers so the fuzz corpora (protocol frames, model blobs,
+# webinfer models) actually catch out-of-bounds reads, not just thrown
+# ParseErrors.
+#
+# Usage: check_sanitizers.sh [asan|ubsan|all]   (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE=${1:-all}
+JOBS=${JOBS:-$(nproc)}
+
+run_one() {
+  local name=$1 sanitize=$2 build_dir=$3
+  echo "=== ${name}: building all suites (LCRS_SANITIZE=${sanitize}) ==="
+  cmake -B "$build_dir" -S . -DLCRS_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build_dir" -j"$JOBS"
+  echo "=== ${name}: running ctest ==="
+  (cd "$build_dir" && ctest --output-on-failure -j"$JOBS")
+  echo "=== ${name}: clean ==="
+}
+
+export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1:strict_string_checks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
+
+case "$MODE" in
+  asan)  run_one ASan address "${BUILD_DIR:-build-asan}" ;;
+  ubsan) run_one UBSan undefined "${BUILD_DIR:-build-ubsan}" ;;
+  all)
+    run_one ASan address build-asan
+    run_one UBSan undefined build-ubsan
+    ;;
+  *) echo "usage: $0 [asan|ubsan|all]" >&2; exit 2 ;;
+esac
+
+echo "Sanitizers: all requested suites clean."

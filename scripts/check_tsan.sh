@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
 # Builds the concurrency-sensitive suites under ThreadSanitizer and runs
-# them. The edge runtime (server/client threads, shutdown paths, fault
-# injection) is the only multi-threaded subsystem, so building test_edge +
-# test_common keeps the TSan cycle fast while covering every lock and
-# atomic the serving path uses.
+# them. Two subsystems are genuinely multi-threaded: the edge runtime
+# (server/client threads, shutdown paths, fault injection) and the
+# common/parallel.h thread pool that the gemm / conv / xnor kernels fan
+# out on. The suite list covers every lock and atomic both paths use:
+#   test_common     parallel_for semantics, exceptions across workers
+#   test_gemm       blocked GEMM under a forced multi-worker pool
+#   test_nn_layers  conv2d kernels through parallel_for
+#   test_binary     xnor_gemm / binary conv kernels through parallel_for
+#   test_edge       server/client lifecycle, shutdown, reconnect
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-tsan}
+JOBS=${JOBS:-$(nproc)}
+
+SUITES=(test_common test_gemm test_nn_layers test_binary test_edge)
 
 cmake -B "$BUILD_DIR" -S . -DLCRS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target test_edge test_common
+cmake --build "$BUILD_DIR" -j"$JOBS" --target "${SUITES[@]}"
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
-"$BUILD_DIR/tests/test_common"
-"$BUILD_DIR/tests/test_edge"
+for suite in "${SUITES[@]}"; do
+  "$BUILD_DIR/tests/$suite"
+done
 
-echo "TSan: edge + common suites clean."
+echo "TSan: ${SUITES[*]} clean."

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Project-specific invariant linter for the LCRS tree.
+
+Encodes rules no generic tool knows about this codebase:
+
+  randomness    All stochastic behaviour must flow through lcrs::Rng
+                (src/common/rng.h) so experiments replay from one seed.
+                std::rand/srand/time(NULL) seeding, std::random_device,
+                and raw engine construction are banned outside rng.h.
+  naked-new     src/ owns memory through containers and smart pointers;
+                naked `new` / `delete` expressions are banned.
+  pragma-once   Every header in src/ (and bench/) starts its include
+                guard with #pragma once.
+  kernel-check  Public (non-anonymous-namespace) functions in src/tensor,
+                src/nn, src/binary that consume Tensor arguments must
+                validate shapes with LCRS_CHECK / LCRS_ASSERT (directly
+                or via a check_* / *_checked helper) before touching data.
+
+Vetted exceptions live in scripts/invariant_allowlist.txt as
+`rule:path[:symbol]  # reason` lines; path is repo-relative.
+
+Exit status: 0 when clean, 1 when any unallowlisted violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ALLOWLIST_PATH = REPO / "scripts" / "invariant_allowlist.txt"
+
+CPP_SUFFIXES = {".cpp", ".h"}
+
+RANDOMNESS_PATTERNS = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"), "time(NULL) seeding"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine)"
+                r"\s*\("), "raw engine construction"),
+]
+
+NAKED_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:<]")
+NAKED_DELETE = re.compile(r"(?<![\w.])delete(\s*\[\s*\])?\s+[A-Za-z_(*]")
+
+# Namespace-scope function definition headers. Deliberately loose: we
+# post-filter on the parameter list mentioning Tensor.
+FUNC_DEF = re.compile(
+    r"^(?:template\s*<[^>]*>\s*)?"
+    r"(?P<ret>[A-Za-z_][\w:<>,&*\s]*?)\s+"
+    r"(?P<name>(?:[A-Za-z_][\w]*::)*~?[A-Za-z_][\w]*)\s*"
+    r"\((?P<params>[^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?{",
+    re.MULTILINE | re.DOTALL,
+)
+
+CHECK_MARKERS = re.compile(
+    r"\bLCRS_CHECK\b|\bLCRS_ASSERT\b|\bcheck_[a-z_]*\s*\(|_checked\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif ch in "\"'":
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(ch + " " * (j - i - 2) + (ch if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def anonymous_namespace_spans(code: str) -> list[tuple[int, int]]:
+    """Byte spans covered by `namespace { ... }` blocks."""
+    spans = []
+    for m in re.finditer(r"\bnamespace\s*{", code):
+        depth, i = 1, m.end()
+        while i < len(code) and depth:
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+            i += 1
+        spans.append((m.start(), i))
+    return spans
+
+
+def body_span(code: str, open_brace: int) -> int:
+    depth, i = 1, open_brace + 1
+    while i < len(code) and depth:
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+        i += 1
+    return i
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[tuple[str, str, int, str]] = []
+        self.allow: set[str] = set()
+        self.used_allow: set[str] = set()
+
+    def load_allowlist(self) -> None:
+        if not ALLOWLIST_PATH.exists():
+            return
+        for raw in ALLOWLIST_PATH.read_text().splitlines():
+            entry = raw.split("#", 1)[0].strip()
+            if entry:
+                self.allow.add(entry)
+
+    def report(self, rule: str, path: Path, line: int, detail: str,
+               symbol: str = "") -> None:
+        rel = path.relative_to(REPO).as_posix()
+        keys = [f"{rule}:{rel}"]
+        if symbol:
+            keys.append(f"{rule}:{rel}:{symbol}")
+        for key in keys:
+            if key in self.allow:
+                self.used_allow.add(key)
+                return
+        self.violations.append((rule, rel, line, detail))
+
+    # --- rules ---
+
+    def lint_randomness(self, path: Path, code: str) -> None:
+        if path.relative_to(REPO).as_posix() == "src/common/rng.h":
+            return
+        for pattern, what in RANDOMNESS_PATTERNS:
+            for m in pattern.finditer(code):
+                line = code.count("\n", 0, m.start()) + 1
+                self.report("randomness", path, line,
+                            f"{what} -- route randomness through lcrs::Rng")
+
+    def lint_naked_new(self, path: Path, code: str) -> None:
+        for pattern, what in ((NAKED_NEW, "naked new"),
+                              (NAKED_DELETE, "naked delete")):
+            for m in pattern.finditer(code):
+                line = code.count("\n", 0, m.start()) + 1
+                self.report("naked-new", path, line,
+                            f"{what} -- use containers/std::make_unique")
+
+    def lint_pragma_once(self, path: Path, original: str) -> None:
+        if path.suffix != ".h":
+            return
+        if "#pragma once" not in original:
+            self.report("pragma-once", path, 1, "header missing #pragma once")
+
+    def lint_kernel_checks(self, path: Path, code: str) -> None:
+        rel = path.relative_to(REPO).as_posix()
+        if path.suffix != ".cpp" or not rel.startswith(
+                ("src/tensor/", "src/nn/", "src/binary/")):
+            return
+        anon = anonymous_namespace_spans(code)
+        pos = 0
+        while True:
+            m = FUNC_DEF.search(code, pos)
+            if not m:
+                break
+            open_brace = m.end() - 1
+            end = body_span(code, open_brace)
+            pos = end
+            if any(a <= m.start() < b for a, b in anon):
+                continue
+            params = m.group("params")
+            if "Tensor" not in params:
+                continue
+            name = m.group("name")
+            ret = m.group("ret").strip()
+            if ret in ("return", "else", "do") or "=" in ret:
+                continue  # mis-parsed statement, not a definition
+            body = code[open_brace:end]
+            if not CHECK_MARKERS.search(body):
+                line = code.count("\n", 0, m.start()) + 1
+                self.report(
+                    "kernel-check", path, line,
+                    f"{name}() takes Tensor args but has no LCRS_CHECK/"
+                    "LCRS_ASSERT shape validation", symbol=name)
+
+    # --- driver ---
+
+    def run(self, roots: list[Path]) -> int:
+        self.load_allowlist()
+        files = sorted(
+            p for root in roots for p in root.rglob("*")
+            if p.suffix in CPP_SUFFIXES and p.is_file())
+        for path in files:
+            original = path.read_text(errors="replace")
+            code = strip_comments_and_strings(original)
+            rel = path.relative_to(REPO).as_posix()
+            self.lint_pragma_once(path, original)
+            if rel.startswith("src/"):
+                self.lint_randomness(path, code)
+                self.lint_naked_new(path, code)
+            self.lint_kernel_checks(path, code)
+        for rule, rel, line, detail in self.violations:
+            print(f"{rel}:{line}: [{rule}] {detail}")
+        stale = self.allow - self.used_allow
+        for key in sorted(stale):
+            print(f"allowlist: stale entry no longer matched: {key}")
+        if self.violations or stale:
+            print(f"lint_invariants: {len(self.violations)} violation(s), "
+                  f"{len(stale)} stale allowlist entr(ies)")
+            return 1
+        print("lint_invariants: clean")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="roots to lint (default: src/ bench/)")
+    args = parser.parse_args()
+    roots = ([Path(p).resolve() for p in args.paths] if args.paths
+             else [REPO / "src", REPO / "bench"])
+    return Linter().run(roots)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ BinarizedFilters binarize_filters(const Tensor& w) {
     float* dst = result.sign.data() + f * per_filter;
     double l1 = 0.0;
     for (std::int64_t i = 0; i < per_filter; ++i) {
-      l1 += std::fabs(src[i]);
+      l1 += static_cast<double>(std::fabs(src[i]));
       dst[i] = src[i] >= 0.0f ? 1.0f : -1.0f;
     }
     result.alpha[f] = static_cast<float>(l1 / static_cast<double>(per_filter));

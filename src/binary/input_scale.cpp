@@ -61,7 +61,9 @@ Tensor input_scale_rows(const Tensor& input) {
   for (std::int64_t b = 0; b < n; ++b) {
     const float* row = input.data() + b * f;
     double acc = 0.0;
-    for (std::int64_t i = 0; i < f; ++i) acc += std::fabs(row[i]);
+    for (std::int64_t i = 0; i < f; ++i) {
+      acc += static_cast<double>(std::fabs(row[i]));
+    }
     beta[b] = static_cast<float>(acc / static_cast<double>(f));
   }
   return beta;

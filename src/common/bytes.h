@@ -49,6 +49,7 @@ class ByteWriter {
   }
 
   void write_bytes(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty spans may come with a null pointer
     const auto* p = static_cast<const std::uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -118,6 +119,7 @@ class ByteReader {
 
   void read_bytes(void* out, std::size_t n) {
     need(n);
+    if (n == 0) return;  // out may be null for an empty destination span
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
   }

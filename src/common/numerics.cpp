@@ -1,0 +1,61 @@
+#include "common/numerics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace lcrs::numerics {
+
+namespace {
+
+#ifdef LCRS_CHECK_NUMERICS_DEFAULT_ON
+constexpr bool kDefaultEnabled = true;
+#else
+constexpr bool kDefaultEnabled = false;
+#endif
+
+std::atomic<bool> g_enabled{kDefaultEnabled};
+
+// Finite activations/gradients in this codebase live well below 1e6 even
+// on deliberately divergent runs; 1e8 flags genuine blow-ups without
+// tripping on large-but-healthy logits.
+std::atomic<double> g_magnitude_limit{1e8};
+
+[[noreturn]] void fail(const char* stage, const std::string& what,
+                       const char* kind, float value, std::int64_t index,
+                       std::int64_t n) {
+  std::ostringstream os;
+  os << "numerics: " << stage << " of " << what << ": " << kind;
+  if (std::isfinite(value)) os << ' ' << value;
+  os << " at index " << index << " of " << n;
+  throw NumericsError(os.str());
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+double magnitude_limit() {
+  return g_magnitude_limit.load(std::memory_order_relaxed);
+}
+
+void set_magnitude_limit(double limit) {
+  g_magnitude_limit.store(limit, std::memory_order_relaxed);
+}
+
+void check_values(const char* stage, const std::string& what,
+                  const float* data, std::int64_t n) {
+  if (!enabled()) return;
+  const double limit = magnitude_limit();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = data[i];
+    if (std::isnan(v)) fail(stage, what, "NaN", v, i, n);
+    if (std::isinf(v)) fail(stage, what, "Inf", v, i, n);
+    if (limit > 0.0 && std::fabs(static_cast<double>(v)) > limit) {
+      fail(stage, what, "magnitude", v, i, n);
+    }
+  }
+}
+
+}  // namespace lcrs::numerics

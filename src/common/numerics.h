@@ -1,0 +1,67 @@
+// Opt-in numerics sanitizer.
+//
+// Binarized training fails silently: a NaN born in an STE backward or an
+// exploding Adam update poisons every later batch without tripping a
+// single LCRS_CHECK. This module provides a process-wide toggle plus a
+// scanner that layers, optimizers, and the webinfer engine call on their
+// hot tensors. Disabled it costs one relaxed atomic load per call site;
+// enabled it scans for NaN, Inf, and finite-but-exploding magnitudes and
+// throws NumericsError naming the offending stage, tensor, and the first
+// bad flat index.
+//
+// The default state is off; build with -DLCRS_CHECK_NUMERICS=ON (CMake) to
+// default it on, or flip it at runtime with numerics::set_enabled /
+// numerics::ScopedEnable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace lcrs {
+
+/// Thrown when the numerics sanitizer finds a NaN/Inf/exploding value.
+class NumericsError : public Error {
+ public:
+  explicit NumericsError(const std::string& what) : Error(what) {}
+};
+
+namespace numerics {
+
+/// True when numeric scanning is active. Cheap enough for hot paths.
+bool enabled();
+
+/// Turns scanning on or off for the whole process.
+void set_enabled(bool on);
+
+/// Finite values with |x| above this limit count as exploding. A
+/// non-positive limit disables the magnitude rule (NaN/Inf still fail).
+double magnitude_limit();
+void set_magnitude_limit(double limit);
+
+/// RAII toggle for tests and scoped debugging runs.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) : prev_(enabled()) { set_enabled(on); }
+  ~ScopedEnable() { set_enabled(prev_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Scans data[0, n). On the first NaN, Inf, or |x| > magnitude_limit()
+/// throws NumericsError formatted as
+///   "numerics: <stage> of <what>: <NaN|Inf|magnitude L> at index <i> of <n>".
+/// `stage` tags the pipeline step ("forward output", "gradient", ...);
+/// `what` names the tensor's owner ("layer 3 (conv2d)", "param conv1.w").
+/// No-op when the sanitizer is disabled, so callers may invoke it
+/// unconditionally.
+void check_values(const char* stage, const std::string& what,
+                  const float* data, std::int64_t n);
+
+}  // namespace numerics
+}  // namespace lcrs

@@ -50,7 +50,7 @@ bool MaxProbPolicy::should_exit(const float* probs,
   LCRS_CHECK(classes >= 2, "max-prob gate needs >= 2 classes");
   float top = probs[0];
   for (std::int64_t i = 1; i < classes; ++i) top = std::max(top, probs[i]);
-  return top >= min_top_prob;
+  return static_cast<double>(top) >= min_top_prob;
 }
 
 std::vector<ExitSample> maxprob_samples_from_probs(

@@ -75,7 +75,8 @@ Tensor render_logo(const LogoSpec& spec, std::int64_t brand) {
 
   for (std::int64_t y = 0; y < kSide; ++y) {
     for (std::int64_t x = 0; x < kSide; ++x) {
-      const double ry = y - cy, rx = x - cx;
+      const double ry = static_cast<double>(y) - cy;
+      const double rx = static_cast<double>(x) - cx;
       const double r = std::sqrt(ry * ry + rx * rx);
       const double theta = std::atan2(ry, rx) + s.angle;
       Color c = s.background;

@@ -216,13 +216,15 @@ Dataset make_synthetic(const SyntheticSpec& spec, std::int64_t n, Rng& rng) {
                           1.0 + spec.contrast_jitter)
             : 1.0;
     for (std::int64_t j = 0; j < sample_size; ++j) {
-      double v = wc * class_buf[static_cast<std::size_t>(j)];
+      double v =
+          wc * static_cast<double>(class_buf[static_cast<std::size_t>(j)]);
       if (w_conf > 0.0) {
         v += (1.0 - spec.shared_background) * w_conf *
-             confuser_buf[static_cast<std::size_t>(j)];
+             static_cast<double>(confuser_buf[static_cast<std::size_t>(j)]);
       }
       if (spec.shared_background > 0.0) {
-        v += spec.shared_background * bg_buf[static_cast<std::size_t>(j)];
+        v += spec.shared_background *
+             static_cast<double>(bg_buf[static_cast<std::size_t>(j)]);
       }
       v = contrast * v + rng.normal(0.0, spec.noise_std);
       // Soft clamp to [-1, 1] keeps inputs in the STE window.

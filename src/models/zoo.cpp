@@ -47,7 +47,8 @@ namespace {
 /// Applies the width multiplier with a floor so tiny widths stay usable.
 std::int64_t scaled(std::int64_t channels, double width) {
   return std::max<std::int64_t>(
-      4, static_cast<std::int64_t>(std::llround(channels * width)));
+      4, static_cast<std::int64_t>(
+             std::llround(static_cast<double>(channels) * width)));
 }
 
 using Seq = nn::Sequential;

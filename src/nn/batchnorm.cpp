@@ -47,7 +47,7 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
       for (std::int64_t c = 0; c < v.c; ++c) {
         const float* p = input.data() + (b * v.c + c) * v.s;
         for (std::int64_t i = 0; i < v.s; ++i) {
-          mean[static_cast<std::size_t>(c)] += p[i];
+          mean[static_cast<std::size_t>(c)] += static_cast<double>(p[i]);
         }
       }
     }
@@ -57,7 +57,7 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
         const float* p = input.data() + (b * v.c + c) * v.s;
         const double m = mean[static_cast<std::size_t>(c)];
         for (std::int64_t i = 0; i < v.s; ++i) {
-          const double d = p[i] - m;
+          const double d = static_cast<double>(p[i]) - m;
           var[static_cast<std::size_t>(c)] += d * d;
         }
       }
@@ -79,7 +79,8 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
   Tensor inv_std{Shape{channels_}};
   for (std::int64_t c = 0; c < channels_; ++c) {
     inv_std[c] = static_cast<float>(
-        1.0 / std::sqrt(var[static_cast<std::size_t>(c)] + eps_));
+        1.0 / std::sqrt(var[static_cast<std::size_t>(c)] +
+                        static_cast<double>(eps_)));
   }
 
   Tensor xhat(input.shape());
@@ -122,8 +123,9 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
       const float* g = grad_output.data() + (b * v.c + c) * v.s;
       const float* xh = cached_xhat_.data() + (b * v.c + c) * v.s;
       for (std::int64_t i = 0; i < v.s; ++i) {
-        sum_g[static_cast<std::size_t>(c)] += g[i];
-        sum_gx[static_cast<std::size_t>(c)] += g[i] * xh[i];
+        sum_g[static_cast<std::size_t>(c)] += static_cast<double>(g[i]);
+        sum_gx[static_cast<std::size_t>(c)] +=
+            static_cast<double>(g[i]) * static_cast<double>(xh[i]);
       }
     }
   }

@@ -25,7 +25,7 @@ LossResult softmax_cross_entropy(const Tensor& logits,
     LCRS_CHECK(y >= 0 && y < classes, "label " << y << " out of range 0.."
                                                << classes - 1);
     const float p = result.probabilities.at2(b, y);
-    total += -std::log(std::max(p, 1e-12f));
+    total += -std::log(static_cast<double>(std::max(p, 1e-12f)));
     result.grad_logits.at2(b, y) -= 1.0f;
   }
   scale_inplace(result.grad_logits, inv_n);

@@ -3,8 +3,32 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/numerics.h"
 
 namespace lcrs::nn {
+
+namespace {
+
+// Optimizer-side numerics hooks: the incoming gradient is scanned before
+// it is consumed and the parameter after it is updated, so a blow-up is
+// attributed to the param by name and to the right side of the step.
+void check_step_inputs(const std::vector<Param*>& params) {
+  if (!numerics::enabled()) return;
+  for (const Param* p : params) {
+    numerics::check_values("step gradient", "param " + p->name,
+                           p->grad.data(), p->grad.numel());
+  }
+}
+
+void check_step_outputs(const std::vector<Param*>& params) {
+  if (!numerics::enabled()) return;
+  for (const Param* p : params) {
+    numerics::check_values("updated value", "param " + p->name,
+                           p->value.data(), p->value.numel());
+  }
+}
+
+}  // namespace
 
 Sgd::Sgd(double lr, double momentum, double weight_decay)
     : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
@@ -13,6 +37,7 @@ Sgd::Sgd(double lr, double momentum, double weight_decay)
 }
 
 void Sgd::step(const std::vector<Param*>& params) {
+  check_step_inputs(params);
   for (Param* p : params) {
     Tensor& val = p->value;
     Tensor& grad = p->grad;
@@ -34,6 +59,7 @@ void Sgd::step(const std::vector<Param*>& params) {
       }
     }
   }
+  check_step_outputs(params);
 }
 
 double clip_grad_norm(const std::vector<Param*>& params, double max_norm) {
@@ -41,7 +67,8 @@ double clip_grad_norm(const std::vector<Param*>& params, double max_norm) {
   double sq = 0.0;
   for (const Param* p : params) {
     for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
-      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+      const double g = static_cast<double>(p->grad[i]);
+      sq += g * g;
     }
   }
   const double norm = std::sqrt(sq);
@@ -64,6 +91,7 @@ Adam::Adam(double lr, double beta1, double beta2, double eps,
 }
 
 void Adam::step(const std::vector<Param*>& params) {
+  check_step_inputs(params);
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
@@ -73,15 +101,18 @@ void Adam::step(const std::vector<Param*>& params) {
     Tensor& m = m_.try_emplace(p, val.shape()).first->second;
     Tensor& v = v_.try_emplace(p, val.shape()).first->second;
     for (std::int64_t i = 0; i < val.numel(); ++i) {
-      const double g =
-          grad[i] + weight_decay_ * static_cast<double>(val[i]);
-      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
-      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
-      const double mhat = m[i] / bc1;
-      const double vhat = v[i] / bc2;
+      const double g = static_cast<double>(grad[i]) +
+                       weight_decay_ * static_cast<double>(val[i]);
+      m[i] = static_cast<float>(
+          beta1_ * static_cast<double>(m[i]) + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(
+          beta2_ * static_cast<double>(v[i]) + (1.0 - beta2_) * g * g);
+      const double mhat = static_cast<double>(m[i]) / bc1;
+      const double vhat = static_cast<double>(v[i]) / bc2;
       val[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
     }
   }
+  check_step_outputs(params);
 }
 
 }  // namespace lcrs::nn

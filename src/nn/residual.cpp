@@ -24,6 +24,8 @@ ResidualBlock::ResidualBlock(std::int64_t in_c, std::int64_t out_c,
 }
 
 Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+  LCRS_CHECK(input.rank() == 4, "residual block expects NCHW input, got rank "
+                                    << input.rank());
   Tensor main = conv1_->forward(input, train);
   main = bn1_->forward(main, train);
   if (train) cached_relu1_in_ = main;

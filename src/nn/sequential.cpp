@@ -1,17 +1,53 @@
 #include "nn/sequential.h"
 
+#include <string>
+
+#include "common/numerics.h"
+
 namespace lcrs::nn {
 
+namespace {
+
+// Builds the attribution string lazily -- only on the enabled path, so the
+// common case stays allocation-free.
+std::string layer_label(std::size_t i, const Layer& layer) {
+  return "layer " + std::to_string(i) + " (" + layer.kind() + ")";
+}
+
+void check_layer_output(const char* stage, std::size_t i, const Layer& layer,
+                        const Tensor& t) {
+  if (!numerics::enabled()) return;
+  numerics::check_values(stage, layer_label(i, layer), t.data(), t.numel());
+}
+
+}  // namespace
+
 Tensor Sequential::forward(const Tensor& input, bool train) {
+  if (numerics::enabled()) {
+    numerics::check_values("forward input", "sequential", input.data(),
+                           input.numel());
+  }
   Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x, train);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(x, train);
+    check_layer_output("forward output", i, *layers_[i], x);
+  }
   return x;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+    check_layer_output("backward input gradient", i, *layers_[i], g);
+    if (numerics::enabled()) {
+      for (Param* p : layers_[i]->params()) {
+        numerics::check_values("accumulated gradient",
+                               layer_label(i, *layers_[i]) + " param " +
+                                   p->name,
+                               p->grad.data(), p->grad.numel());
+      }
+    }
   }
   return g;
 }
@@ -42,7 +78,10 @@ Tensor Sequential::forward_prefix(const Tensor& input, std::size_t n_layers,
                                   bool train) {
   LCRS_CHECK(n_layers <= layers_.size(), "prefix longer than model");
   Tensor x = input;
-  for (std::size_t i = 0; i < n_layers; ++i) x = layers_[i]->forward(x, train);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    x = layers_[i]->forward(x, train);
+    check_layer_output("forward output", i, *layers_[i], x);
+  }
   return x;
 }
 
@@ -52,6 +91,7 @@ Tensor Sequential::forward_suffix(const Tensor& intermediate,
   Tensor x = intermediate;
   for (std::size_t i = n_layers; i < layers_.size(); ++i) {
     x = layers_[i]->forward(x, train);
+    check_layer_output("forward output", i, *layers_[i], x);
   }
   return x;
 }

@@ -56,7 +56,9 @@ void scale_inplace(Tensor& a, float s) {
 
 double sum(const Tensor& a) {
   double acc = 0.0;
-  for (std::int64_t i = 0; i < a.numel(); ++i) acc += a[i];
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(a[i]);
+  }
   return acc;
 }
 
@@ -68,7 +70,9 @@ double mean(const Tensor& a) {
 double mean_abs(const Tensor& a) {
   LCRS_CHECK(a.numel() > 0, "mean_abs of empty tensor");
   double acc = 0.0;
-  for (std::int64_t i = 0; i < a.numel(); ++i) acc += std::fabs(a[i]);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(std::fabs(a[i]));
+  }
   return acc / static_cast<double>(a.numel());
 }
 
@@ -116,7 +120,7 @@ Tensor softmax_rows(const Tensor& logits) {
     double denom = 0.0;
     for (std::int64_t c = 0; c < cols; ++c) {
       o[c] = std::exp(in[c] - mx);
-      denom += o[c];
+      denom += static_cast<double>(o[c]);
     }
     const float inv = static_cast<float>(1.0 / denom);
     for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
@@ -134,14 +138,17 @@ Tensor sign(const Tensor& a) {
 
 double l1_norm(const Tensor& a) {
   double acc = 0.0;
-  for (std::int64_t i = 0; i < a.numel(); ++i) acc += std::fabs(a[i]);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(std::fabs(a[i]));
+  }
   return acc;
 }
 
 double l2_norm(const Tensor& a) {
   double acc = 0.0;
   for (std::int64_t i = 0; i < a.numel(); ++i) {
-    acc += static_cast<double>(a[i]) * a[i];
+    const double v = static_cast<double>(a[i]);
+    acc += v * v;
   }
   return std::sqrt(acc);
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "binary/xnor_gemm.h"
+#include "common/numerics.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
@@ -169,6 +170,33 @@ struct OpRunner {
   }
 };
 
+struct OpName {
+  const char* operator()(const Conv2dOp&) const { return "conv2d"; }
+  const char* operator()(const BinaryConv2dOp&) const {
+    return "binary_conv2d";
+  }
+  const char* operator()(const LinearOp&) const { return "linear"; }
+  const char* operator()(const BinaryLinearOp&) const {
+    return "binary_linear";
+  }
+  const char* operator()(const BatchNormOp&) const { return "batchnorm"; }
+  const char* operator()(const ActivationOp&) const { return "activation"; }
+  const char* operator()(const MaxPoolOp&) const { return "maxpool"; }
+  const char* operator()(const GlobalAvgPoolOp&) const { return "gap"; }
+  const char* operator()(const FlattenOp&) const { return "flatten"; }
+};
+
+// Numerics hook for the reference-parity path: the webinfer engine is the
+// ground truth the browser build is validated against, so a NaN here must
+// name the op, not just fail a downstream comparison.
+void check_op_output(const Op& op, std::size_t i, const Tensor& x) {
+  if (!numerics::enabled()) return;
+  numerics::check_values("op output",
+                         "webinfer op " + std::to_string(i) + " (" +
+                             std::visit(OpName{}, op) + ")",
+                         x.data(), x.numel());
+}
+
 }  // namespace
 
 Tensor Engine::forward(const Tensor& input) const {
@@ -177,7 +205,10 @@ Tensor Engine::forward(const Tensor& input) const {
              "engine input " << input.shape().to_string()
                              << " does not match model geometry");
   OpRunner runner{input};
-  for (const Op& op : model_.ops) std::visit(runner, op);
+  for (std::size_t i = 0; i < model_.ops.size(); ++i) {
+    std::visit(runner, model_.ops[i]);
+    check_op_output(model_.ops[i], i, runner.x);
+  }
   LCRS_CHECK(runner.x.rank() == 2 && runner.x.dim(1) == model_.num_classes,
              "engine output is not [N x classes]: "
                  << runner.x.shape().to_string());
@@ -190,7 +221,9 @@ Tensor Engine::forward_shared(const Tensor& input) const {
              "engine shared input mismatch");
   OpRunner runner{input};
   for (std::int64_t i = 0; i < model_.shared_op_count; ++i) {
-    std::visit(runner, model_.ops[static_cast<std::size_t>(i)]);
+    const auto idx = static_cast<std::size_t>(i);
+    std::visit(runner, model_.ops[idx]);
+    check_op_output(model_.ops[idx], idx, runner.x);
   }
   return std::move(runner.x);
 }
@@ -200,6 +233,7 @@ Tensor Engine::forward_branch(const Tensor& shared) const {
   for (std::size_t i = static_cast<std::size_t>(model_.shared_op_count);
        i < model_.ops.size(); ++i) {
     std::visit(runner, model_.ops[i]);
+    check_op_output(model_.ops[i], i, runner.x);
   }
   LCRS_CHECK(runner.x.rank() == 2 && runner.x.dim(1) == model_.num_classes,
              "engine branch output is not [N x classes]");

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "binary/binary_conv2d.h"
+#include "common/numerics.h"
 #include "binary/binary_linear.h"
 #include "binary/binarize.h"
 #include "binary/input_scale.h"
@@ -19,6 +20,12 @@
 
 namespace lcrs::binary {
 namespace {
+
+// The STE branch runs the whole suite under the numerics sanitizer: the
+// binarized forward, the gated backward, and the training loop below must
+// never produce NaN/Inf, and a regression is attributed to its layer.
+[[maybe_unused]] const bool kNumericsOn =
+    (numerics::set_enabled(true), true);
 
 TEST(BinaryConv, ForwardMatchesEq4Expansion) {
   // out = (sign(I) conv sign(W)) * K * alpha, checked against a manual

@@ -34,9 +34,9 @@ TEST(Entropy, BoundedInUnitIntervalForRandomDistributions) {
     double sum = 0.0;
     for (auto& v : p) {
       v = static_cast<float>(rng.uniform(0.001, 1.0));
-      sum += v;
+      sum += static_cast<double>(v);
     }
-    for (auto& v : p) v = static_cast<float>(v / sum);
+    for (auto& v : p) v = static_cast<float>(static_cast<double>(v) / sum);
     const double s = normalized_entropy(p.data(), c);
     EXPECT_GE(s, 0.0);
     EXPECT_LE(s, 1.0 + 1e-9);

@@ -81,7 +81,8 @@ TEST(Synthetic, ClassesAreSeparable) {
       }
     }
   }
-  EXPECT_LT(intra / n_intra, inter / n_inter);
+  EXPECT_LT(intra / static_cast<double>(n_intra),
+            inter / static_cast<double>(n_inter));
 }
 
 TEST(Synthetic, Cifar10IsHarderThanMnist) {
@@ -109,7 +110,8 @@ TEST(Synthetic, Cifar10IsHarderThanMnist) {
         }
       }
     }
-    return (inter / nj) / (intra / ni);
+    return (inter / static_cast<double>(nj)) /
+           (intra / static_cast<double>(ni));
   };
   EXPECT_GT(ratio(mnist_like()), ratio(cifar10_like()));
 }
@@ -230,7 +232,8 @@ TEST_P(AugmentAngles, RotateThenUnrotateRestoresInterior) {
   for (std::int64_t y = 0; y < 16; ++y) {
     for (std::int64_t x = 0; x < 16; ++x) {
       img[y * 16 + x] = static_cast<float>(
-          0.5 * std::sin(0.4 * y) + 0.5 * std::cos(0.3 * x));
+          0.5 * std::sin(0.4 * static_cast<double>(y)) +
+          0.5 * std::cos(0.3 * static_cast<double>(x)));
     }
   }
   const Tensor round = rotate(rotate(img, angle), -angle);
@@ -238,7 +241,8 @@ TEST_P(AugmentAngles, RotateThenUnrotateRestoresInterior) {
   std::int64_t count = 0;
   for (std::int64_t y = 4; y < 12; ++y) {
     for (std::int64_t x = 4; x < 12; ++x) {
-      err += std::fabs(round[y * 16 + x] - img[y * 16 + x]);
+      err += static_cast<double>(
+          std::fabs(round[y * 16 + x] - img[y * 16 + x]));
       ++count;
     }
   }
@@ -253,7 +257,8 @@ TEST(Augment, ZoomOutThenInRestoresInterior) {
   for (std::int64_t y = 0; y < 16; ++y) {
     for (std::int64_t x = 0; x < 16; ++x) {
       img[y * 16 + x] = static_cast<float>(
-          0.5 * std::sin(0.3 * y) - 0.5 * std::cos(0.25 * x));
+          0.5 * std::sin(0.3 * static_cast<double>(y)) -
+          0.5 * std::cos(0.25 * static_cast<double>(x)));
     }
   }
   const Tensor round = zoom(zoom(img, 0.8), 1.25);
@@ -261,7 +266,8 @@ TEST(Augment, ZoomOutThenInRestoresInterior) {
   std::int64_t count = 0;
   for (std::int64_t y = 5; y < 11; ++y) {
     for (std::int64_t x = 5; x < 11; ++x) {
-      err += std::fabs(round[y * 16 + x] - img[y * 16 + x]);
+      err += static_cast<double>(
+          std::fabs(round[y * 16 + x] - img[y * 16 + x]));
       ++count;
     }
   }

@@ -104,6 +104,65 @@ TEST(Fuzz, ModelParams) {
        60, 44);
 }
 
+// Hand-built corpus of crasher-shaped inputs: each case targets a bug
+// class that random mutation rarely hits dead-on (length-field inflation,
+// negative dims, allocation-before-validation). Every one must be
+// rejected with lcrs::Error -- under ASan these double as memory-safety
+// probes of the rejection paths themselves.
+TEST(Fuzz, CrasherCorpus) {
+  constexpr std::uint32_t kTensorMagic = 0x4c435254;   // "LCRT"
+  constexpr std::uint32_t kFrameMagic = 0x4c435246;    // "LCRF"
+  constexpr std::uint32_t kWebModelMagic = 0x4c435257; // "LCRW"
+
+  {  // tensor header claiming an absurd rank
+    ByteWriter w;
+    w.write_u32(kTensorMagic);
+    w.write_u32(0xFFFFFFFFu);
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)read_tensor(r), Error);
+  }
+  {  // tensor with a negative dimension
+    ByteWriter w;
+    w.write_u32(kTensorMagic);
+    w.write_u32(2);
+    w.write_i64(4);
+    w.write_i64(-5);
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)read_tensor(r), Error);
+  }
+  {  // tensor whose dims pass validation but whose payload is absent --
+     // must raise ParseError before attempting the 1 GiB allocation
+    ByteWriter w;
+    w.write_u32(kTensorMagic);
+    w.write_u32(1);
+    w.write_i64(1ll << 28);
+    ByteReader r(w.bytes());
+    EXPECT_THROW((void)read_tensor(r), Error);
+  }
+  {  // frame with an inflated length field and no payload behind it
+    ByteWriter w;
+    w.write_u32(kFrameMagic);
+    w.write_u8(0);
+    w.write_u32(0xFFFFFFFFu);
+    EXPECT_THROW((void)edge::decode_frame(w.bytes()), Error);
+  }
+  {  // frame truncated inside the fixed header
+    EXPECT_THROW((void)edge::decode_frame({0x46, 0x52}), Error);
+  }
+  {  // web model blob with a future format version
+    ByteWriter w;
+    w.write_u32(kWebModelMagic);
+    w.write_u32(999);
+    EXPECT_THROW((void)webinfer::deserialize(w.bytes()), Error);
+  }
+  {  // web model blob that ends right after a valid magic + version
+    ByteWriter w;
+    w.write_u32(kWebModelMagic);
+    w.write_u32(1);
+    EXPECT_THROW((void)webinfer::deserialize(w.bytes()), Error);
+  }
+}
+
 TEST(Fuzz, Checkpoints) {
   Rng rng(6);
   const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
@@ -94,6 +95,27 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmShape{64, 64, 64}, GemmShape{65, 63, 67},
                       GemmShape{128, 27, 196}, GemmShape{10, 400, 120},
                       GemmShape{2, 130, 257}));
+
+// TSan gate for the kernel thread pool (scripts/check_tsan.sh): force a
+// multi-worker pool so the blocked GEMM genuinely fans out even on
+// single-core hosts, and pin the result against the serial oracle. A data
+// race in the pool or an overlapping row partition shows up here either
+// as a TSan report or as a mismatch.
+TEST(GemmParallel, ForcedFourWorkerPoolMatchesNaive) {
+  const int prev = parallel_thread_count();
+  set_parallel_thread_count(4);
+  const std::int64_t m = 67, k = 45, n = 53;
+  Rng rng(0x9ea11e1);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c_fast(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.0f);
+  gemm(a.data(), b.data(), c_fast.data(), m, k, n);
+  set_parallel_thread_count(1);
+  gemm_naive(a.data(), b.data(), c_ref.data(), m, k, n);
+  set_parallel_thread_count(prev);
+  expect_near_all(c_fast, c_ref, 1e-3f * static_cast<float>(k));
+}
 
 TEST(Matmul, TensorWrapper) {
   Rng rng(9);

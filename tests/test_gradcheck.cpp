@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/numerics.h"
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
@@ -19,10 +20,18 @@
 namespace lcrs::nn {
 namespace {
 
+// The whole suite runs with the numerics sanitizer active: every forward
+// and backward probed here must stay finite, and a regression that breeds
+// NaNs now fails with layer attribution instead of a tolerance miss.
+[[maybe_unused]] const bool kNumericsOn =
+    (numerics::set_enabled(true), true);
+
 double probe_loss(Layer& layer, const Tensor& x, const Tensor& w) {
   const Tensor y = layer.forward(x, /*train=*/true);
   double loss = 0.0;
-  for (std::int64_t i = 0; i < y.numel(); ++i) loss += w[i] * y[i];
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    loss += static_cast<double>(w[i]) * static_cast<double>(y[i]);
+  }
   return loss;
 }
 

@@ -95,8 +95,12 @@ TEST_P(Im2ColCases, Col2ImIsAdjoint) {
   col2im(y.data(), g, aty.data());
 
   double lhs = 0.0, rhs = 0.0;
-  for (std::int64_t i = 0; i < cols_n; ++i) lhs += ax[i] * y[i];
-  for (std::int64_t i = 0; i < image_n; ++i) rhs += x[i] * aty[i];
+  for (std::int64_t i = 0; i < cols_n; ++i) {
+    lhs += static_cast<double>(ax[i]) * static_cast<double>(y[i]);
+  }
+  for (std::int64_t i = 0; i < image_n; ++i) {
+    rhs += static_cast<double>(x[i]) * static_cast<double>(aty[i]);
+  }
   EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
 }
 

@@ -129,7 +129,8 @@ TEST(Pipeline, ExitFractionMatchesScreeningPrediction) {
         core::collaborative_infer(*p.net, policy, p.data.test.image(i));
     if (r.exit_point == core::ExitPoint::kBinaryBranch) ++exits;
   }
-  const double measured = static_cast<double>(exits) / n;
+  const double measured =
+      static_cast<double>(exits) / static_cast<double>(n);
   // Screening ran on this same test set, so the fractions must agree.
   EXPECT_NEAR(measured, p.result.exit_stats.exit_fraction, 1e-9);
 }

@@ -19,7 +19,9 @@ TEST(Loss, UniformLogitsGiveLogC) {
   // Gradient rows sum to zero (softmax minus one-hot).
   for (std::int64_t b = 0; b < 2; ++b) {
     double s = 0.0;
-    for (std::int64_t c = 0; c < 4; ++c) s += r.grad_logits.at2(b, c);
+    for (std::int64_t c = 0; c < 4; ++c) {
+      s += static_cast<double>(r.grad_logits.at2(b, c));
+    }
     EXPECT_NEAR(s, 0.0, 1e-6);
   }
 }

@@ -141,13 +141,14 @@ TEST(BatchNorm, NormalizesBatchStatistics) {
     double m = 0.0, v = 0.0;
     for (std::int64_t b = 0; b < 16; ++b) {
       for (std::int64_t i = 0; i < spatial; ++i) {
-        m += y[(b * 4 + c) * spatial + i];
+        m += static_cast<double>(y[(b * 4 + c) * spatial + i]);
       }
     }
-    m /= 16.0 * spatial;
+    m /= 16.0 * static_cast<double>(spatial);
     for (std::int64_t b = 0; b < 16; ++b) {
       for (std::int64_t i = 0; i < spatial; ++i) {
-        const double d = y[(b * 4 + c) * spatial + i] - m;
+        const double d =
+            static_cast<double>(y[(b * 4 + c) * spatial + i]) - m;
         v += d * d;
       }
     }

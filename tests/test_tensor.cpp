@@ -69,7 +69,8 @@ TEST(Tensor, RandnMomentsRoughlyCorrect) {
   EXPECT_NEAR(mean(t), 1.0, 0.1);
   double var = 0.0;
   for (std::int64_t i = 0; i < t.numel(); ++i) {
-    var += (t[i] - 1.0) * (t[i] - 1.0);
+    const double d = static_cast<double>(t[i]) - 1.0;
+    var += d * d;
   }
   var /= static_cast<double>(t.numel());
   EXPECT_NEAR(var, 4.0, 0.3);
@@ -131,7 +132,9 @@ TEST(Ops, SoftmaxRowsSumToOneAndOrder) {
   const Tensor p = softmax_rows(logits);
   for (std::int64_t r = 0; r < 2; ++r) {
     double s = 0.0;
-    for (std::int64_t c = 0; c < 3; ++c) s += p.at2(r, c);
+    for (std::int64_t c = 0; c < 3; ++c) {
+      s += static_cast<double>(p.at2(r, c));
+    }
     EXPECT_NEAR(s, 1.0, 1e-6);
   }
   EXPECT_LT(p.at2(0, 0), p.at2(0, 2));

@@ -158,7 +158,9 @@ TEST(Engine, PredictProbabilitiesSumToOne) {
   const Tensor p =
       engine.predict_probabilities(Tensor::randn(Shape{1, 1, 28, 28}, rng));
   double sum = 0.0;
-  for (std::int64_t i = 0; i < p.numel(); ++i) sum += p[i];
+  for (std::int64_t i = 0; i < p.numel(); ++i) {
+    sum += static_cast<double>(p[i]);
+  }
   EXPECT_NEAR(sum, 1.0, 1e-5);
 }
 
