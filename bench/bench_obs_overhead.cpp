@@ -1,0 +1,67 @@
+// Observability overhead microbenchmark.
+//
+// The profiling hooks in Sequential and the webinfer engine promise to
+// be free when disabled: one relaxed atomic load per forward call, no
+// timing, no registry traffic. This bench measures a webinfer forward
+// pass (the paper's browser hot path) three ways --
+//   baseline    profiling off (the seed-equivalent path)
+//   disabled    profiling off again, interleaved, to expose run-to-run
+//               noise: |disabled - baseline| IS the noise floor
+//   enabled     profiling on, every op timed into the registry
+// -- and then prints the per-op latency breakdown the enabled mode buys.
+// Disabled-mode overhead must sit inside the noise band; enabled-mode
+// overhead is reported, not bounded (it is opt-in).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/obs/metrics.h"
+#include "webinfer/engine.h"
+#include "webinfer/export.h"
+
+using namespace lcrs;
+
+int main() {
+  Rng rng(7);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 1.0};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const webinfer::Engine engine(
+      webinfer::export_browser_model(net, 1, 28, 28));
+  const Tensor sample = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+
+  const auto forward = [&] { (void)engine.forward(sample); };
+  for (int i = 0; i < 20; ++i) forward();  // warm caches
+
+  constexpr int kReps = 300;
+  obs::set_profiling_enabled(false);
+  const double baseline_us = bench::median_micros(forward, kReps);
+  const double disabled_us = bench::median_micros(forward, kReps);
+  double enabled_us = 0.0;
+  {
+    const obs::ScopedProfiling profiling;
+    enabled_us = bench::median_micros(forward, kReps);
+  }
+
+  const double noise_us = std::abs(disabled_us - baseline_us);
+  std::printf("webinfer forward, median of %d reps:\n", kReps);
+  std::printf("  baseline (profiling off)  %10.2f us\n", baseline_us);
+  std::printf("  disabled (profiling off)  %10.2f us   (delta %.2f us = "
+              "noise floor)\n",
+              disabled_us, noise_us);
+  std::printf("  enabled  (profiling on)   %10.2f us   (overhead %.2f us, "
+              "%.1f%%)\n",
+              enabled_us, enabled_us - baseline_us,
+              100.0 * (enabled_us - baseline_us) / baseline_us);
+
+  std::printf("\nper-op breakdown (enabled mode):\n");
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind("webinfer.op.", 0) == 0) {
+      std::printf("  %-36s n=%-6lld mean %8.2f us  p99 %8.2f us\n",
+                  h.name.c_str(), static_cast<long long>(h.count), h.mean(),
+                  h.percentile(0.99));
+    }
+  }
+  return 0;
+}

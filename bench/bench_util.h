@@ -4,12 +4,20 @@
 // synthetic substrate. Training runs use width-scaled networks so a
 // single CPU core finishes in seconds-to-minutes; model-size columns are
 // always computed from the full-width (width = 1.0) architectures.
+//
+// Timing: all measurement in bench/ goes through lcrs::Stopwatch, which
+// is steady_clock-based -- never std::chrono::system_clock or
+// high_resolution_clock, whose wall-clock steps would corrupt latency
+// columns mid-run. (Audited 2026-08: no wall-clock timing exists in
+// this tree; keep it that way.)
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "core/composite.h"
 #include "core/joint_trainer.h"
 #include "data/synthetic.h"
@@ -17,6 +25,22 @@
 #include "sim/cost_model.h"
 
 namespace lcrs::bench {
+
+/// Median-of-reps microsecond timing for microbenchmarks: runs `fn`
+/// `reps` times and returns the median elapsed time, which is robust to
+/// the scheduler hiccups a mean would absorb.
+template <typename Fn>
+double median_micros(Fn&& fn, int reps) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    times.push_back(watch.micros());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
 
 /// Width multiplier used when *training* each architecture on one core.
 inline double train_width(models::Arch arch) {

@@ -19,13 +19,22 @@
 //       Run Algorithm 2 end-to-end against an in-process edge server
 //       through the exported blob, printing one line per recognition.
 //
+//   lcrs_tool metrics <in.ckpt> [n_samples] [text|json] [trace.jsonl]
+//       Run collaborative classifications with profiling on, then dump
+//       the process-wide metrics snapshot (and, optionally, every trace
+//       span as JSONL) -- the observability smoke test.
+//
 // Architectures: LeNet | AlexNet | ResNet18 | VGG16.
 // Datasets:      MNIST | FashionMNIST | CIFAR10 | CIFAR100.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "common/logging.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "core/checkpoint.h"
 #include "core/entropy.h"
 #include "core/joint_trainer.h"
@@ -48,7 +57,9 @@ int usage() {
                "  lcrs_tool export <in.ckpt> <out.blob>\n"
                "  lcrs_tool eval <in.ckpt> [n_samples]\n"
                "  lcrs_tool serve <in.ckpt> <port>\n"
-               "  lcrs_tool classify <in.ckpt> [n_samples]\n");
+               "  lcrs_tool classify <in.ckpt> [n_samples]\n"
+               "  lcrs_tool metrics <in.ckpt> [n_samples] [text|json] "
+               "[trace.jsonl]\n");
   return 2;
 }
 
@@ -226,6 +237,43 @@ int cmd_classify(int argc, char** argv) {
   return 0;
 }
 
+int cmd_metrics(int argc, char** argv) {
+  if (argc < 3) return usage();
+  core::LoadedComposite loaded = core::load_composite_file(argv[2]);
+  const std::int64_t n = argc > 3 ? std::atoll(argv[3]) : 32;
+  const std::string format = argc > 4 ? argv[4] : "text";
+  if (format != "text" && format != "json") return usage();
+  std::unique_ptr<obs::JsonlFileSink> sink;
+  std::optional<obs::ScopedTraceSink> scoped_sink;
+  if (argc > 5) {
+    sink = std::make_unique<obs::JsonlFileSink>(argv[5]);
+    scoped_sink.emplace(sink.get());
+  }
+  const data::Dataset test = fresh_test_set(loaded.ckpt, n, 991);
+
+  edge::EdgeServer server(0, completion_for(loaded.net));
+  const webinfer::WebModel model = webinfer::export_browser_model(
+      loaded.net, loaded.ckpt.config.in_channels, loaded.ckpt.config.in_h,
+      loaded.ckpt.config.in_w);
+  edge::BrowserClient client(webinfer::Engine(model),
+                             core::ExitPolicy{loaded.ckpt.tau},
+                             server.port());
+  const obs::ScopedProfiling profiling;  // per-op webinfer timings too
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    (void)client.classify(test.image(i));
+  }
+  server.stop();  // settle the server-side counters before the snapshot
+
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  if (format == "json") {
+    std::printf("%s\n", snap.to_json().c_str());
+  } else {
+    std::printf("%s", snap.to_text().c_str());
+  }
+  if (sink) sink->flush();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,6 +286,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "classify") return cmd_classify(argc, argv);
+    if (cmd == "metrics") return cmd_metrics(argc, argv);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-stop correctness gate. Runs, in order:
 #   1. tier-1: full build with LCRS_WERROR=ON (expanded warning set as
-#      errors) + the complete ctest battery
+#      errors) + the complete ctest battery (includes test_obs, the
+#      observability suite: registry, spans, stitched traces)
 #   2. invariant lint (scripts/lint_invariants.py)
 #   3. clang-tidy over src/ (skips with a warning if not installed)
 #   4. ThreadSanitizer suites (edge runtime + kernel thread pool)

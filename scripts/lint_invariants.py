@@ -15,6 +15,12 @@ Encodes rules no generic tool knows about this codebase:
                 src/nn, src/binary that consume Tensor arguments must
                 validate shapes with LCRS_CHECK / LCRS_ASSERT (directly
                 or via a check_* / *_checked helper) before touching data.
+  metric-name   Observability metric names live in one catalogue
+                (src/common/obs/metric_names.h). Registering an
+                instrument with an inline string literal --
+                counter("..."), gauge("..."), histogram("...") -- is
+                banned in src/ and bench/ outside src/common/obs/, so a
+                name cannot silently fork into two spellings.
 
 Vetted exceptions live in scripts/invariant_allowlist.txt as
 `rule:path[:symbol]  # reason` lines; path is repo-relative.
@@ -58,6 +64,12 @@ FUNC_DEF = re.compile(
 
 CHECK_MARKERS = re.compile(
     r"\bLCRS_CHECK\b|\bLCRS_ASSERT\b|\bcheck_[a-z_]*\s*\(|_checked\s*\(")
+
+# Instrument registration fed a string literal. `\b` keeps find_counter()
+# etc. from matching (the preceding `_` is a word character). Runs on
+# stripped code, where literal *contents* are blanked but the quote
+# characters survive, so the opening `"` is still visible.
+METRIC_LITERAL = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -198,6 +210,17 @@ class Linter:
                     f"{name}() takes Tensor args but has no LCRS_CHECK/"
                     "LCRS_ASSERT shape validation", symbol=name)
 
+    def lint_metric_names(self, path: Path, code: str) -> None:
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith("src/common/obs/"):
+            return  # the catalogue and registry implement the machinery
+        for m in METRIC_LITERAL.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            self.report(
+                "metric-name", path, line,
+                "inline string literal at an instrument registration -- "
+                "use a name from common/obs/metric_names.h")
+
     # --- driver ---
 
     def run(self, roots: list[Path]) -> int:
@@ -213,6 +236,8 @@ class Linter:
             if rel.startswith("src/"):
                 self.lint_randomness(path, code)
                 self.lint_naked_new(path, code)
+            if rel.startswith(("src/", "bench/")):
+                self.lint_metric_names(path, code)
             self.lint_kernel_checks(path, code)
         for rule, rel, line, detail in self.violations:
             print(f"{rel}:{line}: [{rule}] {detail}")

@@ -1,5 +1,8 @@
 #include "baselines/approach.h"
 
+#include "common/obs/metric_names.h"
+#include "common/obs/metrics.h"
+
 namespace lcrs::baselines {
 
 std::int64_t ModelUnderTest::prefix_model_bytes(std::size_t cut) const {
@@ -7,6 +10,16 @@ std::int64_t ModelUnderTest::prefix_model_bytes(std::size_t cut) const {
   std::int64_t bytes = 8;  // file header
   for (std::size_t i = 0; i < cut; ++i) bytes += layers[i].param_bytes;
   return bytes;
+}
+
+void record_approach_cost(const ApproachCost& cost) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge(obs::names::baseline_gauge(cost.name, "total_ms"))
+      .set(cost.total_ms);
+  reg.gauge(obs::names::baseline_gauge(cost.name, "comm_ms"))
+      .set(cost.comm_ms);
+  reg.gauge(obs::names::baseline_gauge(cost.name, "compute_ms"))
+      .set(cost.compute_ms);
 }
 
 }  // namespace lcrs::baselines

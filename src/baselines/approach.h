@@ -26,6 +26,12 @@ struct ApproachCost {
                                   // provider's cost, not the device's)
 };
 
+/// Publishes an approach's headline costs as gauges in the global
+/// metrics registry ("baseline.<slug>.total_ms" etc.), so a comparison
+/// sweep's latest numbers show up in the same snapshot as the runtime
+/// metrics.
+void record_approach_cost(const ApproachCost& cost);
+
 /// A full-precision model prepared for partition-based approaches.
 struct ModelUnderTest {
   std::string name;

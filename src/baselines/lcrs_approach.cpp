@@ -57,6 +57,7 @@ ApproachCost evaluate_lcrs(const LcrsModel& model, const sim::CostModel& cost,
   c.device_energy_mj = cost.energy().compute_mj(browser_ms) +
                        cost.energy().tx_mj(miss * up) +
                        cost.energy().rx_mj(load + miss * down);
+  record_approach_cost(c);
   return c;
 }
 

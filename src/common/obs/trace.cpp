@@ -1,0 +1,97 @@
+#include "common/obs/trace.h"
+
+#include <chrono>
+
+#include "common/error.h"
+
+namespace lcrs::obs {
+
+std::int64_t steady_now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              anchor)
+      .count();
+}
+
+std::uint64_t next_trace_id() {
+  // splitmix64 finalizer over a process-wide counter: deterministic
+  // (reproducibility rule bans std::random_device) yet well-mixed, so
+  // concurrent clients do not hand out adjacent-looking ids.
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t z =
+      counter.fetch_add(1, std::memory_order_relaxed) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return z | 1ull;  // never 0: zero means "untraced" on the wire
+}
+
+// ---------------------------------------------------------------------
+// RingBufferSink
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+  LCRS_CHECK(capacity_ > 0, "RingBufferSink capacity must be positive");
+}
+
+void RingBufferSink::emit(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (buffer_.size() == capacity_) {
+    buffer_.pop_front();
+    ++dropped_;
+  }
+  buffer_.push_back(span);
+}
+
+std::vector<SpanRecord> RingBufferSink::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SpanRecord>(buffer_.begin(), buffer_.end());
+}
+
+std::int64_t RingBufferSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void RingBufferSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffer_.clear();
+  dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// JsonlFileSink
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {
+  LCRS_CHECK(out_.good(), "JsonlFileSink: cannot open " << path);
+}
+
+void JsonlFileSink::emit(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Span names come from the metric-name catalogue ([a-z0-9_.]), so no
+  // JSON escaping is required.
+  out_ << "{\"trace_id\":" << span.trace_id << ",\"name\":\"" << span.name
+       << "\",\"start_ns\":" << span.start_ns
+       << ",\"end_ns\":" << span.end_ns
+       << ",\"duration_us\":" << span.duration_us() << "}\n";
+}
+
+void JsonlFileSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------
+// Process-wide sink
+
+namespace {
+std::atomic<TraceSink*> g_sink{nullptr};
+}  // namespace
+
+void set_trace_sink(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* trace_sink() { return g_sink.load(std::memory_order_acquire); }
+
+}  // namespace lcrs::obs

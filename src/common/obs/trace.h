@@ -1,0 +1,143 @@
+// Per-request trace spans: the timeline half of observability.
+//
+// A request gets a 64-bit trace id in BrowserClient::classify(); every
+// stage it passes through (browser conv1, binary branch, serialize,
+// network wait, edge deserialize/complete/serialize) opens a RAII Span
+// tagged with that id. The id rides the wire in the v2 protocol frame
+// header, so client-side and server-side spans for one request stitch
+// into a single timeline in whatever sink is installed.
+//
+// Timestamps are steady_clock nanoseconds anchored at process start --
+// monotonic, immune to NTP steps, and fine-grained enough that even a
+// sub-microsecond serialize stage records non-zero duration.
+//
+// Sinks: tests use RingBufferSink (bounded, drop-counting); offline
+// analysis uses JsonlFileSink (one JSON object per finished span).
+// When no sink is installed, a Span is two relaxed atomic loads and
+// nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lcrs::obs {
+
+/// Nanoseconds since an arbitrary process-local steady_clock anchor.
+std::int64_t steady_now_ns();
+
+/// Deterministic, collision-resistant, nonzero 64-bit trace id
+/// (splitmix64 over a process-wide counter -- no std::random_device,
+/// per the repo's reproducibility rule; zero is reserved for
+/// "untraced").
+std::uint64_t next_trace_id();
+
+/// One finished span, as delivered to a TraceSink.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::string name;          // e.g. "client.network", "edge.complete"
+  std::int64_t start_ns = 0; // steady_now_ns() at construction
+  std::int64_t end_ns = 0;   // steady_now_ns() at destruction
+
+  double duration_us() const {
+    return static_cast<double>(end_ns - start_ns) / 1e3;
+  }
+};
+
+/// Destination for finished spans. Implementations must be thread-safe:
+/// client and server threads emit concurrently.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const SpanRecord& span) = 0;
+};
+
+/// Bounded in-memory sink for tests and the lcrs_tool `metrics`
+/// subcommand; overflow drops the oldest spans and counts the drops.
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 4096);
+
+  void emit(const SpanRecord& span) override;
+
+  /// Copy of the buffered spans, oldest first.
+  std::vector<SpanRecord> spans() const;
+  std::int64_t dropped() const;
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> buffer_;
+  std::int64_t dropped_ = 0;
+};
+
+/// Appends one JSON object per span to a file -- the offline-analysis
+/// format (each line: trace_id, name, start/end ns, duration_us).
+class JsonlFileSink : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+
+  void emit(const SpanRecord& span) override;
+  void flush();
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+/// Installs (or, with nullptr, removes) the process-wide sink. The sink
+/// must outlive every span emitted while it is installed; ScopedTraceSink
+/// handles that for tests.
+void set_trace_sink(TraceSink* sink);
+TraceSink* trace_sink();
+
+/// RAII installer for tests: installs `sink` on construction, restores
+/// the previous sink on destruction.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink* sink) : prev_(trace_sink()) {
+    set_trace_sink(sink);
+  }
+  ~ScopedTraceSink() { set_trace_sink(prev_); }
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+/// RAII span: records start on construction, emits to the sink captured
+/// at construction on destruction. Inactive (zero cost beyond the
+/// constructor) when no sink is installed or trace_id is 0.
+class Span {
+ public:
+  Span(std::uint64_t trace_id, std::string name)
+      : sink_(trace_sink()), trace_id_(trace_id) {
+    if (sink_ != nullptr && trace_id_ != 0) {
+      name_ = std::move(name);
+      start_ns_ = steady_now_ns();
+    }
+  }
+
+  ~Span() {
+    if (sink_ != nullptr && trace_id_ != 0) {
+      sink_->emit(SpanRecord{trace_id_, name_, start_ns_, steady_now_ns()});
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSink* sink_;
+  std::uint64_t trace_id_;
+  std::string name_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace lcrs::obs

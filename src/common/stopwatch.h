@@ -1,11 +1,13 @@
-// Wall-clock stopwatch for measuring real kernel execution time.
+// Monotonic stopwatch for measuring real kernel execution time.
+// Deliberately steady_clock, never system_clock: spans and metrics must
+// not jump when NTP steps the wall clock mid-measurement.
 #pragma once
 
 #include <chrono>
 
 namespace lcrs {
 
-/// Measures elapsed wall time; starts on construction.
+/// Measures elapsed monotonic time; starts on construction.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -18,6 +20,9 @@ class Stopwatch {
   }
 
   double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed microseconds -- the native unit of the obs histograms.
+  double micros() const { return seconds() * 1e6; }
 
  private:
   using Clock = std::chrono::steady_clock;

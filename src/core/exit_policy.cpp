@@ -3,8 +3,46 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/obs/metric_names.h"
+#include "common/obs/metrics.h"
 
 namespace lcrs::core {
+
+const char* to_string(ExitPoint p) {
+  switch (p) {
+    case ExitPoint::kBinaryBranch:
+      return "binary-branch";
+    case ExitPoint::kMainBranch:
+      return "main-branch";
+    case ExitPoint::kBinaryBranchFallback:
+      return "binary-branch-fallback";
+  }
+  return "unknown";
+}
+
+void record_exit_decision(ExitPoint decision, double entropy) {
+  obs::Registry& reg = obs::Registry::global();
+  // Bucket the entropy histogram on the tau candidate grid (plus 1.0,
+  // the normalized-entropy ceiling): each bucket count then reads
+  // directly as "samples that would exit at this tau but not the next".
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b = default_tau_grid();
+    b.push_back(1.0);
+    return b;
+  }();
+  reg.histogram(obs::names::kExitEntropy, bounds).record(entropy);
+  switch (decision) {
+    case ExitPoint::kBinaryBranch:
+      reg.counter(obs::names::kExitBinary).add();
+      break;
+    case ExitPoint::kMainBranch:
+      reg.counter(obs::names::kExitMain).add();
+      break;
+    case ExitPoint::kBinaryBranchFallback:
+      reg.counter(obs::names::kExitFallback).add();
+      break;
+  }
+}
 
 ExitStats evaluate_threshold(const std::vector<ExitSample>& samples,
                              double tau) {

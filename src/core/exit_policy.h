@@ -14,6 +14,23 @@
 
 namespace lcrs::core {
 
+/// Where a request's final prediction came from. kBinaryBranchFallback
+/// means the sample *wanted* the edge's main branch but the edge was
+/// unreachable (or the deadline expired), so the runtime degraded
+/// gracefully to the binary branch's answer instead of failing the
+/// request.
+enum class ExitPoint { kBinaryBranch, kMainBranch, kBinaryBranchFallback };
+
+/// Human-readable name for logs and demos.
+const char* to_string(ExitPoint p);
+
+/// Records one exit decision into the global metrics registry: a
+/// counter per ExitPoint plus a histogram of the normalized entropy that
+/// drove it (bucketed on the tau candidate grid), so tau can be tuned
+/// from a snapshot instead of rerunning experiments. Thread-safe;
+/// called from every collaborative-inference path.
+void record_exit_decision(ExitPoint decision, double entropy);
+
 /// Threshold policy on normalized entropy.
 struct ExitPolicy {
   double tau = 0.05;

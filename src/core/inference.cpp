@@ -5,18 +5,6 @@
 
 namespace lcrs::core {
 
-const char* to_string(ExitPoint p) {
-  switch (p) {
-    case ExitPoint::kBinaryBranch:
-      return "binary-branch";
-    case ExitPoint::kMainBranch:
-      return "main-branch";
-    case ExitPoint::kBinaryBranchFallback:
-      return "binary-branch-fallback";
-  }
-  return "unknown";
-}
-
 InferenceResult collaborative_infer(CompositeNetwork& net,
                                     const ExitPolicy& policy,
                                     const Tensor& sample) {
@@ -33,6 +21,7 @@ InferenceResult collaborative_infer(CompositeNetwork& net,
     r.exit_point = ExitPoint::kBinaryBranch;
     r.probabilities = probs;
     r.predicted = argmax(probs);
+    record_exit_decision(r.exit_point, r.entropy);
     return r;
   }
 
@@ -41,6 +30,7 @@ InferenceResult collaborative_infer(CompositeNetwork& net,
   r.exit_point = ExitPoint::kMainBranch;
   r.probabilities = softmax_rows(main_logits);
   r.predicted = argmax(r.probabilities);
+  record_exit_decision(r.exit_point, r.entropy);
   return r;
 }
 

@@ -12,14 +12,9 @@
 
 namespace lcrs::core {
 
-/// Where the final prediction came from. kBinaryBranchFallback means the
-/// sample *wanted* the edge's main branch but the edge was unreachable (or
-/// the deadline expired), so the runtime degraded gracefully to the binary
-/// branch's answer instead of failing the request.
-enum class ExitPoint { kBinaryBranch, kMainBranch, kBinaryBranchFallback };
-
-/// Human-readable name for logs and demos.
-const char* to_string(ExitPoint p);
+// ExitPoint and to_string(ExitPoint) live in core/exit_policy.h (pulled
+// in above) alongside record_exit_decision, so the edge runtimes can
+// record fallback exits without depending on this header.
 
 /// Result of Algorithm 2 for one sample.
 struct InferenceResult {

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/obs/metric_names.h"
+#include "common/obs/metrics.h"
+#include "common/stopwatch.h"
 #include "core/entropy.h"
 #include "nn/loss.h"
 #include "nn/metrics.h"
@@ -21,6 +24,7 @@ JointTrainer::JointTrainer(CompositeNetwork& net, const TrainConfig& cfg)
 
 double JointTrainer::train_batch(const Tensor& images,
                                  const std::vector<std::int64_t>& labels) {
+  Stopwatch watch;
   net_.zero_grad();
   CompositeOutput out = net_.forward(images, /*train=*/true);
   // Eq. 1: L = L_main + L_binary.
@@ -34,6 +38,9 @@ double JointTrainer::train_batch(const Tensor& images,
   }
   opt_main_->step(net_.main_params());
   opt_binary_->step(net_.binary_params());
+  obs::Registry::global()
+      .histogram(obs::names::kTrainBatchUs)
+      .record(watch.micros());
   return main_loss.loss + bin_loss.loss;
 }
 
@@ -82,6 +89,18 @@ TrainResult JointTrainer::train(const data::Dataset& train_set,
       cfg_.exit_accuracy_auto ? main_acc : cfg_.min_exit_accuracy;
   result.exit_stats =
       choose_threshold(screen(test_set), default_tau_grid(), constraint);
+
+  if (cfg_.verbose && obs::profiling_enabled()) {
+    // Per-layer breakdown from the Sequential profiling hooks: every
+    // forward/backward this run fed the nn.layer.* histograms.
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    for (const auto& h : snap.histograms) {
+      if (h.name.rfind("nn.layer.", 0) == 0) {
+        LCRS_INFO(h.name << " n=" << h.count << " mean_us=" << h.mean()
+                         << " p99_us=" << h.percentile(0.99));
+      }
+    }
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/obs/trace.h"
 #include "common/stopwatch.h"
 #include "core/entropy.h"
 #include "tensor/tensor_ops.h"
@@ -37,37 +38,52 @@ BrowserClient::BrowserClient(webinfer::Engine engine, core::ExitPolicy policy,
 ClientResult BrowserClient::classify(const Tensor& sample) {
   LCRS_CHECK(sample.rank() == 4 && sample.dim(0) == 1,
              "classify expects a single [1,C,H,W] sample");
-  const Tensor shared = engine_.forward_shared(sample);
-  const Tensor logits = engine_.forward_branch(shared);
-  const Tensor probs = softmax_rows(logits);
-  const double entropy =
-      core::normalized_entropy(probs.data(), probs.dim(1));
+  const std::uint64_t trace_id = obs::next_trace_id();
+  Stopwatch browser_watch;
+  Tensor shared;
+  {
+    obs::Span span(trace_id, obs::names::kSpanClientConv1);
+    shared = engine_.forward_shared(sample);
+  }
+  Tensor probs;
+  double entropy = 0.0;
+  {
+    obs::Span span(trace_id, obs::names::kSpanClientBinaryBranch);
+    const Tensor logits = engine_.forward_branch(shared);
+    probs = softmax_rows(logits);
+    entropy = core::normalized_entropy(probs.data(), probs.dim(1));
+  }
+  browser_compute_us_.record(browser_watch.micros());
 
-  ++stats_.classified;
+  requests_.add();
   if (policy_.should_exit(entropy)) {
-    ++stats_.exited_binary;
+    exit_binary_.add();
+    core::record_exit_decision(core::ExitPoint::kBinaryBranch, entropy);
     ClientResult r;
     r.label = argmax(probs);
     r.exit_point = core::ExitPoint::kBinaryBranch;
     r.entropy = entropy;
     r.probabilities = probs;
+    r.trace_id = trace_id;
     return r;
   }
-  return complete_at_edge(shared, probs, entropy);
+  return complete_at_edge(shared, probs, entropy, trace_id);
 }
 
-ClientResult BrowserClient::attempt_edge_completion(const Tensor& shared,
+ClientResult BrowserClient::attempt_edge_completion(const Frame& request,
                                                     double entropy,
                                                     const Deadline& deadline) {
   if (!conn_.has_value() || !conn_->valid()) {
     conn_ = connect_local(port_);
-    if (connected_once_) ++stats_.reconnects;
+    if (connected_once_) reconnects_.add();
     connected_once_ = true;
   }
-  conn_->send_frame(
-      Frame{MsgType::kCompleteRequest, make_complete_request(shared)},
-      deadline);
-  std::optional<Frame> reply = conn_->recv_frame(deadline);
+  std::optional<Frame> reply;
+  {
+    obs::Span span(request.trace_id, obs::names::kSpanClientNetwork);
+    conn_->send_frame(request, deadline);
+    reply = conn_->recv_frame(deadline);
+  }
   if (!reply.has_value() || reply->type != MsgType::kCompleteResponse) {
     throw IoError("edge server did not return a completion response");
   }
@@ -78,20 +94,35 @@ ClientResult BrowserClient::attempt_edge_completion(const Tensor& shared,
   r.exit_point = core::ExitPoint::kMainBranch;
   r.entropy = entropy;
   r.probabilities = resp.probabilities;
+  r.trace_id = request.trace_id;
   return r;
 }
 
 ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
                                              const Tensor& probs,
-                                             double entropy) {
+                                             double entropy,
+                                             std::uint64_t trace_id) {
   const Deadline deadline = retry_.deadline_ms > 0.0
                                 ? Deadline::after_ms(retry_.deadline_ms)
                                 : Deadline::infinite();
+
+  // Serialize once, outside the retry loop: the conv1 features do not
+  // change between attempts, and the encode cost should be attributed to
+  // serialization, not to however many network attempts follow.
+  Frame request;
+  {
+    obs::Span span(trace_id, obs::names::kSpanClientSerialize);
+    Stopwatch watch;
+    request = Frame{MsgType::kCompleteRequest, make_complete_request(shared),
+                    trace_id};
+    serialize_us_.record(watch.micros());
+  }
+
   double backoff_ms = retry_.initial_backoff_ms;
   std::string last_error = "edge path deadline expired before first attempt";
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      ++stats_.retries;
+      retries_.add();
       const double sleep_ms =
           std::min(backoff_ms, deadline.remaining_ms());
       if (sleep_ms > 0.0) {
@@ -104,9 +135,10 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
     if (deadline.expired()) break;
     Stopwatch watch;
     try {
-      ClientResult r = attempt_edge_completion(shared, entropy, deadline);
-      ++stats_.completed_at_edge;
-      stats_.total_edge_ms += watch.millis();
+      ClientResult r = attempt_edge_completion(request, entropy, deadline);
+      exit_main_.add();
+      roundtrip_us_.record(watch.micros());
+      core::record_exit_decision(core::ExitPoint::kMainBranch, entropy);
       return r;
     } catch (const IoError& e) {
       // The cached connection may be dead or mid-frame desynced; never
@@ -128,7 +160,8 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
   // Graceful degradation (the availability edge over partition-only
   // baselines): answer with the binary branch even though its entropy
   // missed tau, and tag the result so callers can count degraded answers.
-  ++stats_.fallbacks;
+  exit_fallback_.add();
+  core::record_exit_decision(core::ExitPoint::kBinaryBranchFallback, entropy);
   LCRS_WARN("edge unreachable (" << last_error
                                  << "); falling back to binary branch");
   ClientResult r;
@@ -136,14 +169,27 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
   r.exit_point = core::ExitPoint::kBinaryBranchFallback;
   r.entropy = entropy;
   r.probabilities = probs;
+  r.trace_id = trace_id;
   return r;
 }
 
+ClientStats BrowserClient::stats() const {
+  ClientStats s;
+  s.classified = requests_.value();
+  s.exited_binary = exit_binary_.value();
+  s.completed_at_edge = exit_main_.value();
+  s.fallbacks = exit_fallback_.value();
+  s.retries = retries_.value();
+  s.reconnects = reconnects_.value();
+  s.total_edge_ms = roundtrip_us_.sum() / 1e3;
+  return s;
+}
+
 double BrowserClient::exit_fraction() const {
-  return stats_.classified > 0
-             ? static_cast<double>(stats_.exited_binary) /
-                   static_cast<double>(stats_.classified)
-             : 0.0;
+  const std::int64_t classified = requests_.value();
+  return classified > 0 ? static_cast<double>(exit_binary_.value()) /
+                              static_cast<double>(classified)
+                        : 0.0;
 }
 
 }  // namespace lcrs::edge

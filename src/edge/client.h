@@ -11,10 +11,19 @@
 // (ExitPoint::kBinaryBranchFallback) instead of throwing, which is the
 // availability story the binary branch buys us over partition-only
 // baselines like Neurosurgeon/Edgent.
+//
+// Observability: every classify() mints a 64-bit trace id, wraps each
+// stage (conv1, binary branch, serialize, network wait) in an obs::Span
+// tagged with it, and sends the id on the wire (v2 frame header) so the
+// server's spans stitch into the same timeline. Counters/latencies go
+// through an instance obs::Registry mirrored into Registry::global();
+// ClientStats is now a snapshot view over those instruments.
 #pragma once
 
 #include <optional>
 
+#include "common/obs/metric_names.h"
+#include "common/obs/metrics.h"
 #include "core/exit_policy.h"
 #include "core/inference.h"
 #include "edge/tcp.h"
@@ -28,6 +37,8 @@ struct ClientResult {
   core::ExitPoint exit_point = core::ExitPoint::kBinaryBranch;
   double entropy = 0.0;
   Tensor probabilities;
+  /// The trace id the stages of this request were tagged with.
+  std::uint64_t trace_id = 0;
 };
 
 /// How the client behaves when the edge path fails.
@@ -45,7 +56,8 @@ struct RetryPolicy {
   static RetryPolicy no_retry();
 };
 
-/// Counters describing how the client's edge path has behaved.
+/// Snapshot view of the client's edge-path behaviour, read out of the
+/// client's metrics registry (kept as a struct for API compatibility).
 struct ClientStats {
   std::int64_t classified = 0;        // total classify() calls
   std::int64_t exited_binary = 0;     // confident local exits
@@ -78,15 +90,18 @@ class BrowserClient {
   /// because they were confident (fallbacks are counted separately).
   double exit_fraction() const;
 
-  std::int64_t classified() const { return stats_.classified; }
-  std::int64_t fallbacks() const { return stats_.fallbacks; }
-  const ClientStats& stats() const { return stats_; }
+  std::int64_t classified() const { return requests_.value(); }
+  std::int64_t fallbacks() const { return exit_fallback_.value(); }
+  /// Point-in-time snapshot of the edge-path counters.
+  ClientStats stats() const;
+  /// This client's own registry (also mirrored into Registry::global()).
+  const obs::Registry& metrics() const { return metrics_; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
  private:
   ClientResult complete_at_edge(const Tensor& shared, const Tensor& probs,
-                                double entropy);
-  ClientResult attempt_edge_completion(const Tensor& shared, double entropy,
+                                double entropy, std::uint64_t trace_id);
+  ClientResult attempt_edge_completion(const Frame& request, double entropy,
                                        const Deadline& deadline);
 
   webinfer::Engine engine_;
@@ -95,7 +110,21 @@ class BrowserClient {
   RetryPolicy retry_;
   std::optional<Socket> conn_;
   bool connected_once_ = false;
-  ClientStats stats_;
+
+  obs::Registry metrics_;  // must precede the instruments bound to it
+  obs::MirroredCounter requests_{metrics_, obs::names::kClientRequests};
+  obs::MirroredCounter exit_binary_{metrics_, obs::names::kClientExitBinary};
+  obs::MirroredCounter exit_main_{metrics_, obs::names::kClientExitMain};
+  obs::MirroredCounter exit_fallback_{metrics_,
+                                      obs::names::kClientExitFallback};
+  obs::MirroredCounter retries_{metrics_, obs::names::kClientRetries};
+  obs::MirroredCounter reconnects_{metrics_, obs::names::kClientReconnects};
+  obs::MirroredHistogram roundtrip_us_{metrics_,
+                                       obs::names::kClientEdgeRoundtripUs};
+  obs::MirroredHistogram browser_compute_us_{
+      metrics_, obs::names::kClientBrowserComputeUs};
+  obs::MirroredHistogram serialize_us_{metrics_,
+                                       obs::names::kClientSerializeUs};
 };
 
 }  // namespace lcrs::edge

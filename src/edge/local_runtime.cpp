@@ -1,5 +1,7 @@
 #include "edge/local_runtime.h"
 
+#include "common/obs/metric_names.h"
+#include "common/obs/metrics.h"
 #include "models/accounting.h"
 
 namespace lcrs::edge {
@@ -45,6 +47,18 @@ SimStep LocalRuntime::classify(const Tensor& sample, Rng& rng) {
     step.edge_ms = edge_rest_ms_;
     step.download_ms =
         cost_.network().download_ms_jittered(scenario_.result_bytes, rng);
+  }
+
+  // Simulated per-stage timings feed the same registry as the socket
+  // runtime's measured ones, so Fig. 6/10-style breakdowns come from a
+  // snapshot either way. (Exit counters are recorded by
+  // collaborative_infer via record_exit_decision.)
+  obs::Registry& reg = obs::Registry::global();
+  reg.histogram(obs::names::kSimBrowserUs).record(step.browser_ms * 1e3);
+  if (r.exit_point == core::ExitPoint::kMainBranch) {
+    reg.histogram(obs::names::kSimUploadUs).record(step.upload_ms * 1e3);
+    reg.histogram(obs::names::kSimEdgeUs).record(step.edge_ms * 1e3);
+    reg.histogram(obs::names::kSimDownloadUs).record(step.download_ms * 1e3);
   }
   return step;
 }

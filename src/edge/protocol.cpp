@@ -6,13 +6,28 @@
 namespace lcrs::edge {
 
 namespace {
-constexpr std::uint32_t kFrameMagic = 0x4c435246;  // "LCRF"
+constexpr std::uint32_t kFrameMagic = 0x4c435246;    // "LCRF" (v1)
+constexpr std::uint32_t kFrameMagicV2 = 0x4c435632;  // "LCV2" (traced)
+
+MsgType check_type(std::uint8_t type) {
+  if (type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    throw ParseError("unknown frame type");
+  }
+  return static_cast<MsgType>(type);
 }
+}  // namespace
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   ByteWriter w;
-  w.write_u32(kFrameMagic);
-  w.write_u8(static_cast<std::uint8_t>(frame.type));
+  if (frame.trace_id == 0) {
+    // Untraced frames stay byte-identical to the v1 wire format.
+    w.write_u32(kFrameMagic);
+    w.write_u8(static_cast<std::uint8_t>(frame.type));
+  } else {
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(static_cast<std::uint8_t>(frame.type));
+    w.write_u64(frame.trace_id);
+  }
   w.write_u32(static_cast<std::uint32_t>(frame.payload.size()));
   w.write_bytes(frame.payload.data(), frame.payload.size());
   return w.take();
@@ -20,13 +35,17 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
 
 Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
   ByteReader r(bytes);
-  if (r.read_u32() != kFrameMagic) throw ParseError("bad frame magic");
+  const std::uint32_t magic = r.read_u32();
   Frame f;
-  const std::uint8_t type = r.read_u8();
-  if (type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
-    throw ParseError("unknown frame type");
+  if (magic == kFrameMagic) {
+    f.type = check_type(r.read_u8());
+  } else if (magic == kFrameMagicV2) {
+    f.type = check_type(r.read_u8());
+    f.trace_id = r.read_u64();
+    if (f.trace_id == 0) throw ParseError("v2 frame with zero trace id");
+  } else {
+    throw ParseError("bad frame magic");
   }
-  f.type = static_cast<MsgType>(type);
   const std::uint32_t size = r.read_u32();
   // Validate before allocating: corrupt length fields must not OOM.
   if (size > r.remaining()) throw ParseError("frame payload truncated");
@@ -36,14 +55,31 @@ Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
   return f;
 }
 
+int frame_header_version(const std::uint8_t* prefix) {
+  ByteReader r(prefix, sizeof(std::uint32_t));
+  const std::uint32_t magic = r.read_u32();
+  if (magic == kFrameMagic) return 1;
+  if (magic == kFrameMagicV2) return 2;
+  throw ParseError("bad frame magic");
+}
+
 std::uint32_t parse_frame_header(const std::uint8_t* header, MsgType* type) {
   ByteReader r(header, kFrameHeaderBytes);
   if (r.read_u32() != kFrameMagic) throw ParseError("bad frame magic");
-  const std::uint8_t t = r.read_u8();
-  if (t > static_cast<std::uint8_t>(MsgType::kShutdown)) {
-    throw ParseError("unknown frame type");
-  }
-  if (type != nullptr) *type = static_cast<MsgType>(t);
+  const MsgType t = check_type(r.read_u8());
+  if (type != nullptr) *type = t;
+  return r.read_u32();
+}
+
+std::uint32_t parse_frame_header_v2(const std::uint8_t* header, MsgType* type,
+                                    std::uint64_t* trace_id) {
+  ByteReader r(header, kFrameHeaderBytesV2);
+  if (r.read_u32() != kFrameMagicV2) throw ParseError("bad frame magic");
+  const MsgType t = check_type(r.read_u8());
+  const std::uint64_t id = r.read_u64();
+  if (id == 0) throw ParseError("v2 frame with zero trace id");
+  if (type != nullptr) *type = t;
+  if (trace_id != nullptr) *trace_id = id;
   return r.read_u32();
 }
 

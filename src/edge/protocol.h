@@ -1,7 +1,19 @@
 // Wire protocol between the browser client and the edge server.
 //
-// Length-prefixed binary frames over a byte stream:
-//   [u32 magic][u8 type][u32 payload_size][payload bytes]
+// Length-prefixed binary frames over a byte stream. Two header layouts
+// coexist on the wire, distinguished by magic:
+//
+//   v1: [u32 magic "LCRF"][u8 type][u32 payload_size][payload]
+//   v2: [u32 magic "LCV2"][u8 type][u64 trace_id][u32 payload_size][payload]
+//
+// v2 adds an optional 64-bit trace id so one request's client-side and
+// edge-side spans stitch into a single timeline (common/obs/trace.h).
+// Encoding emits v1 whenever trace_id == 0, so untraced traffic is
+// byte-identical to the seed protocol and old peers keep decoding it.
+// Both versions share the first 9 bytes' shape ([u32][u8][u32...]), so a
+// streaming receiver reads kFrameHeaderBytes, inspects the magic, and
+// reads kFrameHeaderBytesV2 - kFrameHeaderBytes more for v2.
+//
 // Payloads reuse the library's tensor serialization. The same frames are
 // used by the real TCP runtime and by the protocol tests.
 #pragma once
@@ -25,19 +37,36 @@ enum class MsgType : std::uint8_t {
 struct Frame {
   MsgType type = MsgType::kPing;
   std::vector<std::uint8_t> payload;
+  /// 0 = untraced (encodes as a v1 frame); nonzero rides a v2 header.
+  std::uint64_t trace_id = 0;
 };
 
-/// Encodes a frame into wire bytes.
+/// Encodes a frame into wire bytes (v1 when trace_id == 0, else v2).
 std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
-/// Decodes one frame from `bytes`; throws ParseError on malformed input.
+/// Decodes one frame of either version; throws ParseError on malformed
+/// input. v1 frames decode with trace_id == 0.
 Frame decode_frame(const std::vector<std::uint8_t>& bytes);
 
-/// Frame header size on the wire (magic + type + length).
+/// v1 frame header size on the wire (magic + type + length). Also the
+/// common prefix length a streaming receiver reads before it can tell
+/// the versions apart.
 constexpr std::size_t kFrameHeaderBytes = 9;
 
-/// Parses a header, returning the payload size; throws on bad magic.
+/// v2 frame header size (magic + type + trace id + length).
+constexpr std::size_t kFrameHeaderBytesV2 = 17;
+
+/// Header version for a kFrameHeaderBytes-long prefix: 1 or 2; throws
+/// ParseError on an unknown magic.
+int frame_header_version(const std::uint8_t* prefix);
+
+/// Parses a v1 header, returning the payload size; throws on bad magic.
 std::uint32_t parse_frame_header(const std::uint8_t* header, MsgType* type);
+
+/// Parses a full v2 header (kFrameHeaderBytesV2 bytes), returning the
+/// payload size and filling `type` / `trace_id` when non-null.
+std::uint32_t parse_frame_header_v2(const std::uint8_t* header, MsgType* type,
+                                    std::uint64_t* trace_id);
 
 /// Payload builders / parsers.
 std::vector<std::uint8_t> make_complete_request(const Tensor& shared);

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/obs/trace.h"
 #include "common/stopwatch.h"
 
 namespace lcrs::edge {
@@ -56,11 +57,10 @@ void EdgeServer::stop() {
 
 ServerStats EdgeServer::stats() const {
   ServerStats s;
-  s.requests_served = requests_served_.load();
-  s.connections_accepted = connections_accepted_.load();
-  s.connection_errors = connection_errors_.load();
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  s.total_completion_ms = total_completion_ms_;
+  s.requests_served = requests_.value();
+  s.connections_accepted = accepted_.value();
+  s.connection_errors = connection_errors_.value();
+  s.total_completion_ms = completion_us_.sum() / 1e3;
   return s;
 }
 
@@ -86,7 +86,7 @@ void EdgeServer::accept_loop() {
       continue;
     }
     if (!conn.valid()) break;  // listener shut down
-    ++connections_accepted_;
+    accepted_.add();
 
     auto done = std::make_shared<std::atomic<bool>>(false);
     // Socket is move-only and std::function must be copyable, so the
@@ -94,13 +94,15 @@ void EdgeServer::accept_loop() {
     // shut the socket down underneath a blocked recv.
     auto conn_ptr = std::make_shared<Socket>(std::move(conn));
     std::thread worker([this, conn_ptr, done] {
+      active_connections_.add(1.0);
       try {
         serve_connection(*conn_ptr);
       } catch (const Error& e) {
         // A broken client connection must not take the server down.
-        ++connection_errors_;
+        connection_errors_.add();
         LCRS_WARN("edge connection error: " << e.what());
       }
+      active_connections_.add(-1.0);
       done->store(true);
     });
 
@@ -123,17 +125,28 @@ void EdgeServer::serve_connection(Socket& conn) {
         conn.send_frame(Frame{MsgType::kPong, {}});
         break;
       case MsgType::kCompleteRequest: {
-        const Tensor shared = parse_complete_request(frame->payload);
-        Stopwatch watch;
-        const CompleteResponse resp = complete_(shared);
-        const double completion_ms = watch.millis();
-        conn.send_frame(
-            Frame{MsgType::kCompleteResponse, make_complete_response(resp)});
-        ++requests_served_;
+        // The trace id minted by BrowserClient rides the v2 frame header;
+        // tagging the server-side spans with it (and echoing it in the
+        // response) is what stitches both halves into one timeline.
+        const std::uint64_t trace_id = frame->trace_id;
+        Tensor shared;
         {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          total_completion_ms_ += completion_ms;
+          obs::Span span(trace_id, obs::names::kSpanEdgeDeserialize);
+          shared = parse_complete_request(frame->payload);
         }
+        Stopwatch watch;
+        CompleteResponse resp;
+        {
+          obs::Span span(trace_id, obs::names::kSpanEdgeComplete);
+          resp = complete_(shared);
+        }
+        completion_us_.record(watch.micros());
+        {
+          obs::Span span(trace_id, obs::names::kSpanEdgeSerialize);
+          conn.send_frame(Frame{MsgType::kCompleteResponse,
+                                make_complete_response(resp), trace_id});
+        }
+        requests_.add();
         break;
       }
       case MsgType::kShutdown:

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/obs/metric_names.h"
+#include "common/obs/metrics.h"
 #include "edge/tcp.h"
 
 namespace lcrs::edge {
@@ -33,7 +35,9 @@ using CompletionFn = std::function<CompleteResponse(const Tensor& shared)>;
 /// are not concurrency-safe).
 CompletionFn serialize_completion(CompletionFn inner);
 
-/// Point-in-time snapshot of the server's request counters.
+/// Point-in-time snapshot of the server's request counters, read out of
+/// the server's metrics registry (kept as a struct for API
+/// compatibility).
 struct ServerStats {
   std::int64_t requests_served = 0;
   std::int64_t connections_accepted = 0;
@@ -59,11 +63,11 @@ class EdgeServer {
   EdgeServer& operator=(const EdgeServer&) = delete;
 
   std::uint16_t port() const { return listener_.port(); }
-  std::int64_t requests_served() const { return requests_served_.load(); }
-  std::int64_t connections_accepted() const {
-    return connections_accepted_.load();
-  }
+  std::int64_t requests_served() const { return requests_.value(); }
+  std::int64_t connections_accepted() const { return accepted_.value(); }
   ServerStats stats() const;
+  /// This server's own registry (also mirrored into Registry::global()).
+  const obs::Registry& metrics() const { return metrics_; }
 
   /// Idempotent; wakes blocked connection threads (even idle ones mid-
   /// recv) and joins them before returning.
@@ -80,12 +84,16 @@ class EdgeServer {
   Listener listener_;
   CompletionFn complete_;
   std::atomic<bool> stopping_{false};
-  std::atomic<std::int64_t> requests_served_{0};
-  std::atomic<std::int64_t> connections_accepted_{0};
-  std::atomic<std::int64_t> connection_errors_{0};
 
-  mutable std::mutex stats_mutex_;
-  double total_completion_ms_ = 0.0;
+  obs::Registry metrics_;  // must precede the instruments bound to it
+  obs::MirroredCounter requests_{metrics_, obs::names::kServerRequests};
+  obs::MirroredCounter accepted_{metrics_, obs::names::kServerConnections};
+  obs::MirroredCounter connection_errors_{
+      metrics_, obs::names::kServerConnectionErrors};
+  obs::MirroredGauge active_connections_{
+      metrics_, obs::names::kServerActiveConnections};
+  obs::MirroredHistogram completion_us_{metrics_,
+                                        obs::names::kServerCompletionUs};
 
   std::mutex conns_mutex_;
   struct Connection {

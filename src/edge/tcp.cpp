@@ -181,10 +181,21 @@ void Socket::send_frame(const Frame& frame, const Deadline& deadline) const {
 }
 
 std::optional<Frame> Socket::recv_frame(const Deadline& deadline) const {
-  std::uint8_t header[kFrameHeaderBytes];
-  if (!recv_all(header, sizeof(header), deadline)) return std::nullopt;
+  // Both header versions share a 9-byte prefix shape; read that, look at
+  // the magic, then pull in the v2 extension (trace id) if present.
+  std::uint8_t header[kFrameHeaderBytesV2];
+  if (!recv_all(header, kFrameHeaderBytes, deadline)) return std::nullopt;
   Frame f;
-  const std::uint32_t payload_size = parse_frame_header(header, &f.type);
+  std::uint32_t payload_size = 0;
+  if (frame_header_version(header) == 1) {
+    payload_size = parse_frame_header(header, &f.type);
+  } else {
+    if (!recv_all(header + kFrameHeaderBytes,
+                  kFrameHeaderBytesV2 - kFrameHeaderBytes, deadline)) {
+      throw IoError("connection closed mid-header");
+    }
+    payload_size = parse_frame_header_v2(header, &f.type, &f.trace_id);
+  }
   if (payload_size > (64u << 20)) throw ParseError("frame too large");
   f.payload.resize(payload_size);
   if (payload_size > 0 &&

@@ -6,6 +6,9 @@
 
 #include "binary/xnor_gemm.h"
 #include "common/numerics.h"
+#include "common/obs/metric_names.h"
+#include "common/obs/metrics.h"
+#include "common/stopwatch.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
@@ -197,6 +200,29 @@ void check_op_output(const Op& op, std::size_t i, const Tensor& x) {
                          x.data(), x.numel());
 }
 
+/// Profiling hook at the same point as the numerics hook: records one
+/// op's elapsed time into "webinfer.op.<i>.<opname>.us". Callers gate
+/// on obs::profiling_enabled() once per forward pass.
+void record_op_time(const Op& op, std::size_t i, double micros) {
+  obs::Registry::global()
+      .histogram(obs::names::webinfer_op_metric(i, std::visit(OpName{}, op)))
+      .record(micros);
+}
+
+/// Runs ops [begin, end) of `model` on `runner`, timing each when
+/// profiling is on -- the shared body of forward/forward_shared/
+/// forward_branch.
+void run_ops(const WebModel& model, OpRunner& runner, std::size_t begin,
+             std::size_t end) {
+  const bool profile = obs::profiling_enabled();
+  for (std::size_t i = begin; i < end; ++i) {
+    Stopwatch watch;
+    std::visit(runner, model.ops[i]);
+    if (profile) record_op_time(model.ops[i], i, watch.micros());
+    check_op_output(model.ops[i], i, runner.x);
+  }
+}
+
 }  // namespace
 
 Tensor Engine::forward(const Tensor& input) const {
@@ -205,10 +231,7 @@ Tensor Engine::forward(const Tensor& input) const {
              "engine input " << input.shape().to_string()
                              << " does not match model geometry");
   OpRunner runner{input};
-  for (std::size_t i = 0; i < model_.ops.size(); ++i) {
-    std::visit(runner, model_.ops[i]);
-    check_op_output(model_.ops[i], i, runner.x);
-  }
+  run_ops(model_, runner, 0, model_.ops.size());
   LCRS_CHECK(runner.x.rank() == 2 && runner.x.dim(1) == model_.num_classes,
              "engine output is not [N x classes]: "
                  << runner.x.shape().to_string());
@@ -220,21 +243,14 @@ Tensor Engine::forward_shared(const Tensor& input) const {
                  input.dim(2) == model_.in_h && input.dim(3) == model_.in_w,
              "engine shared input mismatch");
   OpRunner runner{input};
-  for (std::int64_t i = 0; i < model_.shared_op_count; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    std::visit(runner, model_.ops[idx]);
-    check_op_output(model_.ops[idx], idx, runner.x);
-  }
+  run_ops(model_, runner, 0, static_cast<std::size_t>(model_.shared_op_count));
   return std::move(runner.x);
 }
 
 Tensor Engine::forward_branch(const Tensor& shared) const {
   OpRunner runner{shared};
-  for (std::size_t i = static_cast<std::size_t>(model_.shared_op_count);
-       i < model_.ops.size(); ++i) {
-    std::visit(runner, model_.ops[i]);
-    check_op_output(model_.ops[i], i, runner.x);
-  }
+  run_ops(model_, runner, static_cast<std::size_t>(model_.shared_op_count),
+          model_.ops.size());
   LCRS_CHECK(runner.x.rank() == 2 && runner.x.dim(1) == model_.num_classes,
              "engine branch output is not [N x classes]");
   return std::move(runner.x);

@@ -5,8 +5,12 @@
 
 #include <algorithm>
 #include <future>
+#include <set>
 #include <thread>
 
+#include "common/obs/metric_names.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/stopwatch.h"
 
 #include "core/inference.h"
@@ -43,6 +47,68 @@ TEST(Protocol, BadMagicAndTypeRejected) {
   auto bytes2 = encode_frame(Frame{MsgType::kPong, {9}});
   bytes2[4] = 200;  // invalid type
   EXPECT_THROW(decode_frame(bytes2), ParseError);
+}
+
+TEST(Protocol, TracedFrameRoundTripsV2) {
+  Frame f;
+  f.type = MsgType::kCompleteRequest;
+  f.payload = {7, 8, 9};
+  f.trace_id = 0xdeadbeefcafe0001ull;
+  const auto bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytesV2 + f.payload.size());
+  const Frame back = decode_frame(bytes);
+  EXPECT_EQ(back.type, f.type);
+  EXPECT_EQ(back.payload, f.payload);
+  EXPECT_EQ(back.trace_id, f.trace_id);
+}
+
+TEST(Protocol, UntracedFrameStaysByteIdenticalV1) {
+  // trace_id == 0 must encode to the exact v1 layout: old peers keep
+  // decoding frames from new senders.
+  Frame f;
+  f.type = MsgType::kPing;
+  f.payload = {1, 2};
+  const auto bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + f.payload.size());
+  const Frame back = decode_frame(bytes);
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.payload, f.payload);
+}
+
+TEST(Protocol, HeaderVersionDetection) {
+  const auto v1 = encode_frame(Frame{MsgType::kPing, {}});
+  const auto v2 = encode_frame(Frame{MsgType::kPing, {}, 42});
+  EXPECT_EQ(frame_header_version(v1.data()), 1);
+  EXPECT_EQ(frame_header_version(v2.data()), 2);
+  auto junk = v1;
+  junk[0] ^= 0xFF;
+  EXPECT_THROW(frame_header_version(junk.data()), ParseError);
+}
+
+TEST(Protocol, V2ZeroTraceIdRejected) {
+  // A v2 header exists *because* the frame is traced; zero would alias
+  // "untraced" and break the v1/v2 dispatch invariant.
+  auto bytes = encode_frame(Frame{MsgType::kPong, {5}, 99});
+  for (int i = 0; i < 8; ++i) bytes[5 + i] = 0;  // zero the trace id field
+  EXPECT_THROW(decode_frame(bytes), ParseError);
+}
+
+TEST(Tcp, TraceIdSurvivesTheSocket) {
+  Listener listener(0);
+  std::thread server([&] {
+    Socket conn = listener.accept_one();
+    auto frame = conn.recv_frame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->trace_id, 0x1234567890abcdefull);
+    // Echo the id back the way EdgeServer does.
+    conn.send_frame(Frame{MsgType::kPong, frame->payload, frame->trace_id});
+  });
+  Socket client = connect_local(listener.port());
+  client.send_frame(Frame{MsgType::kPing, {3}, 0x1234567890abcdefull});
+  auto reply = client.recv_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->trace_id, 0x1234567890abcdefull);
+  server.join();
 }
 
 TEST(Protocol, CompletePayloadsRoundTrip) {
@@ -197,6 +263,114 @@ TEST(EndToEnd, ForcedMissAlwaysAsksServer) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(server.requests_served(), 3);
+}
+
+TEST(EndToEnd, StitchedTraceSpansClientAndServer) {
+  // The observability acceptance test: one request's trace id must show
+  // up in BOTH client-side and server-side spans, every pipeline stage
+  // must record non-zero duration, and the exit counters must account
+  // for every request.
+  Rng rng(50);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+
+  obs::RingBufferSink sink;
+  obs::ScopedTraceSink scoped(&sink);
+  obs::Registry::global().reset_values();
+
+  EdgeServer server(0, [&](const Tensor& shared) {
+    const Tensor logits = net.forward_main_from_shared(shared);
+    CompleteResponse r;
+    r.probabilities = softmax_rows(logits);
+    r.label = argmax(r.probabilities);
+    return r;
+  });
+  // tau = 0 forces every request through the full collaborative path so
+  // the server-side spans are guaranteed to exist.
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       server.port());
+
+  constexpr int kRequests = 3;
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < kRequests; ++i) {
+    const ClientResult r =
+        client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+    EXPECT_NE(r.trace_id, 0u);
+    ids.insert(r.trace_id);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kRequests));
+  server.stop();  // settle the server-side spans and counters
+
+  const std::vector<obs::SpanRecord> spans = sink.spans();
+  for (const std::uint64_t id : ids) {
+    std::set<std::string> stages;
+    for (const auto& s : spans) {
+      if (s.trace_id != id) continue;
+      EXPECT_GT(s.end_ns, s.start_ns) << s.name;  // non-zero duration
+      stages.insert(s.name);
+    }
+    // Client-side stages...
+    EXPECT_TRUE(stages.count(obs::names::kSpanClientConv1)) << id;
+    EXPECT_TRUE(stages.count(obs::names::kSpanClientBinaryBranch)) << id;
+    EXPECT_TRUE(stages.count(obs::names::kSpanClientSerialize)) << id;
+    EXPECT_TRUE(stages.count(obs::names::kSpanClientNetwork)) << id;
+    // ...and server-side stages stitched under the SAME id.
+    EXPECT_TRUE(stages.count(obs::names::kSpanEdgeDeserialize)) << id;
+    EXPECT_TRUE(stages.count(obs::names::kSpanEdgeComplete)) << id;
+    EXPECT_TRUE(stages.count(obs::names::kSpanEdgeSerialize)) << id;
+  }
+
+  // Exit counters account for every request, and the client/server
+  // registries agree on the traffic that flowed between them.
+  const obs::Snapshot snap = client.metrics().snapshot();
+  const auto* binary = snap.find_counter(obs::names::kClientExitBinary);
+  const auto* main_exit = snap.find_counter(obs::names::kClientExitMain);
+  const auto* fallback = snap.find_counter(obs::names::kClientExitFallback);
+  const std::int64_t exits = (binary != nullptr ? binary->value : 0) +
+                             (main_exit != nullptr ? main_exit->value : 0) +
+                             (fallback != nullptr ? fallback->value : 0);
+  EXPECT_EQ(exits, kRequests);
+  ASSERT_NE(snap.find_counter(obs::names::kClientRequests), nullptr);
+  EXPECT_EQ(snap.find_counter(obs::names::kClientRequests)->value, kRequests);
+
+  const obs::Snapshot server_snap = server.metrics().snapshot();
+  ASSERT_NE(server_snap.find_counter(obs::names::kServerRequests), nullptr);
+  EXPECT_EQ(server_snap.find_counter(obs::names::kServerRequests)->value,
+            kRequests);
+
+  // The global registry mirrors both sides and the shared exit recorder.
+  const obs::Snapshot global = obs::Registry::global().snapshot();
+  const auto* gexit = global.find_counter(obs::names::kExitMain);
+  ASSERT_NE(gexit, nullptr);
+  EXPECT_EQ(gexit->value, kRequests);
+  const auto* gentropy = global.find_histogram(obs::names::kExitEntropy);
+  ASSERT_NE(gentropy, nullptr);
+  EXPECT_EQ(gentropy->count, kRequests);
+}
+
+TEST(EndToEnd, FallbackPathRecordsExitCounter) {
+  // A dead edge forces kBinaryBranchFallback; the per-ExitPoint counters
+  // and entropy histogram must record the degraded path too.
+  Rng rng(51);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+  std::uint16_t dead_port;
+  {
+    Listener l(0);
+    dead_port = l.port();
+    l.shutdown_now();
+  }
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  retry.deadline_ms = 500.0;
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0}, dead_port,
+                       retry);
+  const ClientResult r =
+      client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+  EXPECT_EQ(r.exit_point, core::ExitPoint::kBinaryBranchFallback);
+  const obs::Snapshot snap = client.metrics().snapshot();
+  ASSERT_NE(snap.find_counter(obs::names::kClientExitFallback), nullptr);
+  EXPECT_EQ(snap.find_counter(obs::names::kClientExitFallback)->value, 1);
 }
 
 TEST(EdgeServer, ServesConcurrentClients) {

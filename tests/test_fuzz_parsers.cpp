@@ -77,6 +77,24 @@ TEST(Fuzz, ProtocolFrames) {
        400, 22);
 }
 
+TEST(Fuzz, ProtocolFramesV2) {
+  // The traced (v2) header adds a 64-bit trace-id field; mutations there
+  // must be rejected (zero id) or survive benignly -- never crash.
+  Rng rng(7);
+  const edge::Frame frame{edge::MsgType::kCompleteRequest,
+                          edge::make_complete_request(
+                              Tensor::randn(Shape{1, 4, 7, 7}, rng)),
+                          0x0123456789abcdefull};
+  fuzz(edge::encode_frame(frame),
+       [](const Bytes& b) {
+         const edge::Frame f = edge::decode_frame(b);
+         if (f.type == edge::MsgType::kCompleteRequest) {
+           (void)edge::parse_complete_request(f.payload);
+         }
+       },
+       400, 66);
+}
+
 TEST(Fuzz, WebModelBlob) {
   Rng rng(3);
   const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
@@ -112,6 +130,7 @@ TEST(Fuzz, ModelParams) {
 TEST(Fuzz, CrasherCorpus) {
   constexpr std::uint32_t kTensorMagic = 0x4c435254;   // "LCRT"
   constexpr std::uint32_t kFrameMagic = 0x4c435246;    // "LCRF"
+  constexpr std::uint32_t kFrameMagicV2 = 0x4c435632;  // "LCV2"
   constexpr std::uint32_t kWebModelMagic = 0x4c435257; // "LCRW"
 
   {  // tensor header claiming an absurd rank
@@ -148,6 +167,37 @@ TEST(Fuzz, CrasherCorpus) {
   }
   {  // frame truncated inside the fixed header
     EXPECT_THROW((void)edge::decode_frame({0x46, 0x52}), Error);
+  }
+  {  // v2 frame with an inflated length field and no payload behind it
+    ByteWriter w;
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(0);
+    w.write_u64(1);  // nonzero trace id, so only the size is bad
+    w.write_u32(0xFFFFFFFFu);
+    EXPECT_THROW((void)edge::decode_frame(w.bytes()), Error);
+  }
+  {  // v2 frame truncated inside the widened header
+    ByteWriter w;
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(0);
+    w.write_u32(7);  // only 4 of the 8 trace-id bytes present
+    EXPECT_THROW((void)edge::decode_frame(w.bytes()), Error);
+  }
+  {  // v2 frame with a zero trace id (reserved for "untraced" = v1)
+    ByteWriter w;
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(0);
+    w.write_u64(0);
+    w.write_u32(0);
+    EXPECT_THROW((void)edge::decode_frame(w.bytes()), Error);
+  }
+  {  // v2 frame with an invalid message type
+    ByteWriter w;
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(200);
+    w.write_u64(1);
+    w.write_u32(0);
+    EXPECT_THROW((void)edge::decode_frame(w.bytes()), Error);
   }
   {  // web model blob with a future format version
     ByteWriter w;
