@@ -2,12 +2,14 @@
 # One-stop correctness gate. Runs, in order:
 #   1. tier-1: full build with LCRS_WERROR=ON (expanded warning set as
 #      errors) + the complete ctest battery (includes test_obs, the
-#      observability suite: registry, spans, stitched traces)
+#      observability suite, and test_sync, the lock-order checker suite)
 #   2. invariant lint (scripts/lint_invariants.py)
-#   3. clang-tidy over src/ (skips with a warning if not installed)
-#   4. ThreadSanitizer suites (edge runtime + kernel thread pool)
-#   5. ASan over every suite
-#   6. UBSan over every suite
+#   3. Clang -Wthread-safety analysis build (skips with a warning on
+#      non-Clang toolchains; LCRS_TS_STRICT=1 forces failure)
+#   4. clang-tidy over src/ (skips with a warning if not installed)
+#   5. ThreadSanitizer suites (edge runtime + kernel thread pool + sync)
+#   6. ASan over every suite
+#   7. UBSan over every suite
 # Exits nonzero on the first failure. Fast, cheap gates run before the
 # sanitizer rebuilds so style/lint mistakes fail in seconds, not minutes.
 set -euo pipefail
@@ -15,24 +17,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 
-echo "==================== [1/6] tier-1 build (WERROR) + ctest"
+echo "==================== [1/7] tier-1 build (WERROR) + ctest"
 cmake -B build -S . -DLCRS_WERROR=ON
 cmake --build build -j"$JOBS"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
-echo "==================== [2/6] invariant lint"
+echo "==================== [2/7] invariant lint"
 python3 scripts/lint_invariants.py
 
-echo "==================== [3/6] clang-tidy"
+echo "==================== [3/7] thread-safety analysis (Clang)"
+scripts/check_thread_safety.sh
+
+echo "==================== [4/7] clang-tidy"
 scripts/run_clang_tidy.sh
 
-echo "==================== [4/6] TSan"
+echo "==================== [5/7] TSan"
 scripts/check_tsan.sh
 
-echo "==================== [5/6] ASan"
+echo "==================== [6/7] ASan"
 scripts/check_sanitizers.sh asan
 
-echo "==================== [6/6] UBSan"
+echo "==================== [7/7] UBSan"
 scripts/check_sanitizers.sh ubsan
 
 echo "check_all: every gate clean."

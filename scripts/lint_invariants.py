@@ -21,6 +21,13 @@ Encodes rules no generic tool knows about this codebase:
                 counter("..."), gauge("..."), histogram("...") -- is
                 banned in src/ and bench/ outside src/common/obs/, so a
                 name cannot silently fork into two spellings.
+  raw-sync      All blocking synchronisation in src/ goes through the
+                annotated wrappers in src/common/sync.h (lcrs::Mutex,
+                lcrs::MutexLock, lcrs::CondVar) so Clang -Wthread-safety
+                and the runtime lock-order checker see every lock. Raw
+                std::mutex / std::lock_guard / std::unique_lock /
+                std::condition_variable & friends are banned outside
+                common/sync.{h,cpp} (which wrap them).
 
 Vetted exceptions live in scripts/invariant_allowlist.txt as
 `rule:path[:symbol]  # reason` lines; path is repo-relative.
@@ -70,6 +77,17 @@ CHECK_MARKERS = re.compile(
 # stripped code, where literal *contents* are blanked but the quote
 # characters survive, so the opening `"` is still visible.
 METRIC_LITERAL = re.compile(r"\b(?:counter|gauge|histogram)\s*\(\s*\"")
+
+# Raw std blocking-synchronisation vocabulary. Everything here has an
+# annotated equivalent in src/common/sync.h; using the std type directly
+# hides the lock from -Wthread-safety and the lock-order checker.
+RAW_SYNC = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?)\b")
+
+# The wrapper layer itself: the only place allowed to hold raw std sync.
+RAW_SYNC_EXEMPT = {"src/common/sync.h", "src/common/sync.cpp"}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -210,6 +228,17 @@ class Linter:
                     f"{name}() takes Tensor args but has no LCRS_CHECK/"
                     "LCRS_ASSERT shape validation", symbol=name)
 
+    def lint_raw_sync(self, path: Path, code: str) -> None:
+        rel = path.relative_to(REPO).as_posix()
+        if rel in RAW_SYNC_EXEMPT:
+            return
+        for m in RAW_SYNC.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            self.report(
+                "raw-sync", path, line,
+                f"raw {m.group(0)} -- use lcrs::Mutex/MutexLock/CondVar "
+                "from common/sync.h (annotated + lock-order checked)")
+
     def lint_metric_names(self, path: Path, code: str) -> None:
         rel = path.relative_to(REPO).as_posix()
         if rel.startswith("src/common/obs/"):
@@ -236,6 +265,7 @@ class Linter:
             if rel.startswith("src/"):
                 self.lint_randomness(path, code)
                 self.lint_naked_new(path, code)
+                self.lint_raw_sync(path, code)
             if rel.startswith(("src/", "bench/")):
                 self.lint_metric_names(path, code)
             self.lint_kernel_checks(path, code)

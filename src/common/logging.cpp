@@ -3,13 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace lcrs {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+// Serializes whole lines onto stderr (the guarded "state" is the stream
+// itself). Leaf lock: nothing else is ever acquired while holding it.
+Mutex g_mutex{"common.logging.stderr"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -38,7 +41,7 @@ void log_line(LogLevel level, const std::string& msg) {
   static const Clock::time_point start = Clock::now();
   const double secs =
       std::chrono::duration<double>(Clock::now() - start).count();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%8.3f] %s %s\n", secs, level_name(level),
                msg.c_str());
 }

@@ -5,6 +5,12 @@
 
 namespace lcrs::numerics {
 
+// Thread-safety model: this subsystem is deliberately lock-free. The two
+// process-wide toggles below are relaxed atomics (independent flags, no
+// ordering with checked data), and check_values only reads the caller's
+// buffer -- so hooks on kernel hot paths never serialize parallel_for
+// workers. Nothing here participates in the capability map (DESIGN.md).
+
 namespace {
 
 #ifdef LCRS_CHECK_NUMERICS_DEFAULT_ON

@@ -84,10 +84,14 @@ void Histogram::record(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // min/max/sum before the count: a snapshot that observes count > 0 has
+  // at least one recorder far enough along that min/max are (usually)
+  // real values, not the +-inf sentinels. snapshot() still sanitizes the
+  // residual window -- relaxed atomics promise no cross-field ordering.
   atomic_add(sum_, v);
   atomic_min(min_, v);
   atomic_max(max_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 HistogramSnapshot Histogram::snapshot(const std::string& name) const {
@@ -103,6 +107,13 @@ HistogramSnapshot Histogram::snapshot(const std::string& name) const {
   if (s.count > 0) {
     s.min = min_.load(std::memory_order_relaxed);
     s.max = max_.load(std::memory_order_relaxed);
+    // Snapshot-under-load race: a recorder may have bumped count before
+    // its min/max landed, leaving the +-inf init values (or min > max)
+    // visible. Fall back to the observed mean so percentile() stays
+    // monotone and to_json() never emits bare `inf` (invalid JSON).
+    if (!std::isfinite(s.min) || !std::isfinite(s.max) || s.min > s.max) {
+      s.min = s.max = s.mean();
+    }
   }
   return s;
 }
@@ -230,7 +241,7 @@ Registry& Registry::global() {
 
 Counter& Registry::counter(const std::string& name) {
   check_name(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     LCRS_CHECK(gauges_.find(name) == gauges_.end() &&
@@ -243,7 +254,7 @@ Counter& Registry::counter(const std::string& name) {
 
 Gauge& Registry::gauge(const std::string& name) {
   check_name(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     LCRS_CHECK(counters_.find(name) == counters_.end() &&
@@ -257,7 +268,7 @@ Gauge& Registry::gauge(const std::string& name) {
 Histogram& Registry::histogram(const std::string& name,
                                const std::vector<double>& bounds) {
   check_name(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     LCRS_CHECK(counters_.find(name) == counters_.end() &&
@@ -278,7 +289,7 @@ Histogram& Registry::histogram(const std::string& name,
 
 Snapshot Registry::snapshot() const {
   Snapshot s;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   s.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
     s.counters.push_back(CounterSnapshot{name, c->value()});
@@ -295,7 +306,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -17,18 +17,20 @@
 // Concurrency: updates are lock-free atomics (relaxed -- these are
 // statistics, not synchronization); registration takes a mutex but
 // returns stable references, so hot paths register once and update
-// through the reference.
+// through the reference. The instrument maps are LCRS_GUARDED_BY the
+// registry mutex, so an unlocked touch is a compile error under
+// -DLCRS_THREAD_SAFETY=ON.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "common/sync.h"
 
 namespace lcrs::obs {
 
@@ -147,24 +149,30 @@ class Registry {
 
   /// Finds or creates. Returned references stay valid for the registry's
   /// lifetime (reset_values() zeroes values but keeps instruments).
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) LCRS_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) LCRS_EXCLUDES(mutex_);
   /// `bounds` applies on first registration (empty = default latency
   /// buckets); later lookups must pass the same bounds or none.
   Histogram& histogram(const std::string& name,
-                       const std::vector<double>& bounds = {});
+                       const std::vector<double>& bounds = {})
+      LCRS_EXCLUDES(mutex_);
 
-  Snapshot snapshot() const;
+  Snapshot snapshot() const LCRS_EXCLUDES(mutex_);
 
   /// Zeroes every instrument without invalidating references. Intended
   /// for tests that assert on global counters.
-  void reset_values();
+  void reset_values() LCRS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Leaf lock: registration and snapshot never acquire anything else
+  // while holding it (instrument reads/updates are lock-free atomics).
+  mutable Mutex mutex_{"obs.metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      LCRS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      LCRS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      LCRS_GUARDED_BY(mutex_);
 };
 
 /// Instrument pairs that keep a component-local registry and the global

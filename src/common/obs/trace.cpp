@@ -35,7 +35,7 @@ RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
 }
 
 void RingBufferSink::emit(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (buffer_.size() == capacity_) {
     buffer_.pop_front();
     ++dropped_;
@@ -44,17 +44,17 @@ void RingBufferSink::emit(const SpanRecord& span) {
 }
 
 std::vector<SpanRecord> RingBufferSink::spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::vector<SpanRecord>(buffer_.begin(), buffer_.end());
 }
 
 std::int64_t RingBufferSink::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 void RingBufferSink::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   buffer_.clear();
   dropped_ = 0;
 }
@@ -67,7 +67,7 @@ JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {
 }
 
 void JsonlFileSink::emit(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Span names come from the metric-name catalogue ([a-z0-9_.]), so no
   // JSON escaping is required.
   out_ << "{\"trace_id\":" << span.trace_id << ",\"name\":\"" << span.name
@@ -77,7 +77,7 @@ void JsonlFileSink::emit(const SpanRecord& span) {
 }
 
 void JsonlFileSink::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out_.flush();
 }
 

@@ -21,9 +21,10 @@
 #include <cstdint>
 #include <deque>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace lcrs::obs {
 
@@ -71,9 +72,9 @@ class RingBufferSink : public TraceSink {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<SpanRecord> buffer_;
-  std::int64_t dropped_ = 0;
+  mutable Mutex mutex_{"obs.trace.ring"};  // leaf lock
+  std::deque<SpanRecord> buffer_ LCRS_GUARDED_BY(mutex_);
+  std::int64_t dropped_ LCRS_GUARDED_BY(mutex_) = 0;
 };
 
 /// Appends one JSON object per span to a file -- the offline-analysis
@@ -86,8 +87,8 @@ class JsonlFileSink : public TraceSink {
   void flush();
 
  private:
-  std::mutex mutex_;
-  std::ofstream out_;
+  Mutex mutex_{"obs.trace.jsonl"};  // leaf lock
+  std::ofstream out_ LCRS_GUARDED_BY(mutex_);
 };
 
 /// Installs (or, with nullptr, removes) the process-wide sink. The sink

@@ -1,9 +1,13 @@
 // Data-parallel loop helper.
 //
-// Tensor kernels call parallel_for over independent index ranges. The pool
-// sizes itself to the hardware; on a single-core host it degrades to a
-// plain serial loop with zero thread overhead, so kernels are written
-// against one API regardless of core count.
+// Tensor kernels call parallel_for over independent index ranges. Work
+// runs on a persistent worker pool (spawned lazily, reused across calls;
+// the calling thread always participates, so nested calls and a busy
+// pool both make progress); on a single-core host it degrades to a plain
+// serial loop with zero thread overhead, so kernels are written against
+// one API regardless of core count. The pool's internals are guarded by
+// annotated lcrs::Mutex/CondVar (common/sync.h) and add no lock-order
+// edges.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,279 @@
+#include "common/sync.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace lcrs {
+
+namespace {
+
+#if defined(LCRS_LOCK_ORDER_DEFAULT_OFF)
+constexpr bool kCheckingDefault = false;
+#else
+constexpr bool kCheckingDefault = true;
+#endif
+
+std::atomic<bool> g_checking{kCheckingDefault};
+std::atomic<sync::LockOrderHandler> g_handler{nullptr};
+
+// ---------------------------------------------------------------------
+// Per-thread held set. Fixed-size and trivially destructible on purpose:
+// thread_local objects with destructors race static destruction at
+// process exit (a mutex acquired from a static destructor would touch a
+// dead vector), and 32 simultaneously-held locks is far beyond anything
+// this codebase nests.
+
+struct HeldSet {
+  static constexpr int kMax = 32;
+  const Mutex* mutexes[kMax];
+  std::uint32_t sites[kMax];
+  int n;
+  int overflow;  // acquisitions past kMax: released untracked
+};
+
+thread_local HeldSet t_held{};
+
+// ---------------------------------------------------------------------
+// Process-wide lock-order graph: nodes are acquisition sites, a directed
+// edge a->b means "some thread held site a while (blocking-)acquiring
+// site b". The graph is kept acyclic: an acquisition whose edges would
+// close a cycle is reported instead of recorded. Intentionally leaked
+// (static pointer keeps it LSan-reachable) so Mutex operations during
+// static destruction never touch a destroyed map.
+
+struct Graph {
+  std::mutex mu;
+  std::vector<std::string> site_names;              // id -> name
+  std::unordered_map<std::string, std::uint32_t> site_ids;
+  // adjacency + first-seen held-chain description per edge (a<<32|b)
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> out;
+  std::unordered_map<std::uint64_t, std::string> edge_chain;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // leaked: see comment above
+  return *g;
+}
+
+std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+bool has_edge(const Graph& g, std::uint32_t a, std::uint32_t b) {
+  return g.edge_chain.count(edge_key(a, b)) != 0;
+}
+
+/// Iterative DFS; on success fills `path` with the site sequence from
+/// `from` to `to` inclusive. from == to is a (trivial) path: two distinct
+/// mutexes sharing a site nested inside each other is already an
+/// ordering hazard.
+bool find_path(const Graph& g, std::uint32_t from, std::uint32_t to,
+               std::vector<std::uint32_t>* path) {
+  if (from == to) {
+    *path = {from};
+    return true;
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> parent;
+  std::vector<std::uint32_t> stack{from};
+  parent.emplace(from, from);
+  while (!stack.empty()) {
+    const std::uint32_t cur = stack.back();
+    stack.pop_back();
+    const auto it = g.out.find(cur);
+    if (it == g.out.end()) continue;
+    for (const std::uint32_t next : it->second) {
+      if (parent.count(next) != 0) continue;
+      parent.emplace(next, cur);
+      if (next == to) {
+        path->clear();
+        for (std::uint32_t p = to;; p = parent.at(p)) {
+          path->push_back(p);
+          if (p == from) break;
+        }
+        std::reverse(path->begin(), path->end());
+        return true;
+      }
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::string held_chain_string(const HeldSet& held, const Graph& g) {
+  std::ostringstream os;
+  os << '[';
+  for (int i = 0; i < held.n; ++i) {
+    os << (i ? ", " : "") << '\'' << g.site_names[held.sites[i]] << '\'';
+  }
+  os << ']';
+  return os.str();
+}
+
+void invoke_handler(const std::string& report) {
+  if (sync::LockOrderHandler handler = g_handler.load()) {
+    handler(report);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::abort();
+}
+
+/// Bookkeeping-only: the acquisition succeeded (lock or try_lock), add it
+/// to this thread's held set.
+void note_locked(const Mutex& m) {
+  HeldSet& held = t_held;
+  if (held.n == HeldSet::kMax) {
+    ++held.overflow;
+    return;
+  }
+  held.mutexes[held.n] = &m;
+  held.sites[held.n] = m.site_id();
+  ++held.n;
+}
+
+void note_unlocked(const Mutex& m) {
+  HeldSet& held = t_held;
+  for (int i = held.n - 1; i >= 0; --i) {
+    if (held.mutexes[i] == &m) {
+      for (int j = i; j + 1 < held.n; ++j) {
+        held.mutexes[j] = held.mutexes[j + 1];
+        held.sites[j] = held.sites[j + 1];
+      }
+      --held.n;
+      return;
+    }
+  }
+  if (held.overflow > 0) --held.overflow;
+}
+
+/// Runs before a *blocking* acquisition: detects re-entrancy and
+/// would-be lock-order cycles while the thread can still be stopped.
+void check_before_lock(const Mutex& m) {
+  if (!g_checking.load(std::memory_order_relaxed)) return;
+  HeldSet& held = t_held;
+  if (held.n == 0) return;  // common case: first lock on this thread
+
+  for (int i = 0; i < held.n; ++i) {
+    if (held.mutexes[i] == &m) {
+      std::ostringstream os;
+      os << "lcrs sync: recursive acquisition of mutex site '" << m.site()
+         << "' -- this thread already holds it (lcrs::Mutex is "
+            "non-reentrant; this lock() would self-deadlock)";
+      invoke_handler(os.str());
+      return;
+    }
+  }
+
+  std::optional<std::string> report;
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    const std::uint32_t site = m.site_id();
+    for (int i = 0; i < held.n && !report.has_value(); ++i) {
+      const std::uint32_t held_site = held.sites[i];
+      if (has_edge(g, held_site, site)) continue;  // already known-safe
+      std::vector<std::uint32_t> path;
+      if (find_path(g, site, held_site, &path)) {
+        // Adding held_site -> site would close a cycle: some thread has
+        // acquired these sites in the opposite order.
+        std::ostringstream os;
+        os << "lcrs sync: lock-order violation (potential ABBA deadlock)\n"
+           << "  this thread: acquiring '" << g.site_names[site]
+           << "' while holding " << held_chain_string(held, g) << "\n"
+           << "  conflicting recorded order: ";
+        for (std::size_t p = 0; p < path.size(); ++p) {
+          os << (p ? " -> " : "") << '\'' << g.site_names[path[p]] << '\'';
+        }
+        if (path.size() >= 2) {
+          const auto it =
+              g.edge_chain.find(edge_key(path[0], path[1]));
+          if (it != g.edge_chain.end()) {
+            os << "\n  first recorded by a thread holding " << it->second
+               << " when it acquired '" << g.site_names[path[1]] << '\'';
+          }
+        } else {
+          os << " (same site nested: two '" << g.site_names[site]
+             << "' mutexes acquired inside each other)";
+        }
+        os << "\n  fix: acquire these sites in one global order "
+              "everywhere (see DESIGN.md 'Thread-safety model')";
+        report = os.str();
+      } else {
+        g.out[held_site].push_back(site);
+        g.edge_chain.emplace(edge_key(held_site, site),
+                             held_chain_string(held, g));
+      }
+    }
+  }
+  if (report.has_value()) invoke_handler(*report);
+}
+
+std::uint32_t register_site(const char* site) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  const auto it = g.site_ids.find(site);
+  if (it != g.site_ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(g.site_names.size());
+  g.site_names.emplace_back(site);
+  g.site_ids.emplace(site, id);
+  return id;
+}
+
+}  // namespace
+
+Mutex::Mutex(const char* site)
+    : site_(site), site_id_(register_site(site)) {}
+
+void Mutex::lock() LCRS_NO_THREAD_SAFETY_ANALYSIS {
+  check_before_lock(*this);  // may report (and default-abort) *before*
+  mu_.lock();                // this thread can block on a real deadlock
+  note_locked(*this);
+}
+
+void Mutex::unlock() LCRS_NO_THREAD_SAFETY_ANALYSIS {
+  note_unlocked(*this);
+  mu_.unlock();
+}
+
+bool Mutex::try_lock() LCRS_NO_THREAD_SAFETY_ANALYSIS {
+  if (!mu_.try_lock()) return false;
+  note_locked(*this);  // no order edge: try_lock cannot deadlock
+  return true;
+}
+
+namespace sync {
+
+bool lock_order_checking_enabled() {
+  return g_checking.load(std::memory_order_relaxed);
+}
+
+void set_lock_order_checking(bool on) {
+  g_checking.store(on, std::memory_order_relaxed);
+}
+
+LockOrderHandler set_lock_order_handler(LockOrderHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+void reset_lock_order_graph_for_testing() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.out.clear();
+  g.edge_chain.clear();
+}
+
+std::size_t lock_order_edge_count() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.edge_chain.size();
+}
+
+}  // namespace sync
+
+}  // namespace lcrs

@@ -1,0 +1,200 @@
+// Annotated synchronization primitives: the repo's only lock vocabulary.
+//
+// Every mutex in src/ is an lcrs::Mutex (scripts/lint_invariants.py bans
+// raw std::mutex outside this pair of files), which buys two things no
+// test run can:
+//
+//   1. Compile-time capability analysis. The wrappers carry Clang
+//      -Wthread-safety attributes, so `LCRS_GUARDED_BY(mu)` on a field
+//      makes every unlocked access a build error under
+//      -DLCRS_THREAD_SAFETY=ON (Clang only; the macros expand to nothing
+//      on other compilers). TSan can only catch the interleavings a test
+//      happens to hit; the analysis checks every call path.
+//
+//   2. Runtime lock-order deadlock detection. Each Mutex names an
+//      acquisition *site* ("edge.server.conns"); blocking acquisitions
+//      record held-site -> new-site edges into a process-wide lock-order
+//      graph, and an acquisition that would close a cycle (the classic
+//      ABBA deadlock) is reported with both conflicting orders *before*
+//      the thread blocks -- catching deadlocks whose interleaving never
+//      fires in tests. try_lock() never blocks, so it is exempt (the
+//      try-and-back-off idiom is deadlock-free by construction).
+//
+// Cost when the checker is off (sync::set_lock_order_checking(false), or
+// a -DLCRS_LOCK_ORDER=OFF build): one relaxed atomic load plus a few
+// thread-local stores per acquisition. When on, an acquisition made while
+// holding no other lock -- the overwhelmingly common case in this tree --
+// adds only the same thread-local bookkeeping; the graph lock is touched
+// only for genuinely nested acquisitions.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+// ---------------------------------------------------------------------
+// Clang capability-analysis attribute macros (no-ops elsewhere).
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define LCRS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LCRS_THREAD_ANNOTATION(x)
+#endif
+
+#define LCRS_CAPABILITY(x) LCRS_THREAD_ANNOTATION(capability(x))
+#define LCRS_SCOPED_CAPABILITY LCRS_THREAD_ANNOTATION(scoped_lockable)
+#define LCRS_GUARDED_BY(x) LCRS_THREAD_ANNOTATION(guarded_by(x))
+#define LCRS_PT_GUARDED_BY(x) LCRS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define LCRS_ACQUIRED_BEFORE(...) \
+  LCRS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define LCRS_ACQUIRED_AFTER(...) \
+  LCRS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define LCRS_REQUIRES(...) \
+  LCRS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define LCRS_ACQUIRE(...) \
+  LCRS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LCRS_RELEASE(...) \
+  LCRS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define LCRS_TRY_ACQUIRE(...) \
+  LCRS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define LCRS_EXCLUDES(...) LCRS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define LCRS_RETURN_CAPABILITY(x) LCRS_THREAD_ANNOTATION(lock_returned(x))
+#define LCRS_NO_THREAD_SAFETY_ANALYSIS \
+  LCRS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace lcrs {
+
+/// Annotated mutex. Non-reentrant, non-movable. `site` must be a string
+/// with static storage duration (a literal): it names the acquisition
+/// site in the lock-order graph, and every Mutex constructed with the
+/// same site shares one node -- per-instance mutexes of one class (all
+/// EdgeServers' conns mutexes, say) are one site, which is exactly the
+/// granularity deadlock ordering is defined at.
+class LCRS_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* site);
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LCRS_ACQUIRE();
+  void unlock() LCRS_RELEASE();
+  /// Never blocks, so it records the acquisition for release bookkeeping
+  /// but adds no lock-order edge (try-and-back-off cannot deadlock).
+  bool try_lock() LCRS_TRY_ACQUIRE(true);
+
+  const char* site() const { return site_; }
+  std::uint32_t site_id() const { return site_id_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* site_;
+  std::uint32_t site_id_;
+};
+
+/// RAII lock for lcrs::Mutex -- the project's std::lock_guard.
+class LCRS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LCRS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() LCRS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to lcrs::Mutex. wait() releases and
+/// reacquires through Mutex::unlock/lock, so the lock-order checker and
+/// capability analysis both see the handoff.
+///
+/// Capability-analysis caveat: prefer an explicit `while (!cond)
+/// cv.wait(mu);` loop over the predicate overload when the condition
+/// reads LCRS_GUARDED_BY state -- Clang analyzes a predicate lambda as a
+/// separate function and cannot see that the lock is held inside it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `mu`; atomically releases it while blocked.
+  void wait(Mutex& mu) LCRS_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Predicate>
+  void wait(Mutex& mu, Predicate pred) LCRS_REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+namespace sync {
+
+// ---------------------------------------------------------------------
+// Lock-order checker controls.
+
+/// Whether blocking acquisitions feed (and are checked against) the
+/// process-wide lock-order graph. Defaults on; a -DLCRS_LOCK_ORDER=OFF
+/// build flips the default, and this toggle overrides either way.
+bool lock_order_checking_enabled();
+void set_lock_order_checking(bool on);
+
+/// RAII toggle for tests.
+class ScopedLockOrderChecking {
+ public:
+  explicit ScopedLockOrderChecking(bool on = true)
+      : prev_(lock_order_checking_enabled()) {
+    set_lock_order_checking(on);
+  }
+  ~ScopedLockOrderChecking() { set_lock_order_checking(prev_); }
+  ScopedLockOrderChecking(const ScopedLockOrderChecking&) = delete;
+  ScopedLockOrderChecking& operator=(const ScopedLockOrderChecking&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Called with a human-readable report when an acquisition would close a
+/// cycle in the lock-order graph (potential ABBA deadlock) or re-enter a
+/// mutex this thread already holds. The default handler prints the report
+/// to stderr and aborts -- a potential deadlock is a bug, and aborting at
+/// the detection point yields both stacks. Handlers run *before* the
+/// offending acquisition blocks and may throw to unwind past it (the
+/// mutex is not yet locked); tests use that to assert on reports.
+using LockOrderHandler = void (*)(const std::string& report);
+
+/// Installs a handler; returns the previous one (nullptr = default).
+LockOrderHandler set_lock_order_handler(LockOrderHandler handler);
+
+/// RAII handler installer for tests.
+class ScopedLockOrderHandler {
+ public:
+  explicit ScopedLockOrderHandler(LockOrderHandler handler)
+      : prev_(set_lock_order_handler(handler)) {}
+  ~ScopedLockOrderHandler() { set_lock_order_handler(prev_); }
+  ScopedLockOrderHandler(const ScopedLockOrderHandler&) = delete;
+  ScopedLockOrderHandler& operator=(const ScopedLockOrderHandler&) = delete;
+
+ private:
+  LockOrderHandler prev_;
+};
+
+/// Drops every recorded edge (sites persist). Tests that intentionally
+/// record a bad order call this so later tests see a clean graph.
+void reset_lock_order_graph_for_testing();
+
+/// Number of distinct ordered site pairs recorded so far (test hook).
+std::size_t lock_order_edge_count();
+
+}  // namespace sync
+
+}  // namespace lcrs

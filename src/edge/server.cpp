@@ -9,9 +9,9 @@
 namespace lcrs::edge {
 
 CompletionFn serialize_completion(CompletionFn inner) {
-  auto mutex = std::make_shared<std::mutex>();
+  auto mutex = std::make_shared<Mutex>("edge.server.completion");
   return [mutex, inner = std::move(inner)](const Tensor& shared) {
-    std::lock_guard<std::mutex> lock(*mutex);
+    MutexLock lock(*mutex);
     return inner(shared);
   };
 }
@@ -31,7 +31,7 @@ void EdgeServer::request_stop() {
   // Wake every connection thread blocked in recv_frame: shutdown() makes
   // the pending recv return EOF without racing the thread for the fd (the
   // fd stays open until the Connection record is destroyed).
-  std::lock_guard<std::mutex> lock(conns_mutex_);
+  MutexLock lock(conns_mutex_);
   for (auto& c : connections_) {
     if (c.sock) c.sock->shutdown_now();
   }
@@ -40,14 +40,14 @@ void EdgeServer::request_stop() {
 void EdgeServer::stop() {
   // Not gated on stopping_: a client's kShutdown frame sets that flag from
   // a connection thread, and stop() must still join everything after it.
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  MutexLock stop_lock(stop_mutex_);
   request_stop();
   if (acceptor_.joinable()) acceptor_.join();
   // Join without holding conns_mutex_: a connection thread that received
   // kShutdown may itself be inside request_stop() waiting for the lock.
   std::vector<Connection> conns;
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    MutexLock lock(conns_mutex_);
     conns.swap(connections_);
   }
   for (auto& c : conns) {
@@ -64,10 +64,10 @@ ServerStats EdgeServer::stats() const {
   return s;
 }
 
-void EdgeServer::reap_finished_locked() {
+void EdgeServer::collect_finished_locked(std::vector<Connection>* out) {
   for (auto it = connections_.begin(); it != connections_.end();) {
     if (it->done->load()) {
-      if (it->thread.joinable()) it->thread.join();
+      out->push_back(std::move(*it));
       it = connections_.erase(it);
     } else {
       ++it;
@@ -106,13 +106,22 @@ void EdgeServer::accept_loop() {
       done->store(true);
     });
 
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    reap_finished_locked();
-    // If stop() ran between accept and here it has already swept the
-    // list; shut this socket down now so the worker exits promptly.
-    if (stopping_.load()) conn_ptr->shutdown_now();
-    connections_.push_back(
-        Connection{std::move(worker), conn_ptr, std::move(done)});
+    std::vector<Connection> finished;
+    {
+      MutexLock lock(conns_mutex_);
+      collect_finished_locked(&finished);
+      // If stop() ran between accept and here it has already swept the
+      // list; shut this socket down now so the worker exits promptly.
+      if (stopping_.load()) conn_ptr->shutdown_now();
+      connections_.push_back(
+          Connection{std::move(worker), conn_ptr, std::move(done)});
+    }
+    // Join finished threads outside the lock: holding conns_mutex_
+    // across a join would block request_stop() (and with it, shutdown
+    // convergence) on an unrelated thread's exit path.
+    for (auto& c : finished) {
+      if (c.thread.joinable()) c.thread.join();
+    }
   }
 }
 

@@ -17,12 +17,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/obs/metric_names.h"
 #include "common/obs/metrics.h"
+#include "common/sync.h"
 #include "edge/tcp.h"
 
 namespace lcrs::edge {
@@ -71,15 +71,26 @@ class EdgeServer {
 
   /// Idempotent; wakes blocked connection threads (even idle ones mid-
   /// recv) and joins them before returning.
-  void stop();
+  void stop() LCRS_EXCLUDES(stop_mutex_, conns_mutex_);
 
  private:
-  void accept_loop();
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<Socket> sock;  // shared with the thread for shutdown
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void accept_loop() LCRS_EXCLUDES(conns_mutex_);
   void serve_connection(Socket& conn);
-  void reap_finished_locked();
+  /// Moves finished connections (done flag set) out of connections_ so
+  /// the caller can join them *after* releasing conns_mutex_ -- joining
+  /// under the lock would stall request_stop() and new accepts for as
+  /// long as a dying thread takes to unwind.
+  void collect_finished_locked(std::vector<Connection>* out)
+      LCRS_REQUIRES(conns_mutex_);
   /// Signals shutdown without joining: closes the listener and shuts down
   /// every live peer socket. Safe from connection threads.
-  void request_stop();
+  void request_stop() LCRS_EXCLUDES(conns_mutex_);
 
   Listener listener_;
   CompletionFn complete_;
@@ -95,14 +106,14 @@ class EdgeServer {
   obs::MirroredHistogram completion_us_{metrics_,
                                         obs::names::kServerCompletionUs};
 
-  std::mutex conns_mutex_;
-  struct Connection {
-    std::thread thread;
-    std::shared_ptr<Socket> sock;  // shared with the thread for shutdown
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::vector<Connection> connections_;
-  std::mutex stop_mutex_;  // serializes stop() callers
+  // Guards the live-connection map. Acquired by the acceptor, by
+  // connection threads entering request_stop(), and by stop(); never
+  // held across a join or a completion call.
+  Mutex conns_mutex_{"edge.server.conns"};
+  std::vector<Connection> connections_ LCRS_GUARDED_BY(conns_mutex_);
+  // Serializes stop() callers. Allowed order: stop -> conns (stop()
+  // calls request_stop() while holding it); the reverse never happens.
+  Mutex stop_mutex_ LCRS_ACQUIRED_BEFORE(conns_mutex_){"edge.server.stop"};
   std::thread acceptor_;
 };
 

@@ -69,7 +69,7 @@ FaultInjector::FaultInjector(const sim::FaultSpec& spec, std::uint64_t seed)
 }
 
 FaultInjector::Action FaultInjector::next_send_action() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (rng_.bernoulli(spec_.close_prob)) {
     ++connections_closed_;
     return Action::kCloseMidFrame;

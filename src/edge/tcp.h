@@ -9,11 +9,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "edge/protocol.h"
 #include "sim/network_model.h"
 
@@ -81,9 +81,11 @@ class FaultInjector {
   static FaultInjector* active();
 
  private:
-  sim::FaultSpec spec_;
-  std::mutex mutex_;
-  Rng rng_;
+  sim::FaultSpec spec_;  // immutable after construction
+  // Leaf lock serializing draws so a seed replays one global fault
+  // sequence regardless of which sender thread draws next.
+  Mutex mutex_{"edge.tcp.fault_injector"};
+  Rng rng_ LCRS_GUARDED_BY(mutex_);
   std::atomic<std::int64_t> frames_dropped_{0};
   std::atomic<std::int64_t> frames_delayed_{0};
   std::atomic<std::int64_t> connections_closed_{0};

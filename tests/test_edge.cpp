@@ -12,6 +12,7 @@
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
 
 #include "core/inference.h"
 #include "data/synthetic.h"
@@ -430,16 +431,16 @@ TEST(EdgeServer, ServesConcurrentClients) {
 TEST(EdgeServer, SerializeCompletionGuardsSharedState) {
   int concurrent = 0;
   int max_concurrent = 0;
-  std::mutex probe_mutex;
+  lcrs::Mutex probe_mutex{"test.edge.probe"};
   CompletionFn raw = [&](const Tensor&) {
     {
-      std::lock_guard<std::mutex> lock(probe_mutex);
+      lcrs::MutexLock lock(probe_mutex);
       ++concurrent;
       max_concurrent = std::max(max_concurrent, concurrent);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     {
-      std::lock_guard<std::mutex> lock(probe_mutex);
+      lcrs::MutexLock lock(probe_mutex);
       --concurrent;
     }
     CompleteResponse r;

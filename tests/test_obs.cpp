@@ -4,6 +4,8 @@
 // counters/histograms/span emission (the TSan target for this layer).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -329,6 +331,44 @@ TEST(Concurrency, CountersAndHistogramsLoseNothing) {
   EXPECT_EQ(bucket_total, kThreads * kPerThread);
   EXPECT_DOUBLE_EQ(s.min, 0.0);
   EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kThreads * kPerThread - 1));
+}
+
+// Regression: snapshots taken while record() is mid-flight must stay
+// internally consistent. count_ used to be bumped before min_/max_/sum_,
+// so a concurrent snapshot could observe count > 0 with min still at
+// +inf -- and Registry::to_json would then emit a bare `inf`, which is
+// not valid JSON. record() now publishes the extrema first and
+// snapshot() sanitizes any torn read down to the mean.
+TEST(Concurrency, SnapshotUnderLoadStaysFiniteAndOrdered) {
+  Registry reg;
+  Histogram& h = reg.histogram("race.snapshot_us");
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      double v = static_cast<double>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.record(v);
+        v += 1.0;
+        if (v > 1e6) v = static_cast<double>(t);
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const HistogramSnapshot s = h.snapshot("race.snapshot_us");
+    if (s.count == 0) continue;
+    EXPECT_TRUE(std::isfinite(s.min)) << "iteration " << i;
+    EXPECT_TRUE(std::isfinite(s.max)) << "iteration " << i;
+    EXPECT_LE(s.min, s.max) << "iteration " << i;
+    EXPECT_TRUE(std::isfinite(s.percentile(0.99))) << "iteration " << i;
+    // to_json over the live registry must never emit a bare inf/nan.
+    const std::string json = reg.snapshot().to_json();
+    EXPECT_EQ(json.find("inf"), std::string::npos) << "iteration " << i;
+    EXPECT_EQ(json.find("nan"), std::string::npos) << "iteration " << i;
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
 }
 
 TEST(Concurrency, RegistrationRacesResolveToOneInstrument) {
