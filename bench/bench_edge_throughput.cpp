@@ -1,0 +1,337 @@
+// Edge serving throughput: thread-per-connection inline execution vs the
+// worker pool with cross-connection batching.
+//
+// Two served workloads, following the paper's partition-point ablation:
+//
+//   conv1 partition  -- the LCRS default: clients upload conv1 feature
+//       maps and the edge completes the whole main rest. Dominated by
+//       per-sample convolution compute, which batching cannot shrink, so
+//       gains are modest.
+//   fc partition     -- a deeper split (browser runs through the last
+//       pool): the edge completes only the fully-connected stack. The
+//       completion is weight-streaming-bound, so a batch of k requests
+//       reads each weight matrix once instead of k times -- this is the
+//       regime where cross-connection batching pays.
+//
+// Four serving configs per workload:
+//
+//   per-conn (pre-PR)  -- the baseline this PR replaces: every connection
+//       thread runs the completion inline with the unpacked training
+//       kernels, exactly as the server served before the worker pool
+//       landed.
+//   per-conn packed    -- same architecture, but with the Linear layers
+//       packed via prepare_edge_inference(). Isolates the kernel-prep
+//       half of the win from the batching half.
+//   pool w=1 b=1       -- worker pool without batching: isolates queue /
+//       hand-off overhead.
+//   pool w=1 b=16      -- the shipped serving shape: pool + batcher. A
+//       single worker is deliberate on the single-core benchmark host --
+//       extra workers only split batches and add context switches.
+//
+// For each (workload, serving config, client count) cell, N concurrent
+// clients each fire a fixed number of kCompleteRequest frames
+// back-to-back at a real loopback EdgeServer and the harness reports
+// aggregate requests per second. Correctness is checked inside the
+// loop: every reply must be bit-identical to that client's precomputed
+// single-request completion under the same config, so a config can only
+// "win" by serving the exact same answers faster.
+//
+//   ./bench_edge_throughput [requests_per_client]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "edge/server.h"
+#include "tensor/tensor_ops.h"
+
+using namespace lcrs;
+
+namespace {
+
+/// One served workload bound to one network instance: how to build a
+/// client payload and how the edge completes it (per-sample for the
+/// direct configs, batched for the pooled ones; the two must be
+/// bit-identical per sample on the same network).
+struct Serving {
+  std::function<Tensor(Rng&)> make_input;
+  edge::CompletionFn per_sample;
+  edge::BatchCompletionFn batched;
+};
+
+struct Workload {
+  std::vector<edge::Frame> requests;    // one pre-encoded frame per client
+  std::vector<Tensor> expected;         // bit-exact probabilities per client
+  std::vector<std::int64_t> expected_labels;
+};
+
+Workload make_workload(const Serving& serving, int n_clients) {
+  Workload w;
+  Rng rng(314159);
+  for (int c = 0; c < n_clients; ++c) {
+    const Tensor payload = serving.make_input(rng);
+    w.requests.push_back(edge::Frame{edge::MsgType::kCompleteRequest,
+                                     edge::make_complete_request(payload)});
+    const edge::CompleteResponse oracle = serving.per_sample(payload);
+    w.expected_labels.push_back(oracle.label);
+    w.expected.push_back(oracle.probabilities);
+  }
+  return w;
+}
+
+struct CellResult {
+  double reqs_per_sec = 0.0;
+  std::int64_t mismatches = 0;
+  std::int64_t batches = 0;
+  std::int64_t served = 0;
+};
+
+CellResult run_cell(const Serving& serving, const edge::ServerOptions& opts,
+                    int n_clients, int requests_each) {
+  auto server =
+      opts.direct_execution
+          ? std::make_unique<edge::EdgeServer>(0, serving.per_sample, opts)
+          : std::make_unique<edge::EdgeServer>(0, serving.batched, opts);
+
+  const Workload w = make_workload(serving, n_clients);
+  std::atomic<std::int64_t> mismatches{0};
+  std::vector<std::thread> clients;
+  Stopwatch watch;
+  for (int c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::size_t idx = static_cast<std::size_t>(c);
+      edge::Socket conn = edge::connect_local(server->port());
+      for (int i = 0; i < requests_each; ++i) {
+        conn.send_frame(w.requests[idx]);
+        auto reply = conn.recv_frame();
+        while (reply.has_value() && reply->type == edge::MsgType::kBusy) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              edge::parse_busy_reply(reply->payload)));
+          conn.send_frame(w.requests[idx]);
+          reply = conn.recv_frame();
+        }
+        if (!reply.has_value()) {
+          ++mismatches;
+          return;
+        }
+        const edge::CompleteResponse resp =
+            edge::parse_complete_response(reply->payload);
+        if (resp.label != w.expected_labels[idx] ||
+            max_abs_diff(resp.probabilities, w.expected[idx]) != 0.0f) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double secs = watch.micros() / 1e6;
+
+  CellResult r;
+  r.reqs_per_sec =
+      static_cast<double>(n_clients) * requests_each / (secs > 0 ? secs : 1);
+  r.mismatches = mismatches.load();
+  r.batches = server->batches_dispatched();
+  r.served = server->requests_served();
+  server->stop();
+  return r;
+}
+
+edge::CompleteResponse probs_to_response(Tensor probs) {
+  edge::CompleteResponse r;
+  r.label = argmax(probs);
+  r.probabilities = std::move(probs);
+  return r;
+}
+
+Serving conv1_serving(core::CompositeNetwork& net, bool with_batched) {
+  Serving s;
+  s.make_input = [&net](Rng& r) {
+    return net.shared_stage().forward(Tensor::randn(Shape{1, 1, 28, 28}, r),
+                                      false);
+  };
+  s.per_sample = [&net](const Tensor& shared) {
+    return probs_to_response(
+        softmax_rows(net.forward_main_from_shared(shared)));
+  };
+  // main_branch_batch_completion() packs the net's Linear layers at
+  // construction; the pre-PR baseline must keep its unpacked kernels, so
+  // only build the batched fn for configs that actually dispatch batches.
+  if (with_batched) s.batched = edge::main_branch_batch_completion(net);
+  return s;
+}
+
+Serving fc_serving(core::CompositeNetwork& net, std::size_t fc_split) {
+  Serving s;
+  s.make_input = [&net, fc_split](Rng& r) {
+    const Tensor shared = net.shared_stage().forward(
+        Tensor::randn(Shape{1, 1, 28, 28}, r), false);
+    return net.main_rest().forward_prefix(shared, fc_split);
+  };
+  s.per_sample = [&net, fc_split](const Tensor& acts) {
+    return probs_to_response(
+        softmax_rows(net.main_rest().forward_suffix(acts, fc_split)));
+  };
+  s.batched = [&net, fc_split](const Tensor& batch) {
+    // Linear and activation layers are row-independent, so the batched
+    // suffix is bit-identical per sample to the solo path.
+    const Tensor probs =
+        softmax_rows(net.main_rest().forward_suffix(batch, fc_split));
+    std::vector<edge::CompleteResponse> out;
+    out.reserve(static_cast<std::size_t>(batch.dim(0)));
+    for (std::int64_t i = 0; i < batch.dim(0); ++i) {
+      out.push_back(probs_to_response(probs.slice_outer(i, i + 1)));
+    }
+    return out;
+  };
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const int requests_each = argc > 1 ? std::atoi(argv[1]) : 100;
+
+  // Two networks with identical weights (same seed): `base` stays exactly
+  // as training left it and serves the pre-PR baseline; `packed` has its
+  // Linear layers packed for the transposed-weight eval GEMM, as the new
+  // serving path does at startup. Client payloads are bit-identical across
+  // the two (packing does not touch the conv stages), so every cell serves
+  // the same request stream.
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 1.0};
+  Rng rng_base(2718), rng_packed(2718);
+  core::CompositeNetwork base = core::CompositeNetwork::build(cfg, rng_base);
+  core::CompositeNetwork packed =
+      core::CompositeNetwork::build(cfg, rng_packed);
+  packed.prepare_edge_inference();
+
+  // Deeper partition point: the first Linear of the main rest. Clients
+  // run the remaining conv/pool prefix themselves and upload the
+  // flattened activation; the edge serves only the fc stack.
+  std::size_t fc_split = 0;
+  while (fc_split < packed.main_rest().size() &&
+         packed.main_rest().layer(fc_split).kind() != "linear") {
+    ++fc_split;
+  }
+
+  struct Config {
+    const char* name;
+    edge::ServerOptions opts;
+    bool use_packed;
+  };
+  std::vector<Config> configs;
+  {
+    Config pre_pr{"per-conn (pre-PR)", {}, false};
+    pre_pr.opts.direct_execution = true;
+    configs.push_back(pre_pr);
+
+    Config direct_packed{"per-conn packed", {}, true};
+    direct_packed.opts.direct_execution = true;
+    configs.push_back(direct_packed);
+
+    Config pool_nobatch{"pool w=1 b=1", {}, true};
+    pool_nobatch.opts.num_workers = 1;
+    pool_nobatch.opts.max_batch = 1;
+    configs.push_back(pool_nobatch);
+
+    Config pool_batch{"pool w=1 b=16", {}, true};
+    pool_batch.opts.num_workers = 1;
+    pool_batch.opts.max_batch = 16;
+    pool_batch.opts.max_wait_us = 200.0;
+    configs.push_back(pool_batch);
+  }
+
+  struct Case {
+    const char* name;
+    Serving base_serving;
+    Serving packed_serving;
+  };
+  const Case cases[] = {
+      {"conv1 partition", conv1_serving(base, /*with_batched=*/false),
+       conv1_serving(packed, /*with_batched=*/true)},
+      {"fc partition", fc_serving(base, fc_split),
+       fc_serving(packed, fc_split)},
+  };
+
+  const std::vector<int> client_counts = {1, 4, 16};
+  std::printf("edge serving throughput (LeNet, loopback, %d requests/client; "
+              "answers verified bit-exact per config)\n",
+              requests_each);
+
+  for (const Case& c : cases) {
+    std::printf("\n[%s]\n%-20s", c.name, "config");
+    for (int n : client_counts) std::printf("  %9dc", n);
+    std::printf("   batches@16c\n");
+
+    std::vector<std::vector<double>> table;
+    for (const Config& config : configs) {
+      const Serving& serving =
+          config.use_packed ? c.packed_serving : c.base_serving;
+      std::printf("%-20s", config.name);
+      std::fflush(stdout);
+      std::vector<double> row;
+      std::int64_t batches16 = 0, served16 = 0;
+      for (int n : client_counts) {
+        const CellResult cell =
+            run_cell(serving, config.opts, n, requests_each);
+        if (cell.mismatches != 0) {
+          std::printf("\nFATAL: %lld mismatched replies in %s/%s @%dc\n",
+                      static_cast<long long>(cell.mismatches), c.name,
+                      config.name, n);
+          return 1;
+        }
+        row.push_back(cell.reqs_per_sec);
+        if (n == 16) {
+          batches16 = cell.batches;
+          served16 = cell.served;
+        }
+        std::printf("  %8.0f/s", cell.reqs_per_sec);
+        std::fflush(stdout);
+      }
+      if (batches16 > 0) {
+        std::printf("   %lld (avg %.1f req/batch)",
+                    static_cast<long long>(batches16),
+                    static_cast<double>(served16) /
+                        static_cast<double>(batches16));
+      }
+      std::printf("\n");
+      table.push_back(row);
+    }
+    const std::size_t at16 = client_counts.size() - 1;
+    std::printf("  -> speedup at 16 clients: pool w=1 b=16 vs "
+                "per-conn (pre-PR) = %.2fx; vs per-conn packed "
+                "(architecture only) = %.2fx\n",
+                table[3][at16] / table[0][at16],
+                table[3][at16] / table[1][at16]);
+
+    // Headline ratio, noise-robust: the benchmark host's effective CPU
+    // speed drifts over seconds (shared machine), so cells measured far
+    // apart are not comparable. Interleave baseline and pooled cells
+    // back-to-back and take the median of per-pair ratios -- host drift
+    // hits both halves of a pair roughly equally and cancels in the
+    // ratio.
+    std::vector<double> ratios;
+    for (int rep = 0; rep < 5; ++rep) {
+      const CellResult b =
+          run_cell(c.base_serving, configs[0].opts, 16, requests_each);
+      const CellResult p =
+          run_cell(c.packed_serving, configs[3].opts, 16, requests_each);
+      if (b.mismatches != 0 || p.mismatches != 0) {
+        std::printf("FATAL: mismatched replies in interleaved pass\n");
+        return 1;
+      }
+      ratios.push_back(p.reqs_per_sec / b.reqs_per_sec);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    std::printf("  -> interleaved A/B at 16 clients (5 pairs): median "
+                "%.2fx  [min %.2fx, max %.2fx]\n",
+                ratios[ratios.size() / 2], ratios.front(), ratios.back());
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Fast inner-loop gate: build + unit-labelled tests only. The ctest
+# battery is tiered by label (see tests/CMakeLists.txt):
+#   unit         -- seconds each, run on every edit (this script)
+#   integration  -- end-to-end browser/edge round trips
+#   load         -- concurrent-client load harness against a real server
+#   soak         -- sustained mixed-traffic churn
+# check_all.sh runs everything (plus sanitizers); this script is the
+# sub-minute subset for tight edit-compile-test loops.
+#
+# Usage: check_fast.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS" -L unit "$@")

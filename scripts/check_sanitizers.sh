@@ -3,7 +3,9 @@
 # UndefinedBehaviorSanitizer and runs the full ctest battery, including
 # test_fuzz_parsers so the fuzz corpora (protocol frames, model blobs,
 # webinfer models) actually catch out-of-bounds reads, not just thrown
-# ParseErrors.
+# ParseErrors. The full battery includes the edge load/soak harnesses
+# (test_edge_load, test_edge_soak), so the worker pool and batcher run
+# under ASan/UBSan here, not just under TSan.
 #
 # Usage: check_sanitizers.sh [asan|ubsan|all]   (default: all)
 set -euo pipefail

@@ -9,6 +9,8 @@
 #   test_nn_layers  conv2d kernels through parallel_for
 #   test_binary     xnor_gemm / binary conv kernels through parallel_for
 #   test_edge       server/client lifecycle, shutdown, reconnect
+#   test_edge_load  worker pool + batcher under N concurrent clients
+#   test_edge_soak  sustained mixed traffic, overload, reconnect churn
 #   test_obs        concurrent metric updates and span emission
 #   test_sync       lcrs::Mutex/CondVar wrappers + lock-order checker
 #                   under an 8-thread hammer
@@ -18,8 +20,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
-SUITES=(test_common test_gemm test_nn_layers test_binary test_edge test_obs
-        test_sync)
+SUITES=(test_common test_gemm test_nn_layers test_binary test_edge
+        test_edge_load test_edge_soak test_obs test_sync)
 
 cmake -B "$BUILD_DIR" -S . -DLCRS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

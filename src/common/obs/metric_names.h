@@ -24,6 +24,8 @@ inline constexpr const char* kClientExitFallback =
     "client.exit.binary_fallback";
 inline constexpr const char* kClientRetries = "client.edge.retries";
 inline constexpr const char* kClientReconnects = "client.edge.reconnects";
+inline constexpr const char* kClientBusyRejections =
+    "client.edge.busy_rejections";
 inline constexpr const char* kClientEdgeRoundtripUs =
     "client.edge.roundtrip_us";
 inline constexpr const char* kClientBrowserComputeUs =
@@ -45,6 +47,14 @@ inline constexpr const char* kServerActiveConnections =
     "edge.server.active_connections";
 inline constexpr const char* kServerCompletionUs =
     "edge.server.completion_us";
+// Worker-pool / batcher instruments (see DESIGN.md "Edge serving model").
+inline constexpr const char* kServerQueueDepth = "edge.server.queue_depth";
+inline constexpr const char* kServerQueueWaitUs =
+    "edge.server.queue_wait_us";
+inline constexpr const char* kServerBatchSize = "edge.server.batch_size";
+inline constexpr const char* kServerBatches = "edge.server.batches";
+inline constexpr const char* kServerRejectedBusy =
+    "edge.server.rejected_busy";
 
 // --- span names on the edge side of a request -----------------------
 inline constexpr const char* kSpanEdgeDeserialize = "edge.deserialize";

@@ -28,6 +28,7 @@
 // only for genuinely nested acquisitions.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -128,6 +129,16 @@ class CondVar {
   template <class Predicate>
   void wait(Mutex& mu, Predicate pred) LCRS_REQUIRES(mu) {
     while (!pred()) wait(mu);
+  }
+
+  /// Timed wait: blocks for at most `timeout_us` microseconds. Returns
+  /// false when the wait timed out, true when it was notified (spurious
+  /// wakeups also return true -- callers must re-check their predicate
+  /// either way). Releases/reacquires through Mutex::unlock/lock like
+  /// wait(), so the lock-order checker sees the reacquisition.
+  bool wait_for_us(Mutex& mu, std::int64_t timeout_us) LCRS_REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::microseconds(timeout_us)) ==
+           std::cv_status::no_timeout;
   }
 
   void notify_one() { cv_.notify_one(); }

@@ -2,6 +2,7 @@
 
 #include "binary/binary_conv2d.h"
 #include "binary/binary_linear.h"
+#include "nn/linear.h"
 #include "tensor/tensor_ops.h"
 
 namespace lcrs::core {
@@ -92,6 +93,14 @@ void CompositeNetwork::prepare_browser_inference() {
       bc->prepare_inference();
     } else if (auto* bl = dynamic_cast<binary::BinaryLinear*>(&layer)) {
       bl->prepare_inference();
+    }
+  }
+}
+
+void CompositeNetwork::prepare_edge_inference() {
+  for (std::size_t i = 0; i < main_rest_->size(); ++i) {
+    if (auto* fc = dynamic_cast<nn::Linear*>(&main_rest_->layer(i))) {
+      fc->prepare_inference();
     }
   }
 }

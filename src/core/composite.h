@@ -56,6 +56,12 @@ class CompositeNetwork {
   /// Packs every binary layer for the XNOR fast path.
   void prepare_browser_inference();
 
+  /// Packs every Linear in the main rest for the transposed-weight eval
+  /// GEMM, whose weight traffic amortizes across batch rows. Call before
+  /// serving edge completions (main_branch_batch_completion does this);
+  /// training invalidates the packs per-layer, so re-prepare afterwards.
+  void prepare_edge_inference();
+
   nn::Sequential& shared_stage() { return *shared_; }
   nn::Sequential& main_rest() { return *main_rest_; }
   nn::Sequential& binary_branch() { return *binary_; }

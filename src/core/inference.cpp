@@ -46,4 +46,15 @@ std::vector<InferenceResult> collaborative_infer_batch(
   return results;
 }
 
+MainBatchCompletion complete_main_batch(CompositeNetwork& net,
+                                        const Tensor& shared_batch) {
+  LCRS_CHECK(shared_batch.rank() == 4 && shared_batch.dim(0) >= 1,
+             "complete_main_batch expects a [k,C,H,W] feature batch");
+  MainBatchCompletion out;
+  const Tensor logits = net.forward_main_from_shared(shared_batch);
+  out.probabilities = softmax_rows(logits);
+  out.labels = argmax_rows(out.probabilities);
+  return out;
+}
+
 }  // namespace lcrs::core

@@ -35,4 +35,19 @@ InferenceResult collaborative_infer(CompositeNetwork& net,
 std::vector<InferenceResult> collaborative_infer_batch(
     CompositeNetwork& net, const ExitPolicy& policy, const Tensor& batch);
 
+/// One batched edge-side completion: conv1 feature maps from k requests,
+/// stacked [k, C, H, W], finished through the main branch in a single
+/// Sequential forward. Row i of `probabilities` / `labels` is
+/// bit-identical to completing request i alone -- every layer in the main
+/// rest is row-independent in eval mode (im2col+GEMM, eval BatchNorm,
+/// elementwise activations, row-wise softmax), which is what lets the
+/// edge server batch across connections without changing any answer.
+struct MainBatchCompletion {
+  std::vector<std::int64_t> labels;  // argmax per row, length k
+  Tensor probabilities;              // [k, num_classes] softmax rows
+};
+
+MainBatchCompletion complete_main_batch(CompositeNetwork& net,
+                                        const Tensor& shared_batch);
+
 }  // namespace lcrs::core

@@ -84,6 +84,11 @@ ClientResult BrowserClient::attempt_edge_completion(const Frame& request,
     conn_->send_frame(request, deadline);
     reply = conn_->recv_frame(deadline);
   }
+  if (reply.has_value() && reply->type == MsgType::kBusy) {
+    // Admission control pushed back. The connection is healthy and at a
+    // frame boundary -- keep it; only the server's queue was full.
+    throw ServerBusyError(parse_busy_reply(reply->payload));
+  }
   if (!reply.has_value() || reply->type != MsgType::kCompleteResponse) {
     throw IoError("edge server did not return a completion response");
   }
@@ -140,6 +145,17 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
       roundtrip_us_.record(watch.micros());
       core::record_exit_decision(core::ExitPoint::kMainBranch, entropy);
       return r;
+    } catch (const ServerBusyError& e) {
+      // Backpressure, not breakage: the connection is still in sync, so
+      // keep it, honour the server's retry-after hint as a backoff floor,
+      // and let the normal retry/fallback ladder run its course.
+      busy_rejections_.add();
+      backoff_ms = std::max(backoff_ms,
+                            static_cast<double>(e.retry_after_ms));
+      last_error = e.what();
+      LCRS_DEBUG("edge attempt " << (attempt + 1) << "/"
+                                 << retry_.max_attempts
+                                 << " rejected busy: " << last_error);
     } catch (const IoError& e) {
       // The cached connection may be dead or mid-frame desynced; never
       // reuse it -- the next attempt reconnects from scratch.
@@ -181,6 +197,7 @@ ClientStats BrowserClient::stats() const {
   s.fallbacks = exit_fallback_.value();
   s.retries = retries_.value();
   s.reconnects = reconnects_.value();
+  s.busy_rejections = busy_rejections_.value();
   s.total_edge_ms = roundtrip_us_.sum() / 1e3;
   return s;
 }

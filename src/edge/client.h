@@ -65,6 +65,7 @@ struct ClientStats {
   std::int64_t fallbacks = 0;         // edge failed -> binary answer
   std::int64_t retries = 0;           // re-attempts after a transport error
   std::int64_t reconnects = 0;        // connections opened after the first
+  std::int64_t busy_rejections = 0;   // kBusy answers from the edge server
   double total_edge_ms = 0.0;         // wall time of successful edge calls
 
   double mean_edge_ms() const {
@@ -119,6 +120,8 @@ class BrowserClient {
                                       obs::names::kClientExitFallback};
   obs::MirroredCounter retries_{metrics_, obs::names::kClientRetries};
   obs::MirroredCounter reconnects_{metrics_, obs::names::kClientReconnects};
+  obs::MirroredCounter busy_rejections_{metrics_,
+                                        obs::names::kClientBusyRejections};
   obs::MirroredHistogram roundtrip_us_{metrics_,
                                        obs::names::kClientEdgeRoundtripUs};
   obs::MirroredHistogram browser_compute_us_{

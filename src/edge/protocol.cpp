@@ -10,7 +10,7 @@ constexpr std::uint32_t kFrameMagic = 0x4c435246;    // "LCRF" (v1)
 constexpr std::uint32_t kFrameMagicV2 = 0x4c435632;  // "LCV2" (traced)
 
 MsgType check_type(std::uint8_t type) {
-  if (type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+  if (type > static_cast<std::uint8_t>(MsgType::kBusy)) {
     throw ParseError("unknown frame type");
   }
   return static_cast<MsgType>(type);
@@ -108,6 +108,19 @@ CompleteResponse parse_complete_response(
   resp.label = r.read_i64();
   resp.probabilities = read_tensor(r);
   return resp;
+}
+
+std::vector<std::uint8_t> make_busy_reply(std::uint32_t retry_after_ms) {
+  ByteWriter w;
+  w.write_u32(retry_after_ms);
+  return w.take();
+}
+
+std::uint32_t parse_busy_reply(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  const std::uint32_t retry_after_ms = r.read_u32();
+  if (!r.at_end()) throw ParseError("trailing bytes after busy reply");
+  return retry_after_ms;
 }
 
 }  // namespace lcrs::edge

@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "tensor/tensor.h"
 
 namespace lcrs::edge {
@@ -32,6 +34,7 @@ enum class MsgType : std::uint8_t {
   kCompleteRequest = 2,   // payload: conv1 feature tensor
   kCompleteResponse = 3,  // payload: i64 label + probability tensor
   kShutdown = 4,
+  kBusy = 5,  // payload: u32 retry-after hint (ms); admission rejected
 };
 
 struct Frame {
@@ -79,5 +82,25 @@ struct CompleteResponse {
 std::vector<std::uint8_t> make_complete_response(const CompleteResponse& r);
 CompleteResponse parse_complete_response(
     const std::vector<std::uint8_t>& payload);
+
+/// kBusy payload: the server's admission queue is full. `retry_after_ms`
+/// is a hint, not a contract -- the client may retry sooner (its own
+/// backoff/deadline still govern) but should not hammer.
+std::vector<std::uint8_t> make_busy_reply(std::uint32_t retry_after_ms);
+std::uint32_t parse_busy_reply(const std::vector<std::uint8_t>& payload);
+
+/// Thrown by the client when the server answers kBusy. Derives from
+/// IoError so existing retry/fallback handlers cover it, but is caught
+/// separately by BrowserClient: a busy reply means the connection is
+/// healthy and in sync (no reconnect needed), only the server is loaded.
+class ServerBusyError : public IoError {
+ public:
+  explicit ServerBusyError(std::uint32_t retry_after_ms_arg)
+      : IoError("edge server busy (retry after " +
+                std::to_string(retry_after_ms_arg) + " ms)"),
+        retry_after_ms(retry_after_ms_arg) {}
+
+  std::uint32_t retry_after_ms;
+};
 
 }  // namespace lcrs::edge

@@ -1,10 +1,14 @@
 #include "edge/server.h"
 
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/obs/trace.h"
 #include "common/stopwatch.h"
+#include "core/inference.h"
+#include "tensor/tensor_ops.h"
 
 namespace lcrs::edge {
 
@@ -16,11 +20,78 @@ CompletionFn serialize_completion(CompletionFn inner) {
   };
 }
 
-EdgeServer::EdgeServer(std::uint16_t port, CompletionFn complete)
-    : listener_(port), complete_(std::move(complete)) {
-  LCRS_CHECK(complete_ != nullptr, "edge server needs a completion fn");
+BatchCompletionFn per_sample_batch(CompletionFn per_sample) {
+  LCRS_CHECK(per_sample != nullptr, "per_sample_batch needs a completion fn");
+  return [per_sample = std::move(per_sample)](const Tensor& batch) {
+    LCRS_CHECK(batch.rank() >= 1 && batch.dim(0) >= 1,
+               "batch completion needs a non-empty outer dimension");
+    std::vector<CompleteResponse> out;
+    out.reserve(static_cast<std::size_t>(batch.dim(0)));
+    for (std::int64_t i = 0; i < batch.dim(0); ++i) {
+      out.push_back(per_sample(batch.slice_outer(i, i + 1)));
+    }
+    return out;
+  };
+}
+
+BatchCompletionFn main_branch_batch_completion(core::CompositeNetwork& net) {
+  // Pack the main-rest Linear weights up front: serving hits them on
+  // every completion, and the transposed layout is what lets a batch of
+  // k requests stream each weight matrix once instead of k times. Done
+  // here (single-threaded, before any worker runs) so eval forwards
+  // stay lock-free.
+  net.prepare_edge_inference();
+  return [&net](const Tensor& batch) {
+    const core::MainBatchCompletion done =
+        core::complete_main_batch(net, batch);
+    std::vector<CompleteResponse> out;
+    const std::int64_t k = batch.dim(0);
+    out.reserve(static_cast<std::size_t>(k));
+    for (std::int64_t i = 0; i < k; ++i) {
+      CompleteResponse r;
+      r.label = done.labels[static_cast<std::size_t>(i)];
+      // Row i of the batched softmax, kept as [1, num_classes] exactly as
+      // the per-sample path would produce it (bit-identical rows).
+      r.probabilities = done.probabilities.slice_outer(i, i + 1);
+      out.push_back(std::move(r));
+    }
+    return out;
+  };
+}
+
+void ServerOptions::validate() const {
+  LCRS_CHECK(num_workers >= 1, "ServerOptions.num_workers must be >= 1, got "
+                                   << num_workers);
+  LCRS_CHECK(max_batch >= 1,
+             "ServerOptions.max_batch must be >= 1, got " << max_batch);
+  LCRS_CHECK(max_wait_us >= 0.0,
+             "ServerOptions.max_wait_us must be >= 0, got " << max_wait_us);
+}
+
+EdgeServer::EdgeServer(std::uint16_t port, CompletionFn complete,
+                       ServerOptions options)
+    : EdgeServer(port, per_sample_batch(std::move(complete)),
+                 std::move(options)) {}
+
+EdgeServer::EdgeServer(std::uint16_t port, BatchCompletionFn complete,
+                       ServerOptions options)
+    : listener_(port), batch_complete_(std::move(complete)), opts_(options) {
+  LCRS_CHECK(batch_complete_ != nullptr, "edge server needs a completion fn");
+  opts_.validate();
+  if (!opts_.direct_execution) {
+    workers_.reserve(static_cast<std::size_t>(opts_.num_workers));
+    for (int i = 0; i < opts_.num_workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
-  LCRS_DEBUG("edge server listening on 127.0.0.1:" << listener_.port());
+  LCRS_DEBUG("edge server listening on 127.0.0.1:"
+             << listener_.port() << " ("
+             << (opts_.direct_execution
+                     ? "direct execution"
+                     : std::to_string(opts_.num_workers) + " workers, max "
+                           "batch " + std::to_string(opts_.max_batch))
+             << ")");
 }
 
 EdgeServer::~EdgeServer() { stop(); }
@@ -31,9 +102,28 @@ void EdgeServer::request_stop() {
   // Wake every connection thread blocked in recv_frame: shutdown() makes
   // the pending recv return EOF without racing the thread for the fd (the
   // fd stays open until the Connection record is destroyed).
-  MutexLock lock(conns_mutex_);
-  for (auto& c : connections_) {
-    if (c.sock) c.sock->shutdown_now();
+  {
+    MutexLock lock(conns_mutex_);
+    for (auto& c : connections_) {
+      if (c.sock) c.sock->shutdown_now();
+    }
+  }
+  // Flush undispatched requests and wake the workers. Admission re-checks
+  // stopping_ under queue_mutex_, so nothing can slip into the queue
+  // after this swap: any enqueue ordered after it observes stopping_ and
+  // backs out. Slots are failed *outside* the lock -- queue_mutex_ stays
+  // a leaf that is never held while touching a slot mutex.
+  std::deque<PendingRequest> flushed;
+  {
+    MutexLock lock(queue_mutex_);
+    flushed.swap(queue_);
+    queue_cv_.notify_all();
+  }
+  if (!flushed.empty()) {
+    queue_depth_.add(-static_cast<double>(flushed.size()));
+  }
+  for (auto& r : flushed) {
+    fulfill(*r.slot, false, CompleteResponse{}, "server stopping");
   }
 }
 
@@ -43,6 +133,12 @@ void EdgeServer::stop() {
   MutexLock stop_lock(stop_mutex_);
   request_stop();
   if (acceptor_.joinable()) acceptor_.join();
+  // Workers drain to "stopping and queue empty" and exit; every request
+  // they still held has been fulfilled by then, so no connection thread
+  // is left waiting on a slot.
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
   // Join without holding conns_mutex_: a connection thread that received
   // kShutdown may itself be inside request_stop() waiting for the lock.
   std::vector<Connection> conns;
@@ -55,11 +151,18 @@ void EdgeServer::stop() {
   }
 }
 
+std::int64_t EdgeServer::queue_depth() const {
+  MutexLock lock(queue_mutex_);
+  return static_cast<std::int64_t>(queue_.size());
+}
+
 ServerStats EdgeServer::stats() const {
   ServerStats s;
   s.requests_served = requests_.value();
   s.connections_accepted = accepted_.value();
   s.connection_errors = connection_errors_.value();
+  s.rejected_busy = rejected_busy_.value();
+  s.batches_dispatched = batches_.value();
   s.total_completion_ms = completion_us_.sum() / 1e3;
   return s;
 }
@@ -93,7 +196,7 @@ void EdgeServer::accept_loop() {
     // connection lives in a shared_ptr; stop() uses the same pointer to
     // shut the socket down underneath a blocked recv.
     auto conn_ptr = std::make_shared<Socket>(std::move(conn));
-    std::thread worker([this, conn_ptr, done] {
+    std::thread handler([this, conn_ptr, done] {
       active_connections_.add(1.0);
       try {
         serve_connection(*conn_ptr);
@@ -111,10 +214,10 @@ void EdgeServer::accept_loop() {
       MutexLock lock(conns_mutex_);
       collect_finished_locked(&finished);
       // If stop() ran between accept and here it has already swept the
-      // list; shut this socket down now so the worker exits promptly.
+      // list; shut this socket down now so the handler exits promptly.
       if (stopping_.load()) conn_ptr->shutdown_now();
       connections_.push_back(
-          Connection{std::move(worker), conn_ptr, std::move(done)});
+          Connection{std::move(handler), conn_ptr, std::move(done)});
     }
     // Join finished threads outside the lock: holding conns_mutex_
     // across a join would block request_stop() (and with it, shutdown
@@ -143,19 +246,11 @@ void EdgeServer::serve_connection(Socket& conn) {
           obs::Span span(trace_id, obs::names::kSpanEdgeDeserialize);
           shared = parse_complete_request(frame->payload);
         }
-        Stopwatch watch;
-        CompleteResponse resp;
-        {
-          obs::Span span(trace_id, obs::names::kSpanEdgeComplete);
-          resp = complete_(shared);
+        if (opts_.direct_execution) {
+          serve_request_direct(conn, shared, trace_id);
+        } else {
+          serve_request_queued(conn, std::move(shared), trace_id);
         }
-        completion_us_.record(watch.micros());
-        {
-          obs::Span span(trace_id, obs::names::kSpanEdgeSerialize);
-          conn.send_frame(Frame{MsgType::kCompleteResponse,
-                                make_complete_response(resp), trace_id});
-        }
-        requests_.add();
         break;
       }
       case MsgType::kShutdown:
@@ -167,6 +262,187 @@ void EdgeServer::serve_connection(Socket& conn) {
         throw ParseError("unexpected frame type at server");
     }
   }
+}
+
+void EdgeServer::serve_request_direct(Socket& conn, const Tensor& shared,
+                                      std::uint64_t trace_id) {
+  Stopwatch watch;
+  std::vector<CompleteResponse> resp;
+  {
+    obs::Span span(trace_id, obs::names::kSpanEdgeComplete);
+    resp = batch_complete_(shared);
+  }
+  completion_us_.record(watch.micros());
+  LCRS_CHECK(resp.size() == 1,
+             "direct completion returned " << resp.size() << " responses");
+  batch_size_.record(1.0);
+  batches_.add();
+  {
+    obs::Span span(trace_id, obs::names::kSpanEdgeSerialize);
+    conn.send_frame(Frame{MsgType::kCompleteResponse,
+                          make_complete_response(resp.front()), trace_id});
+  }
+  requests_.add();
+}
+
+void EdgeServer::serve_request_queued(Socket& conn, Tensor shared,
+                                      std::uint64_t trace_id) {
+  auto slot = std::make_shared<ResponseSlot>();
+  enum class Admission { kAdmitted, kFull, kStopping };
+  Admission admission = Admission::kAdmitted;
+  {
+    MutexLock lock(queue_mutex_);
+    if (stopping_.load()) {
+      // request_stop() has flushed (or is flushing) the queue; anything
+      // enqueued now would hang forever. The peer socket is already shut
+      // down, so close quietly and let the client's retry path handle it.
+      admission = Admission::kStopping;
+    } else if (opts_.queue_capacity > 0 &&
+               queue_.size() >= opts_.queue_capacity) {
+      admission = Admission::kFull;
+    } else {
+      queue_.push_back(
+          PendingRequest{std::move(shared), trace_id, Stopwatch(), slot});
+      queue_depth_.add(1.0);
+      queue_cv_.notify_one();
+    }
+  }
+  if (admission == Admission::kStopping) return;
+  if (admission == Admission::kFull) {
+    // Backpressure: answer kBusy instead of buffering without bound. The
+    // connection stays healthy and in sync -- the client may retry on it.
+    rejected_busy_.add();
+    conn.send_frame(Frame{MsgType::kBusy,
+                          make_busy_reply(opts_.busy_retry_after_ms),
+                          trace_id});
+    return;
+  }
+
+  CompleteResponse response;
+  {
+    MutexLock lock(slot->mutex);
+    while (!slot->ready) slot->cv.wait(slot->mutex);
+    if (!slot->ok) {
+      throw IoError("edge completion failed: " + slot->error);
+    }
+    response = std::move(slot->response);
+  }
+  {
+    obs::Span span(trace_id, obs::names::kSpanEdgeSerialize);
+    conn.send_frame(Frame{MsgType::kCompleteResponse,
+                          make_complete_response(response), trace_id});
+  }
+  requests_.add();
+}
+
+void EdgeServer::worker_loop() {
+  while (true) {
+    std::vector<PendingRequest> batch = next_batch();
+    if (batch.empty()) return;  // stopping and drained
+    dispatch_batch(&batch);
+  }
+}
+
+std::vector<EdgeServer::PendingRequest> EdgeServer::next_batch() {
+  std::vector<PendingRequest> batch;
+  MutexLock lock(queue_mutex_);
+  while (queue_.empty() && !stopping_.load()) queue_cv_.wait(queue_mutex_);
+  if (queue_.empty()) return batch;
+
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // Coalesce same-shaped followers. With max_wait_us == 0 the batch is
+  // cut the instant the queue drains: an unloaded server adds zero
+  // latency, and batches only form from requests that were already
+  // waiting. A positive window lets a worker linger for stragglers.
+  const bool may_wait = opts_.max_wait_us > 0.0;
+  const Deadline window = may_wait
+                              ? Deadline::after_ms(opts_.max_wait_us / 1e3)
+                              : Deadline();
+  while (static_cast<int>(batch.size()) < opts_.max_batch) {
+    if (!queue_.empty()) {
+      if (!queue_.front().shared.same_shape(batch.front().shared)) break;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      continue;
+    }
+    if (!may_wait || stopping_.load() || window.expired()) break;
+    // Early cut: a request/response client blocks until its reply, so each
+    // live connection contributes at most one outstanding request. Once
+    // every connection is accounted for -- in this batch or still queued --
+    // no straggler can arrive until a response goes out, and lingering for
+    // the rest of the window would be pure added latency. (Pipelined
+    // clients just get their extras coalesced into the next batch.)
+    if (static_cast<double>(batch.size() + queue_.size()) >=
+        active_connections_.value()) {
+      break;
+    }
+    const auto wait_us =
+        static_cast<std::int64_t>(window.remaining_ms() * 1e3) + 1;
+    queue_cv_.wait_for_us(queue_mutex_, wait_us);
+  }
+  queue_depth_.add(-static_cast<double>(batch.size()));
+  return batch;
+}
+
+void EdgeServer::dispatch_batch(std::vector<PendingRequest>* batch) {
+  const std::size_t k = batch->size();
+  batch_size_.record(static_cast<double>(k));
+  for (const auto& r : *batch) {
+    queue_wait_us_.record(r.queued.micros());
+  }
+  // One kSpanEdgeComplete span per member, tagged with that member's own
+  // trace id: batching must not blur per-request timelines. Destroyed
+  // (closed) together right after the batched forward finishes.
+  std::vector<std::unique_ptr<obs::Span>> spans;
+  spans.reserve(k);
+  for (const auto& r : *batch) {
+    spans.push_back(
+        std::make_unique<obs::Span>(r.trace_id, obs::names::kSpanEdgeComplete));
+  }
+
+  Stopwatch watch;
+  std::vector<CompleteResponse> responses;
+  bool ok = true;
+  std::string error;
+  try {
+    if (k == 1) {
+      responses = batch_complete_(batch->front().shared);
+    } else {
+      std::vector<Tensor> parts;
+      parts.reserve(k);
+      for (auto& r : *batch) parts.push_back(std::move(r.shared));
+      responses = batch_complete_(stack_outer(parts));
+    }
+    if (ok && responses.size() != k) {
+      ok = false;
+      error = "batch completion returned " + std::to_string(responses.size()) +
+              " responses for " + std::to_string(k) + " requests";
+    }
+  } catch (const Error& e) {
+    ok = false;
+    error = e.what();
+  }
+  completion_us_.record(watch.micros());
+  spans.clear();
+  batches_.add();
+
+  for (std::size_t i = 0; i < k; ++i) {
+    fulfill(*(*batch)[i].slot, ok,
+            ok ? std::move(responses[i]) : CompleteResponse{}, error);
+  }
+}
+
+void EdgeServer::fulfill(ResponseSlot& slot, bool ok,
+                         CompleteResponse response, const std::string& error) {
+  {
+    MutexLock lock(slot.mutex);
+    slot.ready = true;
+    slot.ok = ok;
+    slot.response = std::move(response);
+    slot.error = error;
+  }
+  slot.cv.notify_one();
 }
 
 }  // namespace lcrs::edge

@@ -1,20 +1,36 @@
 // Edge server hosting the main branch (paper Fig. 1/8).
 //
-// Listens on loopback TCP and serves each browser connection on its own
-// thread: every kCompleteRequest carries a conv1 feature map, the reply
-// carries the main branch's label + probabilities. The completion
-// function must be safe to call concurrently -- a mutex-guarded wrapper
-// (see serialize_completion) suffices for the single-model case, since
-// the paper's concurrency concern is edge *compute* pressure, which the
-// concurrency bench measures directly.
+// Throughput-oriented serving path. Connection threads only do protocol
+// I/O: every kCompleteRequest is deserialized and enqueued on a central
+// bounded request queue, and a pool of worker threads drains the queue,
+// coalescing requests *across connections* into one batched main-branch
+// forward (im2col+GEMM throughput grows strongly with batch size, which
+// is exactly the amortization Neurosurgeon-style edge offloading
+// exploits). Responses are demultiplexed back to the originating
+// connection through per-request response slots; each request's trace id
+// rides through the batch untouched, so stitched client/server
+// timelines survive batching.
+//
+// The batch path is numerically identical per-sample to the sequential
+// path: every layer in the main rest is row-independent in eval mode, so
+// row i of a [k,...] forward is bit-for-bit the [1,...] forward of
+// request i (tests/test_property_batch.cpp proves this layer by layer,
+// tests/test_edge_load.cpp end to end over live sockets).
+//
+// Admission control: the queue is bounded. When it is full the
+// connection thread answers kBusy (with a retry-after hint) instead of
+// buffering without bound, so overload degrades into the client's
+// existing retry/backoff/local-fallback path rather than into unbounded
+// memory growth and collapse.
 //
 // Shutdown is convergent: stop() (and a kShutdown frame from any client)
-// shuts down every live peer socket, which wakes connection threads
-// blocked in recv_frame, so stop() returns promptly even with idle
-// clients holding connections open.
+// shuts down every live peer socket, flushes the queue (failing the
+// flushed requests' slots so their connection threads unwind), wakes the
+// workers, and joins everything.
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -22,18 +38,70 @@
 
 #include "common/obs/metric_names.h"
 #include "common/obs/metrics.h"
+#include "common/stopwatch.h"
 #include "common/sync.h"
 #include "edge/tcp.h"
+
+namespace lcrs::core {
+class CompositeNetwork;
+}  // namespace lcrs::core
 
 namespace lcrs::edge {
 
 /// Completes a conv1 feature map into (label, probabilities). Invoked
-/// concurrently from connection threads.
+/// concurrently from worker (or, in direct mode, connection) threads.
 using CompletionFn = std::function<CompleteResponse(const Tensor& shared)>;
 
+/// Batched completion: a [k, C, H, W] stack of conv1 feature maps from k
+/// requests (possibly from k different connections) in, exactly k
+/// responses out, row i answering request i. Must be row-independent:
+/// response i may not depend on the other rows.
+using BatchCompletionFn =
+    std::function<std::vector<CompleteResponse>(const Tensor& batch)>;
+
 /// Wraps a non-thread-safe completion in a mutex (layer forward() caches
-/// are not concurrency-safe).
+/// are not concurrency-safe in train mode).
 CompletionFn serialize_completion(CompletionFn inner);
+
+/// Adapts a per-sample completion to the batch interface by slicing the
+/// batch and completing rows one at a time. Correct for any completion
+/// but forfeits GEMM amortization; prefer main_branch_batch_completion.
+BatchCompletionFn per_sample_batch(CompletionFn per_sample);
+
+/// The real batched edge completion: one core::complete_main_batch
+/// Sequential forward over the whole stack. Eval-mode forwards are
+/// thread-safe, so no serialization wrapper is needed.
+BatchCompletionFn main_branch_batch_completion(core::CompositeNetwork& net);
+
+/// Serving-path configuration. Defaults favor throughput with no added
+/// latency when idle: workers cut a batch as soon as the queue drains
+/// (max_wait_us == 0), so an unloaded server behaves like the sequential
+/// path, and batches only form when requests actually queue up.
+struct ServerOptions {
+  /// Run completions inline on connection threads (the pre-pool serving
+  /// path). Kept for comparison benchmarks; no queue, no batching, no
+  /// admission control.
+  bool direct_execution = false;
+
+  int num_workers = 2;  // worker pool size (>= 1)
+
+  /// Max requests coalesced into one batched forward (>= 1).
+  int max_batch = 8;
+
+  /// After popping the first request of a batch, how long a worker may
+  /// wait for more arrivals before dispatching. 0 = never wait: cut the
+  /// batch the moment the queue drains.
+  double max_wait_us = 0.0;
+
+  /// Admission bound on the central queue (0 = unbounded). Requests
+  /// arriving when the queue is full are answered kBusy.
+  std::size_t queue_capacity = 256;
+
+  /// Retry-after hint carried in kBusy replies.
+  std::uint32_t busy_retry_after_ms = 5;
+
+  void validate() const;
+};
 
 /// Point-in-time snapshot of the server's request counters, read out of
 /// the server's metrics registry (kept as a struct for API
@@ -42,6 +110,8 @@ struct ServerStats {
   std::int64_t requests_served = 0;
   std::int64_t connections_accepted = 0;
   std::int64_t connection_errors = 0;  // connections ended by an exception
+  std::int64_t rejected_busy = 0;      // admissions refused with kBusy
+  std::int64_t batches_dispatched = 0; // batched forwards executed
   double total_completion_ms = 0.0;    // time spent inside the completion fn
 
   double mean_completion_ms() const {
@@ -53,25 +123,34 @@ struct ServerStats {
 
 class EdgeServer {
  public:
-  /// Binds immediately (port 0 = ephemeral) and starts serving.
-  EdgeServer(std::uint16_t port, CompletionFn complete);
+  /// Binds immediately (port 0 = ephemeral) and starts serving with the
+  /// given options (default: worker pool, batching on demand).
+  EdgeServer(std::uint16_t port, CompletionFn complete,
+             ServerOptions options = ServerOptions());
+  EdgeServer(std::uint16_t port, BatchCompletionFn complete,
+             ServerOptions options = ServerOptions());
 
-  /// Stops the accept loop and joins every connection thread.
+  /// Stops the accept loop and joins every worker/connection thread.
   ~EdgeServer();
 
   EdgeServer(const EdgeServer&) = delete;
   EdgeServer& operator=(const EdgeServer&) = delete;
 
   std::uint16_t port() const { return listener_.port(); }
+  const ServerOptions& options() const { return opts_; }
   std::int64_t requests_served() const { return requests_.value(); }
   std::int64_t connections_accepted() const { return accepted_.value(); }
+  std::int64_t rejected_busy() const { return rejected_busy_.value(); }
+  std::int64_t batches_dispatched() const { return batches_.value(); }
+  /// Current depth of the central request queue.
+  std::int64_t queue_depth() const LCRS_EXCLUDES(queue_mutex_);
   ServerStats stats() const;
   /// This server's own registry (also mirrored into Registry::global()).
   const obs::Registry& metrics() const { return metrics_; }
 
-  /// Idempotent; wakes blocked connection threads (even idle ones mid-
-  /// recv) and joins them before returning.
-  void stop() LCRS_EXCLUDES(stop_mutex_, conns_mutex_);
+  /// Idempotent; wakes blocked connection/worker threads (even idle ones
+  /// mid-recv or mid-wait) and joins them before returning.
+  void stop() LCRS_EXCLUDES(stop_mutex_, conns_mutex_, queue_mutex_);
 
  private:
   struct Connection {
@@ -80,20 +159,58 @@ class EdgeServer {
     std::shared_ptr<std::atomic<bool>> done;
   };
 
+  /// Response rendezvous between a connection thread and the worker that
+  /// executes its request's batch. The connection thread blocks on `cv`
+  /// until a worker (or the shutdown path) publishes a verdict.
+  struct ResponseSlot {
+    Mutex mutex{"edge.server.slot"};
+    CondVar cv;
+    bool ready LCRS_GUARDED_BY(mutex) = false;
+    bool ok LCRS_GUARDED_BY(mutex) = false;
+    CompleteResponse response LCRS_GUARDED_BY(mutex);
+    std::string error LCRS_GUARDED_BY(mutex);
+  };
+
+  struct PendingRequest {
+    Tensor shared;  // conv1 feature map [1, C, H, W]
+    std::uint64_t trace_id = 0;
+    Stopwatch queued;  // time-in-queue measurement
+    std::shared_ptr<ResponseSlot> slot;
+  };
+
   void accept_loop() LCRS_EXCLUDES(conns_mutex_);
-  void serve_connection(Socket& conn);
+  void serve_connection(Socket& conn)
+      LCRS_EXCLUDES(conns_mutex_, queue_mutex_);
+  void serve_request_direct(Socket& conn, const Tensor& shared,
+                            std::uint64_t trace_id);
+  void serve_request_queued(Socket& conn, Tensor shared,
+                            std::uint64_t trace_id)
+      LCRS_EXCLUDES(queue_mutex_);
   /// Moves finished connections (done flag set) out of connections_ so
   /// the caller can join them *after* releasing conns_mutex_ -- joining
   /// under the lock would stall request_stop() and new accepts for as
   /// long as a dying thread takes to unwind.
   void collect_finished_locked(std::vector<Connection>* out)
       LCRS_REQUIRES(conns_mutex_);
-  /// Signals shutdown without joining: closes the listener and shuts down
-  /// every live peer socket. Safe from connection threads.
-  void request_stop() LCRS_EXCLUDES(conns_mutex_);
+  /// Signals shutdown without joining: closes the listener, shuts down
+  /// every live peer socket, flushes the queue (failing flushed slots)
+  /// and wakes the workers. Safe from connection threads.
+  void request_stop() LCRS_EXCLUDES(conns_mutex_, queue_mutex_);
+
+  /// Worker pool: blocks for work, coalesces a batch, dispatches it.
+  void worker_loop() LCRS_EXCLUDES(queue_mutex_);
+  /// Pops the next batch (first request + same-shaped followers up to
+  /// max_batch, waiting at most max_wait_us for stragglers). Returns an
+  /// empty vector when the server is stopping and the queue is drained.
+  std::vector<PendingRequest> next_batch() LCRS_EXCLUDES(queue_mutex_);
+  void dispatch_batch(std::vector<PendingRequest>* batch);
+  static void fulfill(ResponseSlot& slot, bool ok, CompleteResponse response,
+                      const std::string& error)
+      LCRS_EXCLUDES(slot.mutex);
 
   Listener listener_;
-  CompletionFn complete_;
+  BatchCompletionFn batch_complete_;
+  ServerOptions opts_;
   std::atomic<bool> stopping_{false};
 
   obs::Registry metrics_;  // must precede the instruments bound to it
@@ -101,19 +218,37 @@ class EdgeServer {
   obs::MirroredCounter accepted_{metrics_, obs::names::kServerConnections};
   obs::MirroredCounter connection_errors_{
       metrics_, obs::names::kServerConnectionErrors};
+  obs::MirroredCounter rejected_busy_{metrics_,
+                                      obs::names::kServerRejectedBusy};
+  obs::MirroredCounter batches_{metrics_, obs::names::kServerBatches};
   obs::MirroredGauge active_connections_{
       metrics_, obs::names::kServerActiveConnections};
+  obs::MirroredGauge queue_depth_{metrics_, obs::names::kServerQueueDepth};
   obs::MirroredHistogram completion_us_{metrics_,
                                         obs::names::kServerCompletionUs};
+  obs::MirroredHistogram queue_wait_us_{metrics_,
+                                        obs::names::kServerQueueWaitUs};
+  obs::MirroredHistogram batch_size_{metrics_, obs::names::kServerBatchSize};
+
+  // Central request queue feeding the worker pool. Leaf-like: nothing
+  // else is acquired while it is held (slots are fulfilled after it is
+  // released), except by stop()/request_stop() which hold stop_mutex_
+  // first (see the ACQUIRED_BEFORE on stop_mutex_).
+  mutable Mutex queue_mutex_{"edge.server.queue"};
+  CondVar queue_cv_;
+  std::deque<PendingRequest> queue_ LCRS_GUARDED_BY(queue_mutex_);
 
   // Guards the live-connection map. Acquired by the acceptor, by
   // connection threads entering request_stop(), and by stop(); never
   // held across a join or a completion call.
   Mutex conns_mutex_{"edge.server.conns"};
   std::vector<Connection> connections_ LCRS_GUARDED_BY(conns_mutex_);
-  // Serializes stop() callers. Allowed order: stop -> conns (stop()
-  // calls request_stop() while holding it); the reverse never happens.
-  Mutex stop_mutex_ LCRS_ACQUIRED_BEFORE(conns_mutex_){"edge.server.stop"};
+  // Serializes stop() callers. Allowed orders: stop -> conns and
+  // stop -> queue (stop() calls request_stop() while holding it); the
+  // reverse orders never happen.
+  Mutex stop_mutex_ LCRS_ACQUIRED_BEFORE(conns_mutex_, queue_mutex_){
+      "edge.server.stop"};
+  std::vector<std::thread> workers_;
   std::thread acceptor_;
 };
 

@@ -220,7 +220,11 @@ Listener::Listener(std::uint16_t port) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     throw_errno("bind");
   }
-  if (::listen(fd, 8) < 0) throw_errno("listen");
+  // A burst of concurrent clients can out-race the accept loop; if the
+  // backlog overflows, the kernel silently drops the excess SYNs and each
+  // affected client stalls for a full 1 s retransmit timeout before its
+  // connect completes. Size the queue for serving-scale bursts.
+  if (::listen(fd, 128) < 0) throw_errno("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {

@@ -20,7 +20,14 @@ Tensor Linear::forward(const Tensor& input, bool train) {
   const std::int64_t n = input.dim(0);
   // y[n x out] = x[n x in] * W^T (W stored [out x in])
   Tensor out{Shape{n, out_}};
-  gemm_bt(input.data(), weight_.value.data(), out.data(), n, in_, out_);
+  if (!train && wt_fresh_) {
+    // Prepared eval path: W^T is cached in row-major [in x out], so the
+    // blocked GEMM's inner loop runs contiguously over output neurons
+    // and each weight tile is reused across every batch row.
+    gemm(input.data(), weight_t_.data(), out.data(), n, in_, out_);
+  } else {
+    gemm_bt(input.data(), weight_.value.data(), out.data(), n, in_, out_);
+  }
   if (has_bias_) {
     for (std::int64_t b = 0; b < n; ++b) {
       float* row = out.data() + b * out_;
@@ -31,7 +38,20 @@ Tensor Linear::forward(const Tensor& input, bool train) {
   return out;
 }
 
+void Linear::prepare_inference() {
+  weight_t_ = Tensor{Shape{in_, out_}};
+  const float* w = weight_.value.data();
+  float* wt = weight_t_.data();
+  for (std::int64_t o = 0; o < out_; ++o) {
+    for (std::int64_t i = 0; i < in_; ++i) wt[i * out_ + o] = w[o * in_ + i];
+  }
+  wt_fresh_ = true;
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
+  // A backward pass means an optimizer step is coming; the cached
+  // transpose would silently serve stale weights after it.
+  wt_fresh_ = false;
   LCRS_CHECK(cached_input_.numel() > 0,
              "linear backward without cached forward");
   const Tensor& input = cached_input_;

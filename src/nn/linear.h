@@ -15,6 +15,16 @@ class Linear : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
+
+  /// Caches W^T in [in x out] layout so eval-mode forward can run the
+  /// blocked row-major GEMM, whose inner loop vectorizes over output
+  /// neurons and whose weight traffic amortizes across batch rows (the
+  /// win the batched edge server banks on). Same contract as the binary
+  /// layers' prepare_inference(): call once after training settles;
+  /// backward() invalidates the cache, so further training safely falls
+  /// back to the untransposed path until prepared again.
+  void prepare_inference();
+  bool inference_prepared() const { return wt_fresh_; }
   std::string kind() const override { return "linear"; }
   std::int64_t flops_per_sample() const override {
     return 2 * in_ * out_ + (has_bias_ ? out_ : 0);
@@ -32,6 +42,8 @@ class Linear : public Layer {
   Param weight_;
   Param bias_;
   Tensor cached_input_;
+  Tensor weight_t_;        // W^T [in x out], valid only while wt_fresh_
+  bool wt_fresh_ = false;  // cleared by backward(): optimizer steps follow
 };
 
 }  // namespace lcrs::nn

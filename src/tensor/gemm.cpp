@@ -71,21 +71,104 @@ void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
   gemm(at.data(), b, c, m, k, n, beta);
 }
 
+namespace {
+
+// One A row against four consecutive B rows. Four independent
+// accumulator chains hide the FMA latency that a single running dot
+// product serializes on; each chain still adds products in ascending-k
+// order, so every output bit matches the plain dot-product kernel.
+void bt_row(const float* arow, const float* b, float* crow, std::int64_t k,
+            std::int64_t n) {
+  std::int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float* b0 = b + j * k;
+    const float* b1 = b0 + k;
+    const float* b2 = b1 + k;
+    const float* b3 = b2 + k;
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      s0 += av * b0[kk];
+      s1 += av * b1[kk];
+      s2 += av * b2[kk];
+      s3 += av * b3[kk];
+    }
+    crow[j] += s0;
+    crow[j + 1] += s1;
+    crow[j + 2] += s2;
+    crow[j + 3] += s3;
+  }
+  for (; j < n; ++j) {
+    const float* brow = b + j * k;
+    float acc = 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+    crow[j] += acc;
+  }
+}
+
+}  // namespace
+
 void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n, float beta) {
   // B is stored [n x k]: dot products over contiguous rows of both
-  // operands, which is already cache-friendly -- no transpose needed.
+  // operands, so no transpose is needed. Rows are processed in pairs so
+  // each streamed B row feeds two A rows, halving B traffic for batched
+  // inputs; within a pair the 2x4 microkernel keeps eight independent
+  // accumulators in flight. Every c[i][j] is still a single ascending-k
+  // accumulation over (A row i, B row j) regardless of m, so results are
+  // bit-identical for any batch size -- the row-independence the batched
+  // edge serving path relies on.
   scale_c(c, m, n, beta);
   parallel_for(m, [&](std::int64_t row_begin, std::int64_t row_end) {
-    for (std::int64_t i = row_begin; i < row_end; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] += acc;
+    std::int64_t i = row_begin;
+    for (; i + 2 <= row_end; i += 2) {
+      const float* a0 = a + i * k;
+      const float* a1 = a0 + k;
+      float* c0 = c + i * n;
+      float* c1 = c0 + n;
+      std::int64_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const float* b0 = b + j * k;
+        const float* b1 = b0 + k;
+        const float* b2 = b1 + k;
+        const float* b3 = b2 + k;
+        float s00 = 0.0f, s01 = 0.0f, s02 = 0.0f, s03 = 0.0f;
+        float s10 = 0.0f, s11 = 0.0f, s12 = 0.0f, s13 = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float av0 = a0[kk], av1 = a1[kk];
+          const float bv0 = b0[kk], bv1 = b1[kk];
+          const float bv2 = b2[kk], bv3 = b3[kk];
+          s00 += av0 * bv0;
+          s01 += av0 * bv1;
+          s02 += av0 * bv2;
+          s03 += av0 * bv3;
+          s10 += av1 * bv0;
+          s11 += av1 * bv1;
+          s12 += av1 * bv2;
+          s13 += av1 * bv3;
+        }
+        c0[j] += s00;
+        c0[j + 1] += s01;
+        c0[j + 2] += s02;
+        c0[j + 3] += s03;
+        c1[j] += s10;
+        c1[j + 1] += s11;
+        c1[j + 2] += s12;
+        c1[j + 3] += s13;
       }
+      for (; j < n; ++j) {
+        const float* brow = b + j * k;
+        float s0 = 0.0f, s1 = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          s0 += a0[kk] * brow[kk];
+          s1 += a1[kk] * brow[kk];
+        }
+        c0[j] += s0;
+        c1[j] += s1;
+      }
+    }
+    for (; i < row_end; ++i) {
+      bt_row(a + i * k, b, c + i * n, k, n);
     }
   });
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace lcrs {
 
@@ -160,6 +161,35 @@ float max_abs_diff(const Tensor& a, const Tensor& b) {
     m = std::max(m, std::fabs(a[i] - b[i]));
   }
   return m;
+}
+
+Tensor stack_outer(const std::vector<Tensor>& parts) {
+  LCRS_CHECK(!parts.empty(), "stack_outer needs at least one tensor");
+  const Shape& first = parts.front().shape();
+  LCRS_CHECK(first.rank() >= 1, "stack_outer needs rank >= 1");
+  std::int64_t total_outer = 0;
+  for (const Tensor& p : parts) {
+    LCRS_CHECK(p.rank() == first.rank(),
+               "stack_outer rank mismatch: " << p.shape().to_string()
+                                             << " vs " << first.to_string());
+    for (std::int64_t d = 1; d < first.rank(); ++d) {
+      LCRS_CHECK(p.dim(d) == first[d],
+                 "stack_outer inner-dim mismatch: " << p.shape().to_string()
+                                                    << " vs "
+                                                    << first.to_string());
+    }
+    total_outer += p.dim(0);
+  }
+  std::vector<std::int64_t> out_dims = first.dims();
+  out_dims[0] = total_outer;
+  Tensor out{Shape{std::move(out_dims)}};
+  float* dst = out.data();
+  for (const Tensor& p : parts) {
+    const std::size_t n = static_cast<std::size_t>(p.numel());
+    if (n > 0) std::memcpy(dst, p.data(), n * sizeof(float));
+    dst += n;
+  }
+  return out;
 }
 
 }  // namespace lcrs

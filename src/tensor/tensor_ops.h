@@ -60,4 +60,12 @@ double l2_norm(const Tensor& a);
 /// Largest absolute difference between two same-shaped tensors.
 float max_abs_diff(const Tensor& a, const Tensor& b);
 
+/// Concatenates tensors along the outermost dimension: parts with shapes
+/// [n_i, d1, ...] (identical inner dims, identical rank >= 1) become one
+/// [sum(n_i), d1, ...] tensor. The inverse of slice_outer: each part's
+/// rows are copied verbatim, so stacking then slicing is bit-identical.
+/// Used by the edge batcher to coalesce per-request conv1 feature maps
+/// into one batched forward.
+Tensor stack_outer(const std::vector<Tensor>& parts);
+
 }  // namespace lcrs

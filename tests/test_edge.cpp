@@ -844,6 +844,242 @@ TEST(EndToEnd, FallbackDisabledRethrows) {
   EXPECT_EQ(client.fallbacks(), 0);
 }
 
+// ---------------------------------------------------------------------
+// Worker pool, cross-connection batching, and kBusy admission control.
+
+TEST(Protocol, BusyReplyRoundTrip) {
+  EXPECT_EQ(parse_busy_reply(make_busy_reply(0)), 0u);
+  EXPECT_EQ(parse_busy_reply(make_busy_reply(250)), 250u);
+  auto bytes = make_busy_reply(5);
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_THROW(parse_busy_reply(bytes), ParseError);
+  EXPECT_THROW(parse_busy_reply({1, 2}), ParseError);  // truncated
+}
+
+TEST(ServerOptionsTest, ValidatesBounds) {
+  ServerOptions bad;
+  bad.num_workers = 0;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = ServerOptions();
+  bad.max_batch = 0;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = ServerOptions();
+  bad.max_wait_us = -1.0;
+  EXPECT_THROW(bad.validate(), Error);
+  ServerOptions().validate();  // defaults are valid
+}
+
+/// Blocks the FIRST completion (or batch) until release(); later calls
+/// pass straight through. Lets tests hold the single worker hostage
+/// while they stage requests in the central queue.
+class CompletionGate {
+ public:
+  void enter() {
+    lcrs::MutexLock lock(mutex_);
+    if (entered_) return;
+    entered_ = true;
+    cv_.notify_all();
+    while (!released_) cv_.wait(mutex_);
+  }
+  void await_entered() {
+    lcrs::MutexLock lock(mutex_);
+    while (!entered_) cv_.wait(mutex_);
+  }
+  void release() {
+    lcrs::MutexLock lock(mutex_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  lcrs::Mutex mutex_{"test.edge.gate"};
+  lcrs::CondVar cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(EdgeServer, FullQueueAnswersBusyAndRecovers) {
+  Rng rng(60);
+  core::CompositeNetwork net = make_net(rng);
+  CompletionGate gate;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  opts.busy_retry_after_ms = 7;
+  EdgeServer server(
+      0,
+      CompletionFn([&](const Tensor& shared) {
+        gate.enter();
+        return completion_for(net)(shared);
+      }),
+      opts);
+
+  const Tensor x = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+  const Tensor shared = net.shared_stage().forward(x, false);
+  const auto request =
+      Frame{MsgType::kCompleteRequest, make_complete_request(shared)};
+
+  // Request A: popped by the lone worker, which then blocks in the gate.
+  Socket a = connect_local(server.port());
+  a.send_frame(request);
+  gate.await_entered();
+  // Request B: sits in the queue, filling it to capacity.
+  Socket b = connect_local(server.port());
+  b.send_frame(request);
+  for (int i = 0; i < 2000 && server.queue_depth() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.queue_depth(), 1);
+  // Request C: queue full -> deterministic kBusy with the retry hint.
+  Socket c = connect_local(server.port());
+  c.send_frame(request);
+  auto busy = c.recv_frame(Deadline::after_ms(5000.0));
+  ASSERT_TRUE(busy.has_value());
+  EXPECT_EQ(busy->type, MsgType::kBusy);
+  EXPECT_EQ(parse_busy_reply(busy->payload), 7u);
+  EXPECT_EQ(server.rejected_busy(), 1);
+
+  // The rejected connection stays healthy: after the gate opens and the
+  // queue drains, the SAME socket gets a correct completion.
+  gate.release();
+  auto ra = a.recv_frame(Deadline::after_ms(5000.0));
+  auto rb = b.recv_frame(Deadline::after_ms(5000.0));
+  ASSERT_TRUE(ra.has_value() && rb.has_value());
+  c.send_frame(request);
+  auto rc = c.recv_frame(Deadline::after_ms(5000.0));
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->type, MsgType::kCompleteResponse);
+  const CompleteResponse resp = parse_complete_response(rc->payload);
+  const Tensor local = softmax_rows(net.forward_main_from_shared(shared));
+  EXPECT_EQ(resp.label, argmax(local));
+  EXPECT_EQ(max_abs_diff(resp.probabilities, local), 0.0f);
+  for (int i = 0; i < 200 && server.requests_served() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.requests_served(), 3);
+}
+
+TEST(EdgeServer, BatchesFormAcrossConnectionsBitExactly) {
+  Rng rng(61);
+  core::CompositeNetwork net = make_net(rng);
+  CompletionGate gate;
+  BatchCompletionFn batched = main_branch_batch_completion(net);
+  ServerOptions opts;
+  opts.num_workers = 1;  // one worker => while it is gated, requests pile up
+  opts.max_batch = 8;
+  EdgeServer server(
+      0,
+      BatchCompletionFn([&](const Tensor& batch) {
+        gate.enter();
+        return batched(batch);
+      }),
+      opts);
+
+  // Warmup request holds the worker inside the gate.
+  const Tensor wx = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+  const Tensor wshared = net.shared_stage().forward(wx, false);
+  Socket warm = connect_local(server.port());
+  warm.send_frame(
+      Frame{MsgType::kCompleteRequest, make_complete_request(wshared)});
+  gate.await_entered();
+
+  // Stage K requests from K distinct connections; they must all be
+  // waiting in the queue when the gate opens.
+  constexpr int kClients = 4;
+  std::vector<Socket> conns;
+  std::vector<Tensor> shareds;
+  for (int i = 0; i < kClients; ++i) {
+    const Tensor x = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+    shareds.push_back(net.shared_stage().forward(x, false));
+    conns.push_back(connect_local(server.port()));
+    conns.back().send_frame(Frame{MsgType::kCompleteRequest,
+                                  make_complete_request(shareds.back())});
+  }
+  for (int i = 0; i < 5000 && server.queue_depth() < kClients; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.queue_depth(), kClients);
+
+  gate.release();
+  // Each reply is bit-identical to completing that request alone, even
+  // though all K rode one batched forward.
+  for (int i = 0; i < kClients; ++i) {
+    auto reply = conns[static_cast<std::size_t>(i)].recv_frame(
+        Deadline::after_ms(10000.0));
+    ASSERT_TRUE(reply.has_value()) << "client " << i;
+    const CompleteResponse resp = parse_complete_response(reply->payload);
+    const Tensor local = softmax_rows(
+        net.forward_main_from_shared(shareds[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(resp.label, argmax(local)) << "client " << i;
+    EXPECT_EQ(max_abs_diff(resp.probabilities, local), 0.0f)
+        << "client " << i;
+  }
+  for (int i = 0; i < 200 && server.requests_served() < kClients + 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.requests_served(), kClients + 1);
+  // Warmup dispatched alone; the staged K coalesced into ONE batch.
+  EXPECT_EQ(server.batches_dispatched(), 2);
+}
+
+TEST(EndToEnd, ClientRetriesThroughBusyAndSucceeds) {
+  Rng rng(62);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+  CompletionGate gate;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  opts.busy_retry_after_ms = 1;
+  EdgeServer server(
+      0,
+      CompletionFn([&](const Tensor& shared) {
+        gate.enter();
+        return completion_for(net)(shared);
+      }),
+      opts);
+
+  // Occupy the worker and fill the queue with raw requests.
+  const Tensor x = Tensor::randn(Shape{1, 1, 28, 28}, rng);
+  const Tensor shared = net.shared_stage().forward(x, false);
+  const auto request =
+      Frame{MsgType::kCompleteRequest, make_complete_request(shared)};
+  Socket a = connect_local(server.port());
+  a.send_frame(request);
+  gate.await_entered();
+  Socket b = connect_local(server.port());
+  b.send_frame(request);
+  for (int i = 0; i < 2000 && server.queue_depth() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.queue_depth(), 1);
+
+  RetryPolicy retry;
+  retry.max_attempts = 8;
+  retry.initial_backoff_ms = 5.0;
+  retry.max_backoff_ms = 20.0;
+  retry.deadline_ms = 10000.0;
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       server.port(), retry);
+  std::thread classifier([&] {
+    const ClientResult r =
+        client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+    // After the gate opens, a retry must land a real main-branch answer.
+    EXPECT_EQ(r.exit_point, core::ExitPoint::kMainBranch);
+  });
+  // Release the gate as soon as the client has eaten one kBusy.
+  for (int i = 0; i < 5000 && server.rejected_busy() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server.rejected_busy(), 1);
+  gate.release();
+  classifier.join();
+  (void)a.recv_frame(Deadline::after_ms(5000.0));
+  (void)b.recv_frame(Deadline::after_ms(5000.0));
+  EXPECT_GE(client.stats().busy_rejections, 1);
+  EXPECT_EQ(client.fallbacks(), 0);
+}
+
 TEST(LocalRuntime, AmortizedLoadScalesWithSession) {
   Rng rng(6);
   core::CompositeNetwork net = make_net(rng);

@@ -95,6 +95,20 @@ TEST(Fuzz, ProtocolFramesV2) {
        400, 66);
 }
 
+TEST(Fuzz, BusyReply) {
+  // The kBusy admission-control payload: mutations of a busy frame must
+  // parse or throw lcrs::Error, never crash.
+  const edge::Frame frame{edge::MsgType::kBusy, edge::make_busy_reply(25)};
+  fuzz(edge::encode_frame(frame),
+       [](const Bytes& b) {
+         const edge::Frame f = edge::decode_frame(b);
+         if (f.type == edge::MsgType::kBusy) {
+           (void)edge::parse_busy_reply(f.payload);
+         }
+       },
+       400, 77);
+}
+
 TEST(Fuzz, WebModelBlob) {
   Rng rng(3);
   const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
@@ -196,6 +210,21 @@ TEST(Fuzz, CrasherCorpus) {
     w.write_u32(kFrameMagicV2);
     w.write_u8(200);
     w.write_u64(1);
+    w.write_u32(0);
+    EXPECT_THROW((void)edge::decode_frame(w.bytes()), Error);
+  }
+  {  // busy reply with a truncated retry-after field
+    EXPECT_THROW((void)edge::parse_busy_reply({0x01, 0x02}), Error);
+  }
+  {  // busy reply with trailing bytes after the retry-after field
+    Bytes busy = edge::make_busy_reply(5);
+    busy.push_back(0xAA);
+    EXPECT_THROW((void)edge::parse_busy_reply(busy), Error);
+  }
+  {  // frame with a one-past-the-end message type (kBusy + 1)
+    ByteWriter w;
+    w.write_u32(kFrameMagic);
+    w.write_u8(6);
     w.write_u32(0);
     EXPECT_THROW((void)edge::decode_frame(w.bytes()), Error);
   }

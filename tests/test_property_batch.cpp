@@ -1,0 +1,178 @@
+// Property / differential sweeps behind the batched serving path.
+//
+// The edge batcher's correctness claim is "batch=k is bit-for-bit
+// batch=1, k times". This suite earns that claim from the bottom up
+// with seeded randomized sweeps:
+//
+//   * xnor kernels: bit-packed forward_fast vs the reference float-sign
+//     forward across random geometries -- exactly equal, not almost.
+//   * row independence: forward(batch)[i] == forward(row_i) for binary
+//     layers, the full main branch, and complete_main_batch.
+//   * stack_outer/slice_outer are exact inverses, so the server's
+//     stack -> forward -> slice round trip cannot perturb a value.
+//
+// Seeds are fixed; any failure replays exactly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "binary/binary_conv2d.h"
+#include "binary/binary_linear.h"
+#include "core/inference.h"
+#include "tensor/tensor_ops.h"
+
+namespace lcrs {
+namespace {
+
+TEST(PropertyXnor, Conv2dFastPathMatchesReferenceAcrossRandomShapes) {
+  Rng rng(11001);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::int64_t in_c = rng.randint(1, 4);
+    const std::int64_t out_c = rng.randint(1, 6);
+    const std::int64_t kernel = rng.randint(1, 4);
+    const std::int64_t stride = rng.randint(1, 2);
+    const std::int64_t pad = rng.randint(0, 2);
+    // Keep the padded input at least one kernel wide so the geometry is
+    // valid for every sampled (kernel, stride, pad).
+    const std::int64_t h = kernel + rng.randint(1, 8);
+    const std::int64_t w = kernel + rng.randint(1, 8);
+    const std::int64_t n = rng.randint(1, 3);
+
+    binary::BinaryConv2d conv(in_c, out_c, kernel, stride, pad, h, w, rng);
+    const Tensor x = Tensor::randn(Shape{n, in_c, h, w}, rng);
+    const Tensor reference = conv.forward(x, /*train=*/false);
+    conv.prepare_inference();
+    const Tensor fast = conv.forward_fast(x);
+    ASSERT_TRUE(reference.same_shape(fast)) << "trial " << trial;
+    EXPECT_EQ(max_abs_diff(reference, fast), 0.0f)
+        << "trial " << trial << ": xnor conv diverged from reference at "
+        << "geometry in_c=" << in_c << " out_c=" << out_c << " k=" << kernel
+        << " s=" << stride << " p=" << pad << " h=" << h << " w=" << w
+        << " n=" << n;
+  }
+}
+
+TEST(PropertyXnor, LinearFastPathMatchesReferenceAcrossRandomShapes) {
+  Rng rng(11002);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::int64_t in = rng.randint(1, 96);
+    const std::int64_t out = rng.randint(1, 32);
+    const std::int64_t n = rng.randint(1, 5);
+    const bool bias = rng.bernoulli(0.5);
+    binary::BinaryLinear fc(in, out, rng, bias);
+    const Tensor x = Tensor::randn(Shape{n, in}, rng);
+    const Tensor reference = fc.forward(x, /*train=*/false);
+    fc.prepare_inference();
+    const Tensor fast = fc.forward_fast(x);
+    ASSERT_TRUE(reference.same_shape(fast)) << "trial " << trial;
+    EXPECT_EQ(max_abs_diff(reference, fast), 0.0f)
+        << "trial " << trial << ": in=" << in << " out=" << out
+        << " n=" << n << " bias=" << bias;
+  }
+}
+
+TEST(PropertyBatch, BinaryLayersAreRowIndependent) {
+  // forward(batch)[i] must be bit-identical to forward(row_i): the
+  // per-sample scaling factors (K map, beta) may not leak across rows.
+  Rng rng(11003);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::int64_t k = rng.randint(2, 5);
+    binary::BinaryConv2d conv(2, 4, 3, 1, 1, 10, 10, rng);
+    const Tensor batch = Tensor::randn(Shape{k, 2, 10, 10}, rng);
+    const Tensor full = conv.forward(batch, false);
+    for (std::int64_t i = 0; i < k; ++i) {
+      const Tensor row = conv.forward(batch.slice_outer(i, i + 1), false);
+      EXPECT_EQ(max_abs_diff(full.slice_outer(i, i + 1), row), 0.0f)
+          << "conv trial " << trial << " row " << i;
+    }
+
+    binary::BinaryLinear fc(24, 7, rng);
+    const Tensor fbatch = Tensor::randn(Shape{k, 24}, rng);
+    const Tensor ffull = fc.forward(fbatch, false);
+    for (std::int64_t i = 0; i < k; ++i) {
+      const Tensor row = fc.forward(fbatch.slice_outer(i, i + 1), false);
+      EXPECT_EQ(max_abs_diff(ffull.slice_outer(i, i + 1), row), 0.0f)
+          << "fc trial " << trial << " row " << i;
+    }
+  }
+}
+
+TEST(PropertyBatch, StackOuterIsInverseOfSliceOuter) {
+  Rng rng(11004);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t n = rng.randint(1, 6);
+    const std::int64_t c = rng.randint(1, 4);
+    const std::int64_t h = rng.randint(1, 7);
+    const Tensor whole = Tensor::randn(Shape{n, c, h, h}, rng);
+    std::vector<Tensor> rows;
+    for (std::int64_t i = 0; i < n; ++i) {
+      rows.push_back(whole.slice_outer(i, i + 1));
+    }
+    const Tensor back = stack_outer(rows);
+    ASSERT_TRUE(back.same_shape(whole)) << "trial " << trial;
+    EXPECT_EQ(max_abs_diff(back, whole), 0.0f) << "trial " << trial;
+  }
+  // Mixed outer sizes concatenate; mismatched inner dims are rejected.
+  Tensor a = Tensor::ones(Shape{2, 3});
+  Tensor b = Tensor::ones(Shape{1, 3});
+  EXPECT_EQ(stack_outer({a, b}).dim(0), 3);
+  EXPECT_THROW(stack_outer({}), Error);
+  EXPECT_THROW(stack_outer({a, Tensor::ones(Shape{1, 4})}), Error);
+  EXPECT_THROW(stack_outer({a, Tensor::ones(Shape{1, 3, 1})}), Error);
+}
+
+core::CompositeNetwork make_net(Rng& rng) {
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  return core::CompositeNetwork::build(cfg, rng);
+}
+
+TEST(PropertyBatch, MainBranchBatchForwardIsRowIndependent) {
+  // The exact property the edge batcher stands on: one [k,...] forward
+  // of the main rest equals k separate [1,...] forwards, bitwise.
+  Rng rng(11005);
+  core::CompositeNetwork net = make_net(rng);
+  for (const std::int64_t k : {2, 3, 5}) {
+    const Tensor inputs = Tensor::randn(Shape{k, 1, 28, 28}, rng);
+    const Tensor shared_batch = net.shared_stage().forward(inputs, false);
+    const Tensor full = net.forward_main_from_shared(shared_batch);
+    for (std::int64_t i = 0; i < k; ++i) {
+      const Tensor row =
+          net.forward_main_from_shared(shared_batch.slice_outer(i, i + 1));
+      EXPECT_EQ(max_abs_diff(full.slice_outer(i, i + 1), row), 0.0f)
+          << "k=" << k << " row " << i;
+    }
+  }
+}
+
+TEST(PropertyBatch, CompleteMainBatchMatchesPerSamplePath) {
+  Rng rng(11006);
+  core::CompositeNetwork net = make_net(rng);
+  for (const std::int64_t k : {1, 2, 4}) {
+    const Tensor inputs = Tensor::randn(Shape{k, 1, 28, 28}, rng);
+    // Stack per-sample conv1 outputs exactly the way the server does.
+    std::vector<Tensor> parts;
+    for (std::int64_t i = 0; i < k; ++i) {
+      parts.push_back(
+          net.shared_stage().forward(inputs.slice_outer(i, i + 1), false));
+    }
+    const core::MainBatchCompletion batched =
+        core::complete_main_batch(net, stack_outer(parts));
+    ASSERT_EQ(batched.labels.size(), static_cast<std::size_t>(k));
+    ASSERT_EQ(batched.probabilities.dim(0), k);
+    for (std::int64_t i = 0; i < k; ++i) {
+      const Tensor solo = softmax_rows(net.forward_main_from_shared(
+          parts[static_cast<std::size_t>(i)]));
+      EXPECT_EQ(batched.labels[static_cast<std::size_t>(i)], argmax(solo))
+          << "k=" << k << " row " << i;
+      EXPECT_EQ(
+          max_abs_diff(batched.probabilities.slice_outer(i, i + 1), solo),
+          0.0f)
+          << "k=" << k << " row " << i;
+    }
+  }
+  EXPECT_THROW(core::complete_main_batch(net, Tensor::ones(Shape{1, 2})),
+               Error);
+}
+
+}  // namespace
+}  // namespace lcrs
