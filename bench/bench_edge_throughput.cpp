@@ -15,13 +15,17 @@
 //
 // Four serving configs per workload:
 //
-//   per-conn (pre-PR)  -- the baseline this PR replaces: every connection
-//       thread runs the completion inline with the unpacked training
-//       kernels, exactly as the server served before the worker pool
-//       landed.
-//   per-conn packed    -- same architecture, but with the Linear layers
-//       packed via prepare_edge_inference(). Isolates the kernel-prep
-//       half of the win from the batching half.
+//   per-conn (pre-PR)  -- the baseline the PR sequence replaces: every
+//       connection thread runs the completion inline with the unpacked
+//       training kernels, forced to the scalar SIMD level -- exactly the
+//       serving stack before the worker pool (PR-5) and the SIMD kernel
+//       layer (PR-6) landed. (The binary now builds its scalar fallback
+//       and its vector kernels from one source tree, so the faithful
+//       pre-PR baseline is the scalar dispatch level.)
+//   per-conn packed    -- same per-connection architecture, but with the
+//       weights packed via prepare_edge_inference() and the native SIMD
+//       level. Isolates the kernel half of the win from the batching
+//       half.
 //   pool w=1 b=1       -- worker pool without batching: isolates queue /
 //       hand-off overhead.
 //   pool w=1 b=16      -- the shipped serving shape: pool + batcher. A
@@ -48,6 +52,7 @@
 
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "edge/server.h"
 #include "tensor/tensor_ops.h"
 
@@ -142,6 +147,21 @@ CellResult run_cell(const Serving& serving, const edge::ServerOptions& opts,
   return r;
 }
 
+/// Runs one cell, optionally pinned to the scalar dispatch level for the
+/// pre-PR baseline. The override is process-wide and cells run
+/// sequentially, so the oracle, the server, and every client in a scalar
+/// cell all compute with scalar kernels -- internally bit-consistent,
+/// faithful to the pre-SIMD binary.
+CellResult run_cell_at_level(const Serving& serving,
+                             const edge::ServerOptions& opts, int n_clients,
+                             int requests_each, bool force_scalar) {
+  if (force_scalar) {
+    simd::ScopedForcedLevel force(simd::Level::kScalar);
+    return run_cell(serving, opts, n_clients, requests_each);
+  }
+  return run_cell(serving, opts, n_clients, requests_each);
+}
+
 edge::CompleteResponse probs_to_response(Tensor probs) {
   edge::CompleteResponse r;
   r.label = argmax(probs);
@@ -224,11 +244,13 @@ int main(int argc, char** argv) {
     const char* name;
     edge::ServerOptions opts;
     bool use_packed;
+    bool force_scalar = false;
   };
   std::vector<Config> configs;
   {
     Config pre_pr{"per-conn (pre-PR)", {}, false};
     pre_pr.opts.direct_execution = true;
+    pre_pr.force_scalar = true;
     configs.push_back(pre_pr);
 
     Config direct_packed{"per-conn packed", {}, true};
@@ -278,8 +300,8 @@ int main(int argc, char** argv) {
       std::vector<double> row;
       std::int64_t batches16 = 0, served16 = 0;
       for (int n : client_counts) {
-        const CellResult cell =
-            run_cell(serving, config.opts, n, requests_each);
+        const CellResult cell = run_cell_at_level(
+            serving, config.opts, n, requests_each, config.force_scalar);
         if (cell.mismatches != 0) {
           std::printf("\nFATAL: %lld mismatched replies in %s/%s @%dc\n",
                       static_cast<long long>(cell.mismatches), c.name,
@@ -305,8 +327,8 @@ int main(int argc, char** argv) {
     }
     const std::size_t at16 = client_counts.size() - 1;
     std::printf("  -> speedup at 16 clients: pool w=1 b=16 vs "
-                "per-conn (pre-PR) = %.2fx; vs per-conn packed "
-                "(architecture only) = %.2fx\n",
+                "per-conn (pre-PR, scalar kernels) = %.2fx; vs per-conn "
+                "packed (batching only, same kernels) = %.2fx\n",
                 table[3][at16] / table[0][at16],
                 table[3][at16] / table[1][at16]);
 
@@ -318,10 +340,13 @@ int main(int argc, char** argv) {
     // ratio.
     std::vector<double> ratios;
     for (int rep = 0; rep < 5; ++rep) {
-      const CellResult b =
-          run_cell(c.base_serving, configs[0].opts, 16, requests_each);
-      const CellResult p =
-          run_cell(c.packed_serving, configs[3].opts, 16, requests_each);
+      const CellResult b = run_cell_at_level(c.base_serving, configs[0].opts,
+                                             16, requests_each,
+                                             /*force_scalar=*/true);
+      const CellResult p = run_cell_at_level(c.packed_serving,
+                                             configs[3].opts, 16,
+                                             requests_each,
+                                             /*force_scalar=*/false);
       if (b.mismatches != 0 || p.mismatches != 0) {
         std::printf("FATAL: mismatched replies in interleaved pass\n");
         return 1;
@@ -329,8 +354,8 @@ int main(int argc, char** argv) {
       ratios.push_back(p.reqs_per_sec / b.reqs_per_sec);
     }
     std::sort(ratios.begin(), ratios.end());
-    std::printf("  -> interleaved A/B at 16 clients (5 pairs): median "
-                "%.2fx  [min %.2fx, max %.2fx]\n",
+    std::printf("  -> interleaved A/B at 16 clients (5 pairs, pooled+SIMD "
+                "vs pre-PR scalar): median %.2fx  [min %.2fx, max %.2fx]\n",
                 ratios[ratios.size() / 2], ratios.front(), ratios.back());
   }
   return 0;

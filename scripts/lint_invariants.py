@@ -28,6 +28,15 @@ Encodes rules no generic tool knows about this codebase:
                 std::mutex / std::lock_guard / std::unique_lock /
                 std::condition_variable & friends are banned outside
                 common/sync.{h,cpp} (which wrap them).
+  simd-intrinsics
+                Raw SIMD intrinsics (immintrin/arm_neon includes, _mm*
+                calls, __m128/__m256 vector types, NEON vld1/vst1) live
+                only in the dispatch layer (src/common/simd*) and the
+                vetted kernel files (tensor/gemm.cpp, binary/bitmatrix.cpp,
+                binary/xnor_gemm.cpp). Everything else calls the
+                dispatched wrappers, so LCRS_SIMD=scalar provably covers
+                every vector code path and parity tests cannot be
+                bypassed by a stray inline intrinsic.
 
 Vetted exceptions live in scripts/invariant_allowlist.txt as
 `rule:path[:symbol]  # reason` lines; path is repo-relative.
@@ -88,6 +97,25 @@ RAW_SYNC = re.compile(
 
 # The wrapper layer itself: the only place allowed to hold raw std sync.
 RAW_SYNC_EXEMPT = {"src/common/sync.h", "src/common/sync.cpp"}
+
+# Raw SIMD vocabulary: vendor headers, x86 _mm*/__m* names, NEON
+# load/store/float32x4_t. Runs on stripped code, so mentions in comments
+# and strings do not trip it.
+SIMD_INTRINSICS = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|emmintrin|xmmintrin|smmintrin|"
+    r"tmmintrin|arm_neon)\.h>|"
+    r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\(|"
+    r"\b__m(?:128|256|512)[di]?\b|"
+    r"\bfloat32x[24]_t\b|\bvld1q?_[a-z0-9_]+|\bvst1q?_[a-z0-9_]+")
+
+# The dispatch layer plus the vetted kernel files; the simd* prefix covers
+# common/simd.{h,cpp} and common/simd_math.{h,cpp}.
+SIMD_EXEMPT_PREFIXES = ("src/common/simd",)
+SIMD_EXEMPT_FILES = {
+    "src/tensor/gemm.cpp",
+    "src/binary/bitmatrix.cpp",
+    "src/binary/xnor_gemm.cpp",
+}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -239,6 +267,18 @@ class Linter:
                 f"raw {m.group(0)} -- use lcrs::Mutex/MutexLock/CondVar "
                 "from common/sync.h (annotated + lock-order checked)")
 
+    def lint_simd_intrinsics(self, path: Path, code: str) -> None:
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith(SIMD_EXEMPT_PREFIXES) or rel in SIMD_EXEMPT_FILES:
+            return
+        for m in SIMD_INTRINSICS.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            self.report(
+                "simd-intrinsics", path, line,
+                f"raw intrinsic `{m.group(0).strip()}` outside the SIMD "
+                "dispatch layer -- add a dispatched kernel under "
+                "src/common/simd* or the vetted kernel files instead")
+
     def lint_metric_names(self, path: Path, code: str) -> None:
         rel = path.relative_to(REPO).as_posix()
         if rel.startswith("src/common/obs/"):
@@ -268,6 +308,7 @@ class Linter:
                 self.lint_raw_sync(path, code)
             if rel.startswith(("src/", "bench/")):
                 self.lint_metric_names(path, code)
+                self.lint_simd_intrinsics(path, code)
             self.lint_kernel_checks(path, code)
         for rule, rel, line, detail in self.violations:
             print(f"{rel}:{line}: [{rule}] {detail}")

@@ -1,8 +1,14 @@
 #include "binary/bitmatrix.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/error.h"
+#include "common/simd.h"
+
+#if LCRS_SIMD_COMPILED_AVX2 || LCRS_SIMD_COMPILED_SSE
+#include <immintrin.h>
+#endif
 
 namespace lcrs::binary {
 
@@ -12,16 +18,109 @@ BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
   words_.assign(static_cast<std::size_t>(rows_ * words_per_row_), 0);
 }
 
+namespace {
+
+// Row packers: write every destination word (tail bits 0), one full
+// 64-bit store per word, so reused scratch needs no clearing. All
+// variants implement `bit c = (src[c] >= 0.0f)` exactly: the vector
+// compares use ordered >= (NaN -> false, -0 >= +0 -> true), matching
+// the scalar comparison bit for bit.
+
+void pack_row_scalar(const float* src, std::int64_t cols,
+                     std::uint64_t* dst, std::int64_t words) {
+  std::int64_t c = 0;
+  for (std::int64_t w = 0; w < words; ++w) {
+    const std::int64_t nbits = std::min<std::int64_t>(64, cols - c);
+    std::uint64_t bits = 0;
+    for (std::int64_t i = 0; i < nbits; ++i) {
+      if (src[c + i] >= 0.0f) bits |= 1ull << i;
+    }
+    dst[w] = bits;
+    c += 64;
+  }
+}
+
+#if LCRS_SIMD_COMPILED_SSE
+
+void pack_row_sse(const float* src, std::int64_t cols, std::uint64_t* dst,
+                  std::int64_t words) {
+  const __m128 zero = _mm_setzero_ps();
+  std::int64_t c = 0;
+  for (std::int64_t w = 0; w < words; ++w) {
+    std::uint64_t bits = 0;
+    std::int64_t shift = 0;
+    for (; shift + 4 <= 64 && c + 4 <= cols; shift += 4, c += 4) {
+      const int m =
+          _mm_movemask_ps(_mm_cmpge_ps(_mm_loadu_ps(src + c), zero));
+      bits |= static_cast<std::uint64_t>(static_cast<unsigned>(m)) << shift;
+    }
+    for (; shift < 64 && c < cols; ++shift, ++c) {
+      if (src[c] >= 0.0f) bits |= 1ull << shift;
+    }
+    dst[w] = bits;
+  }
+}
+
+#endif  // LCRS_SIMD_COMPILED_SSE
+
+#if LCRS_SIMD_COMPILED_AVX2
+
+void pack_row_avx2(const float* src, std::int64_t cols, std::uint64_t* dst,
+                   std::int64_t words) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t c = 0;
+  for (std::int64_t w = 0; w < words; ++w) {
+    std::uint64_t bits = 0;
+    std::int64_t shift = 0;
+    for (; shift + 8 <= 64 && c + 8 <= cols; shift += 8, c += 8) {
+      const int m = _mm256_movemask_ps(
+          _mm256_cmp_ps(_mm256_loadu_ps(src + c), zero, _CMP_GE_OQ));
+      bits |= static_cast<std::uint64_t>(static_cast<unsigned>(m)) << shift;
+    }
+    for (; shift < 64 && c < cols; ++shift, ++c) {
+      if (src[c] >= 0.0f) bits |= 1ull << shift;
+    }
+    dst[w] = bits;
+  }
+}
+
+#endif  // LCRS_SIMD_COMPILED_AVX2
+
+using RowPacker = void (*)(const float*, std::int64_t, std::uint64_t*,
+                           std::int64_t);
+
+RowPacker select_row_packer() {
+  const simd::Level level = simd::active_level();
+#if LCRS_SIMD_COMPILED_AVX2
+  if (level == simd::Level::kAvx2) return pack_row_avx2;
+#endif
+#if LCRS_SIMD_COMPILED_SSE
+  if (level == simd::Level::kSse) return pack_row_sse;
+#endif
+  (void)level;
+  return pack_row_scalar;
+}
+
+}  // namespace
+
+void pack_signs(const float* data, std::int64_t rows, std::int64_t cols,
+                BitMatrix* out) {
+  LCRS_CHECK(out != nullptr, "pack_signs null output");
+  LCRS_CHECK(out->rows() == rows && out->cols() == cols,
+             "pack_signs shape mismatch: dest " << out->rows() << "x"
+                                                << out->cols() << " vs "
+                                                << rows << "x" << cols);
+  const RowPacker packer = select_row_packer();
+  const std::int64_t words = out->words_per_row();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    packer(data + r * cols, cols, out->row(r), words);
+  }
+}
+
 BitMatrix BitMatrix::pack(const float* data, std::int64_t rows,
                           std::int64_t cols) {
   BitMatrix m(rows, cols);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    std::uint64_t* wr = m.row(r);
-    const float* src = data + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      if (src[c] >= 0.0f) wr[c >> 6] |= (1ull << (c & 63));
-    }
-  }
+  pack_signs(data, rows, cols, &m);
   return m;
 }
 
@@ -50,14 +149,71 @@ bool BitMatrix::get(std::int64_t r, std::int64_t c) const {
   return (row(r)[c >> 6] >> (c & 63)) & 1u;
 }
 
+namespace detail {
+
+std::int64_t xor_popcount_words_scalar(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::int64_t words) {
+  // Four independent accumulators break the add dependency chain; the
+  // sum is an exact integer so the split changes nothing observable.
+  std::int64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::int64_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    s0 += std::popcount(a[w] ^ b[w]);
+    s1 += std::popcount(a[w + 1] ^ b[w + 1]);
+    s2 += std::popcount(a[w + 2] ^ b[w + 2]);
+    s3 += std::popcount(a[w + 3] ^ b[w + 3]);
+  }
+  for (; w < words; ++w) s0 += std::popcount(a[w] ^ b[w]);
+  return s0 + s1 + s2 + s3;
+}
+
+std::int64_t xor_popcount_words_avx2(const std::uint64_t* a,
+                                     const std::uint64_t* b,
+                                     std::int64_t words) {
+#if LCRS_SIMD_COMPILED_AVX2
+  // Mula's vpshufb popcount: per-nibble LUT lookups summed bytewise,
+  // folded into 64-bit lanes with vpsadbw. Byte counts max out at 8 per
+  // byte so the epi8 adds cannot carry; the 64-bit lane accumulator
+  // never saturates for any realistic word count.
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0,
+                       1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i vzero = _mm256_setzero_si256();
+  __m256i acc = vzero;
+  std::int64_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    const __m256i x = _mm256_xor_si256(va, vb);
+    const __m256i lo = _mm256_and_si256(x, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(x, 4), low_mask);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, vzero));
+  }
+  std::int64_t total = _mm256_extract_epi64(acc, 0) +
+                       _mm256_extract_epi64(acc, 1) +
+                       _mm256_extract_epi64(acc, 2) +
+                       _mm256_extract_epi64(acc, 3);
+  for (; w < words; ++w) total += std::popcount(a[w] ^ b[w]);
+  return total;
+#else
+  return xor_popcount_words_scalar(a, b, words);
+#endif
+}
+
+}  // namespace detail
+
 std::int32_t xnor_dot(const std::uint64_t* a, const std::uint64_t* b,
                       std::int64_t cols) {
   const std::int64_t words = (cols + 63) / 64;
-  std::int32_t mismatches = 0;
-  for (std::int64_t w = 0; w < words; ++w) {
-    mismatches += std::popcount(a[w] ^ b[w]);
-  }
-  return static_cast<std::int32_t>(cols) - 2 * mismatches;
+  const std::int64_t mismatches =
+      detail::xor_popcount_words_scalar(a, b, words);
+  return static_cast<std::int32_t>(cols - 2 * mismatches);
 }
 
 std::int32_t BitMatrix::dot_row(std::int64_t r,

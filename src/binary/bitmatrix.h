@@ -70,4 +70,30 @@ class BitMatrix {
 std::int32_t xnor_dot(const std::uint64_t* a, const std::uint64_t* b,
                       std::int64_t cols);
 
+/// Fused binarize+bitpack: packs the signs of `data` [rows x cols]
+/// (value >= 0 -> bit 1, matching sign(0) = +1) into `out`, which must
+/// already have the right shape. Unlike BitMatrix::pack this writes
+/// every word of every row -- tail bits beyond `cols` are stored as 0 --
+/// so a scratch BitMatrix can be reused across calls without clearing
+/// (the hoisted per-batch scratch in xnor_conv2d depends on this).
+/// SIMD-dispatched; bit-identical at every level.
+void pack_signs(const float* data, std::int64_t rows, std::int64_t cols,
+                BitMatrix* out);
+
+namespace detail {
+
+/// popcount(a XOR b) over `words` 64-bit words. The scalar variant is
+/// the portable reference (4-way unrolled accumulators); the avx2
+/// variant uses the vpshufb nibble-LUT popcount and delegates to scalar
+/// when AVX2 was not compiled in. Both are exact (integer domain) --
+/// exposed for xnor_gemm's inner loop, not for general use.
+std::int64_t xor_popcount_words_scalar(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::int64_t words);
+std::int64_t xor_popcount_words_avx2(const std::uint64_t* a,
+                                     const std::uint64_t* b,
+                                     std::int64_t words);
+
+}  // namespace detail
+
 }  // namespace lcrs::binary

@@ -1,10 +1,11 @@
 #include "binary/xnor_gemm.h"
 
-#include <bit>
+#include <vector>
 
 #include "binary/input_scale.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace lcrs::binary {
 
@@ -13,18 +14,22 @@ void xnor_gemm(const BitMatrix& a, const BitMatrix& b, float* c) {
                                        << a.cols() << " vs " << b.cols());
   const std::int64_t m = a.rows(), n = b.rows();
   const std::int64_t words = a.words_per_row();
-  const std::int32_t k = static_cast<std::int32_t>(a.cols());
+  const std::int64_t k = a.cols();
+  // Dispatch once per call. The AVX2 popcount only pays for itself when
+  // a row spans several 256-bit loads; short rows stay on the unrolled
+  // scalar loop. Both are exact, so the cutover is purely a speed knob.
+  const bool use_avx2 =
+      simd::active_level() == simd::Level::kAvx2 && words >= 8;
 
   parallel_for(m, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t i = r0; i < r1; ++i) {
       const std::uint64_t* arow = a.row(i);
       float* crow = c + i * n;
       for (std::int64_t j = 0; j < n; ++j) {
-        const std::uint64_t* brow = b.row(j);
-        std::int32_t mismatches = 0;
-        for (std::int64_t w = 0; w < words; ++w) {
-          mismatches += std::popcount(arow[w] ^ brow[w]);
-        }
+        const std::int64_t mismatches =
+            use_avx2
+                ? detail::xor_popcount_words_avx2(arow, b.row(j), words)
+                : detail::xor_popcount_words_scalar(arow, b.row(j), words);
         crow[j] = static_cast<float>(k - 2 * mismatches);
       }
     }
@@ -54,33 +59,23 @@ Tensor xnor_conv2d(const Tensor& input, const ConvGeom& geom,
   const Tensor k = input_scale_K(input, geom);
 
   Tensor out{Shape{n, out_c, oh, ow}};
+  // Scratch is hoisted out of the batch loop: the old per-sample
+  // `BitMatrix in_bits(pixels, patch)` re-allocated and zero-filled the
+  // packed patches for every image, which dominated small-image batches.
+  // pack_signs overwrites every word (tails included), so reuse needs no
+  // clear between samples.
+  std::vector<float> rows(static_cast<std::size_t>(pixels * patch));
+  BitMatrix in_bits(pixels, patch);
+  Tensor prod{Shape{out_c, pixels}};
   for (std::int64_t b = 0; b < n; ++b) {
-    // Pack each output pixel's input patch into a bit row; spatial zero
-    // padding packs as +1, matching sign(0) = +1 in the reference path.
-    BitMatrix in_bits(pixels, patch);
     const float* img = input.data() + b * in_image;
-    std::int64_t pix = 0;
-    for (std::int64_t y = 0; y < oh; ++y) {
-      for (std::int64_t x = 0; x < ow; ++x, ++pix) {
-        std::uint64_t* row = in_bits.row(pix);
-        std::int64_t bit = 0;
-        for (std::int64_t c = 0; c < geom.in_c; ++c) {
-          const float* plane = img + c * geom.in_h * geom.in_w;
-          for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
-            const std::int64_t iy = y * geom.stride + ky - geom.pad;
-            for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++bit) {
-              const std::int64_t ix = x * geom.stride + kx - geom.pad;
-              const bool inside =
-                  iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w;
-              const float v = inside ? plane[iy * geom.in_w + ix] : 0.0f;
-              if (v >= 0.0f) row[bit >> 6] |= (1ull << (bit & 63));
-            }
-          }
-        }
-      }
-    }
+    // Lower patches pixel-major, then fuse binarize+bitpack in one pass.
+    // Spatial zero padding lowers as 0.0f, which packs as +1 -- the
+    // sign(0) = +1 convention the float-sign reference path uses.
+    im2col_rows(img, geom, rows.data(), /*pad_value=*/0.0f);
+    pack_signs(rows.data(), pixels, patch, &in_bits);
 
-    Tensor prod = xnor_matmul(weight_bits, in_bits);  // [out_c x pixels]
+    xnor_gemm(weight_bits, in_bits, prod.data());  // [out_c x pixels]
     const float* kb = k.data() + b * pixels;
     float* obase = out.data() + b * out_c * pixels;
     for (std::int64_t oc = 0; oc < out_c; ++oc) {

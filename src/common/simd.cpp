@@ -1,0 +1,137 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace lcrs::simd {
+
+namespace {
+
+// -1 = no override; otherwise the int value of a forced Level.
+std::atomic<int> g_forced{-1};
+
+bool cpu_supports(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("sse2") != 0;
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+      // No runtime probe: AArch64 mandates NEON, and 32-bit builds only
+      // define __ARM_NEON when the target guarantees it.
+      return LCRS_SIMD_COMPILED_NEON != 0;
+  }
+  return false;
+}
+
+bool compiled_in(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse:
+      return LCRS_SIMD_COMPILED_SSE != 0;
+    case Level::kAvx2:
+      return LCRS_SIMD_COMPILED_AVX2 != 0;
+    case Level::kNeon:
+      return LCRS_SIMD_COMPILED_NEON != 0;
+  }
+  return false;
+}
+
+Level best_available() {
+  for (const Level l : {Level::kAvx2, Level::kSse, Level::kNeon}) {
+    if (level_available(l)) return l;
+  }
+  return Level::kScalar;
+}
+
+/// Parses LCRS_SIMD and clamps to availability. Runs once.
+Level detect_startup_level() {
+  const char* env = std::getenv("LCRS_SIMD");
+  if (env == nullptr || *env == '\0') return best_available();
+  const std::string want(env);
+  Level requested = Level::kScalar;
+  bool known = true;
+  if (want == "scalar") {
+    requested = Level::kScalar;
+  } else if (want == "sse") {
+    requested = Level::kSse;
+  } else if (want == "avx2") {
+    requested = Level::kAvx2;
+  } else if (want == "neon") {
+    requested = Level::kNeon;
+  } else {
+    known = false;
+  }
+  if (!known) {
+    LCRS_WARN("LCRS_SIMD=" << want
+                               << " is not one of scalar|sse|avx2|neon; "
+                                  "using detected level "
+                               << level_name(best_available()));
+    return best_available();
+  }
+  if (!level_available(requested)) {
+    LCRS_WARN("LCRS_SIMD=" << want
+                               << " not available on this build/CPU; "
+                                  "falling back to scalar");
+    return Level::kScalar;
+  }
+  return requested;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse:
+      return "sse";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+bool level_available(Level level) {
+  return compiled_in(level) && cpu_supports(level);
+}
+
+Level active_level() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  // Magic-static: detection and env parsing run exactly once.
+  static const Level startup = detect_startup_level();
+  return startup;
+}
+
+ScopedForcedLevel::ScopedForcedLevel(Level level)
+    : previous_(g_forced.load(std::memory_order_relaxed)) {
+  LCRS_CHECK(level_available(level),
+             "cannot force SIMD level " << level_name(level)
+                                        << ": not available on this "
+                                           "build/CPU");
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+ScopedForcedLevel::~ScopedForcedLevel() {
+  g_forced.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace lcrs::simd

@@ -1,0 +1,97 @@
+// Runtime SIMD dispatch for the serving hot-path kernels.
+//
+// The vector kernels (tensor/gemm.cpp, binary/bitmatrix.cpp,
+// binary/xnor_gemm.cpp) each ship several variants of their inner loop:
+// a portable scalar reference plus AVX2/SSE (x86) and, where implemented,
+// NEON (arm) versions. Which variant runs is decided *once*, at the
+// first kernel call, from three inputs:
+//
+//   1. what the compiler emitted (-march gates the __AVX2__/__SSE2__/
+//      __ARM_NEON blocks; a variant that was not compiled in can never
+//      be selected),
+//   2. what the CPU reports at runtime (__builtin_cpu_supports probes,
+//      so a binary built with wider -march on a narrower host falls
+//      back instead of faulting),
+//   3. the LCRS_SIMD environment variable (scalar|sse|avx2|neon), which
+//      clamps the choice for testing -- the forced-scalar CI job runs
+//      the whole suite with LCRS_SIMD=scalar so the fallback paths stay
+//      exercised.
+//
+// Parity contract (see DESIGN.md "SIMD kernel layer"): every bit-domain
+// kernel (sign packing, XNOR popcount) is bit-identical across levels;
+// float GEMM variants keep each output's accumulation a single
+// ascending-k chain, so they are row-pure at any batch size and agree
+// with the scalar chain to ULP-level reassociation-free tolerance.
+//
+// A kernel with no variant for the active level silently uses the next
+// one it does implement (ultimately scalar); dispatch is per kernel, so
+// e.g. selecting kNeon on a host where only the pack kernel has a NEON
+// variant still runs every other kernel correctly through scalar.
+//
+// Intrinsics policy (enforced by scripts/lint_invariants.py rule
+// `simd-intrinsics`): raw vendor intrinsics may appear only in
+// src/common/simd* and the kernel implementation files listed there.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#define LCRS_SIMD_COMPILED_AVX2 1
+#else
+#define LCRS_SIMD_COMPILED_AVX2 0
+#endif
+
+#if defined(__SSE2__)
+#define LCRS_SIMD_COMPILED_SSE 1
+#else
+#define LCRS_SIMD_COMPILED_SSE 0
+#endif
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define LCRS_SIMD_COMPILED_NEON 1
+#else
+#define LCRS_SIMD_COMPILED_NEON 0
+#endif
+
+namespace lcrs::simd {
+
+/// Instruction-set levels the dispatcher knows about. The numeric order
+/// encodes x86 preference (AVX2 over SSE over scalar); kNeon is its own
+/// island -- it never competes with the x86 levels on one host.
+enum class Level : int {
+  kScalar = 0,
+  kSse = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+const char* level_name(Level level);
+
+/// True when `level`'s code paths were compiled into this binary AND the
+/// running CPU supports them (kScalar is always available).
+bool level_available(Level level);
+
+/// The level kernels should dispatch on. Detection + LCRS_SIMD parsing
+/// run once (thread-safe) and the result is cached; after that this is
+/// one relaxed atomic load, cheap enough for per-call use. An
+/// unavailable or unparseable LCRS_SIMD value logs a warning and falls
+/// back to scalar (deterministic, never faults).
+Level active_level();
+
+/// Test/bench-only override of active_level(), restored on destruction.
+/// Checks the forced level is available. The override is a process-wide
+/// atomic: establish it while no kernels are in flight (property tests
+/// and the A/B benches do), not to steer concurrent traffic.
+class ScopedForcedLevel {
+ public:
+  explicit ScopedForcedLevel(Level level);
+  ~ScopedForcedLevel();
+
+  ScopedForcedLevel(const ScopedForcedLevel&) = delete;
+  ScopedForcedLevel& operator=(const ScopedForcedLevel&) = delete;
+
+ private:
+  int previous_;  // raw override slot value to restore (-1 = none)
+};
+
+}  // namespace lcrs::simd

@@ -1,0 +1,104 @@
+#include "common/simd_math.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/simd.h"
+
+#if LCRS_SIMD_COMPILED_AVX2
+#include <immintrin.h>
+#endif
+
+namespace lcrs::simd {
+namespace {
+
+void tanh_scalar(float* data, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) data[i] = std::tanh(data[i]);
+}
+
+#if LCRS_SIMD_COMPILED_AVX2
+
+inline __m256 madd8(__m256 a, __m256 b, __m256 c) {
+#ifdef __FMA__
+  return _mm256_fmadd_ps(a, b, c);
+#else
+  return _mm256_add_ps(_mm256_mul_ps(a, b), c);
+#endif
+}
+
+// tanh(x) ~= x * P(x^2) / Q(x^2), the classic minimax fit used across the
+// ML-framework lineage. Inputs are clamped to +/-7.90531 (float tanh is
+// saturated beyond that); |x| < 4e-4 returns x itself (tanh(x) == x in
+// float there, and it keeps +/-0 exact); NaN propagates.
+inline __m256 tanh8(__m256 x) {
+  const __m256 clamp = _mm256_set1_ps(7.90531110763549805f);
+  const __m256 tiny = _mm256_set1_ps(4e-4f);
+  const __m256 a1 = _mm256_set1_ps(4.89352455891786e-03f);
+  const __m256 a3 = _mm256_set1_ps(6.37261928875436e-04f);
+  const __m256 a5 = _mm256_set1_ps(1.48572235717979e-05f);
+  const __m256 a7 = _mm256_set1_ps(5.12229709037114e-08f);
+  const __m256 a9 = _mm256_set1_ps(-8.60467152213735e-11f);
+  const __m256 a11 = _mm256_set1_ps(2.00018790482477e-13f);
+  const __m256 a13 = _mm256_set1_ps(-2.76076847742355e-16f);
+  const __m256 b0 = _mm256_set1_ps(4.89352518554385e-03f);
+  const __m256 b2 = _mm256_set1_ps(2.26843463243900e-03f);
+  const __m256 b4 = _mm256_set1_ps(1.18534705686654e-04f);
+  const __m256 b6 = _mm256_set1_ps(1.19825839466702e-06f);
+
+  const __m256 sign_bit = _mm256_set1_ps(-0.0f);
+  const __m256 ax = _mm256_andnot_ps(sign_bit, x);
+  // Pass x through unchanged when it is tiny or NaN (min/max against the
+  // clamp would otherwise quietly replace a NaN lane with the clamp).
+  const __m256 pass = _mm256_or_ps(_mm256_cmp_ps(ax, tiny, _CMP_LT_OQ),
+                                   _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+
+  __m256 xc = _mm256_min_ps(x, clamp);
+  xc = _mm256_max_ps(xc, _mm256_xor_ps(clamp, sign_bit));
+
+  const __m256 x2 = _mm256_mul_ps(xc, xc);
+  __m256 p = madd8(x2, a13, a11);
+  p = madd8(x2, p, a9);
+  p = madd8(x2, p, a7);
+  p = madd8(x2, p, a5);
+  p = madd8(x2, p, a3);
+  p = madd8(x2, p, a1);
+  p = _mm256_mul_ps(p, xc);
+  __m256 q = madd8(x2, b6, b4);
+  q = madd8(x2, q, b2);
+  q = madd8(x2, q, b0);
+
+  return _mm256_blendv_ps(_mm256_div_ps(p, q), x, pass);
+}
+
+void tanh_avx2(float* data, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(data + i, tanh8(_mm256_loadu_ps(data + i)));
+  }
+  if (i < n) {
+    // Same 8-wide kernel for the ragged tail, via a padded buffer: every
+    // element sees identical instructions regardless of tensor length.
+    alignas(32) float buf[8] = {0.0f};
+    const std::size_t bytes =
+        sizeof(float) * static_cast<std::size_t>(n - i);
+    std::memcpy(buf, data + i, bytes);
+    _mm256_store_ps(buf, tanh8(_mm256_load_ps(buf)));
+    std::memcpy(data + i, buf, bytes);
+  }
+}
+
+#endif  // LCRS_SIMD_COMPILED_AVX2
+
+}  // namespace
+
+void tanh_inplace(float* data, std::int64_t n) {
+#if LCRS_SIMD_COMPILED_AVX2
+  if (active_level() == Level::kAvx2) {
+    tanh_avx2(data, n);
+    return;
+  }
+#endif
+  tanh_scalar(data, n);
+}
+
+}  // namespace lcrs::simd

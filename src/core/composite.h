@@ -56,10 +56,12 @@ class CompositeNetwork {
   /// Packs every binary layer for the XNOR fast path.
   void prepare_browser_inference();
 
-  /// Packs every Linear in the main rest for the transposed-weight eval
-  /// GEMM, whose weight traffic amortizes across batch rows. Call before
-  /// serving edge completions (main_branch_batch_completion does this);
-  /// training invalidates the packs per-layer, so re-prepare afterwards.
+  /// Packs every Linear (transposed-weight eval GEMM) and Conv2d
+  /// (panel-packed weight GEMM + batched im2col) in the main rest so
+  /// serving-time completions skip all per-call weight preparation. Call
+  /// before serving edge completions (main_branch_batch_completion does
+  /// this); training invalidates the packs per-layer, so re-prepare
+  /// afterwards.
   void prepare_edge_inference();
 
   nn::Sequential& shared_stage() { return *shared_; }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd_math.h"
+
 namespace lcrs::nn {
 
 Tensor ReLU::forward(const Tensor& input, bool train) {
@@ -24,10 +26,11 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 }
 
 Tensor Tanh::forward(const Tensor& input, bool train) {
-  Tensor out(input.shape());
-  for (std::int64_t i = 0; i < input.numel(); ++i) {
-    out[i] = std::tanh(input[i]);
-  }
+  // Dispatched kernel: exact std::tanh at the scalar level, the vectorized
+  // approximation (see common/simd_math.h) on vector levels. Elementwise
+  // purity keeps batch-composition invariance intact at any level.
+  Tensor out = input;
+  simd::tanh_inplace(out.data(), out.numel());
   if (train) cached_output_ = out;
   return out;
 }

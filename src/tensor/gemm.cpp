@@ -2,9 +2,17 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
+#include "common/error.h"
 #include "common/parallel.h"
+#include "common/simd.h"
+
+#if LCRS_SIMD_COMPILED_AVX2 || LCRS_SIMD_COMPILED_SSE
+#include <immintrin.h>
+#endif
+#if LCRS_SIMD_COMPILED_NEON
+#include <arm_neon.h>
+#endif
 
 namespace lcrs {
 
@@ -24,11 +32,18 @@ void scale_c(float* c, std::int64_t m, std::int64_t n, float beta) {
   for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
 }
 
-// Inner kernel: C[i0..i1, j0..j1] += A[i0..i1, k0..k1] * B[k0..k1, j0..j1].
-void tile_kernel(const float* a, const float* b, float* c, std::int64_t k,
-                 std::int64_t n, std::int64_t i0, std::int64_t i1,
-                 std::int64_t j0, std::int64_t j1, std::int64_t k0,
-                 std::int64_t k1) {
+// Every tile kernel computes
+//   C[i0..i1, j0..j1] += A[i0..i1, k0..k1] * B[k0..k1, j0..j1]
+// with each C element updated in ascending-k order, so all variants are
+// row-pure and agree with each other up to FMA rounding. The SIMD
+// variants vectorize across j (independent outputs) and keep the k loop
+// serial per element -- the order is what the batched serving path's
+// bit-identity property stands on, so do not reassociate it.
+
+void tile_kernel_scalar(const float* a, const float* b, float* c,
+                        std::int64_t k, std::int64_t n, std::int64_t i0,
+                        std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                        std::int64_t k0, std::int64_t k1) {
   for (std::int64_t i = i0; i < i1; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
@@ -41,11 +56,218 @@ void tile_kernel(const float* a, const float* b, float* c, std::int64_t k,
   }
 }
 
+#if LCRS_SIMD_COMPILED_AVX2
+
+inline __m256 madd8(__m256 a, __m256 b, __m256 c) {
+#if defined(__FMA__)
+  return _mm256_fmadd_ps(a, b, c);
+#else
+  return _mm256_add_ps(_mm256_mul_ps(a, b), c);
+#endif
+}
+
+void tile_kernel_avx2(const float* a, const float* b, float* c,
+                      std::int64_t k, std::int64_t n, std::int64_t i0,
+                      std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                      std::int64_t k0, std::int64_t k1) {
+  std::int64_t i = i0;
+  // 4 rows x 16 columns held in registers across the k tile: 8
+  // accumulators + 2 B vectors + 1 broadcast stay within 16 ymm regs.
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    std::int64_t j = j0;
+    for (; j + 16 <= j1; j += 16) {
+      __m256 x00 = _mm256_loadu_ps(c0 + j), x01 = _mm256_loadu_ps(c0 + j + 8);
+      __m256 x10 = _mm256_loadu_ps(c1 + j), x11 = _mm256_loadu_ps(c1 + j + 8);
+      __m256 x20 = _mm256_loadu_ps(c2 + j), x21 = _mm256_loadu_ps(c2 + j + 8);
+      __m256 x30 = _mm256_loadu_ps(c3 + j), x31 = _mm256_loadu_ps(c3 + j + 8);
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float* brow = b + kk * n + j;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        __m256 av = _mm256_broadcast_ss(a0 + kk);
+        x00 = madd8(av, b0, x00);
+        x01 = madd8(av, b1, x01);
+        av = _mm256_broadcast_ss(a1 + kk);
+        x10 = madd8(av, b0, x10);
+        x11 = madd8(av, b1, x11);
+        av = _mm256_broadcast_ss(a2 + kk);
+        x20 = madd8(av, b0, x20);
+        x21 = madd8(av, b1, x21);
+        av = _mm256_broadcast_ss(a3 + kk);
+        x30 = madd8(av, b0, x30);
+        x31 = madd8(av, b1, x31);
+      }
+      _mm256_storeu_ps(c0 + j, x00);
+      _mm256_storeu_ps(c0 + j + 8, x01);
+      _mm256_storeu_ps(c1 + j, x10);
+      _mm256_storeu_ps(c1 + j + 8, x11);
+      _mm256_storeu_ps(c2 + j, x20);
+      _mm256_storeu_ps(c2 + j + 8, x21);
+      _mm256_storeu_ps(c3 + j, x30);
+      _mm256_storeu_ps(c3 + j + 8, x31);
+    }
+    for (; j + 8 <= j1; j += 8) {
+      __m256 x0 = _mm256_loadu_ps(c0 + j);
+      __m256 x1 = _mm256_loadu_ps(c1 + j);
+      __m256 x2 = _mm256_loadu_ps(c2 + j);
+      __m256 x3 = _mm256_loadu_ps(c3 + j);
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const __m256 bv = _mm256_loadu_ps(b + kk * n + j);
+        x0 = madd8(_mm256_broadcast_ss(a0 + kk), bv, x0);
+        x1 = madd8(_mm256_broadcast_ss(a1 + kk), bv, x1);
+        x2 = madd8(_mm256_broadcast_ss(a2 + kk), bv, x2);
+        x3 = madd8(_mm256_broadcast_ss(a3 + kk), bv, x3);
+      }
+      _mm256_storeu_ps(c0 + j, x0);
+      _mm256_storeu_ps(c1 + j, x1);
+      _mm256_storeu_ps(c2 + j, x2);
+      _mm256_storeu_ps(c3 + j, x3);
+    }
+    if (j < j1) {
+      tile_kernel_scalar(a, b, c, k, n, i, i + 4, j, j1, k0, k1);
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::int64_t j = j0;
+    for (; j + 8 <= j1; j += 8) {
+      __m256 x = _mm256_loadu_ps(crow + j);
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        x = madd8(_mm256_broadcast_ss(arow + kk),
+                  _mm256_loadu_ps(b + kk * n + j), x);
+      }
+      _mm256_storeu_ps(crow + j, x);
+    }
+    if (j < j1) {
+      tile_kernel_scalar(a, b, c, k, n, i, i + 1, j, j1, k0, k1);
+    }
+  }
+}
+
+#endif  // LCRS_SIMD_COMPILED_AVX2
+
+#if LCRS_SIMD_COMPILED_SSE
+
+void tile_kernel_sse(const float* a, const float* b, float* c,
+                     std::int64_t k, std::int64_t n, std::int64_t i0,
+                     std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                     std::int64_t k0, std::int64_t k1) {
+  std::int64_t i = i0;
+  // 2 rows x 8 columns (4 xmm accumulators); SSE2 has no FMA, so this
+  // level is plain mul+add -- still the same ascending-k chain.
+  for (; i + 2 <= i1; i += 2) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    std::int64_t j = j0;
+    for (; j + 8 <= j1; j += 8) {
+      __m128 x00 = _mm_loadu_ps(c0 + j), x01 = _mm_loadu_ps(c0 + j + 4);
+      __m128 x10 = _mm_loadu_ps(c1 + j), x11 = _mm_loadu_ps(c1 + j + 4);
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float* brow = b + kk * n + j;
+        const __m128 b0 = _mm_loadu_ps(brow);
+        const __m128 b1 = _mm_loadu_ps(brow + 4);
+        __m128 av = _mm_set1_ps(a0[kk]);
+        x00 = _mm_add_ps(x00, _mm_mul_ps(av, b0));
+        x01 = _mm_add_ps(x01, _mm_mul_ps(av, b1));
+        av = _mm_set1_ps(a1[kk]);
+        x10 = _mm_add_ps(x10, _mm_mul_ps(av, b0));
+        x11 = _mm_add_ps(x11, _mm_mul_ps(av, b1));
+      }
+      _mm_storeu_ps(c0 + j, x00);
+      _mm_storeu_ps(c0 + j + 4, x01);
+      _mm_storeu_ps(c1 + j, x10);
+      _mm_storeu_ps(c1 + j + 4, x11);
+    }
+    if (j < j1) {
+      tile_kernel_scalar(a, b, c, k, n, i, i + 2, j, j1, k0, k1);
+    }
+  }
+  if (i < i1) {
+    tile_kernel_scalar(a, b, c, k, n, i, i1, j0, j1, k0, k1);
+  }
+}
+
+#endif  // LCRS_SIMD_COMPILED_SSE
+
+#if LCRS_SIMD_COMPILED_NEON
+
+void tile_kernel_neon(const float* a, const float* b, float* c,
+                      std::int64_t k, std::int64_t n, std::int64_t i0,
+                      std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                      std::int64_t k0, std::int64_t k1) {
+  std::int64_t i = i0;
+  // 2 rows x 8 columns; vfmaq is fused like the AVX2 path.
+  for (; i + 2 <= i1; i += 2) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    std::int64_t j = j0;
+    for (; j + 8 <= j1; j += 8) {
+      float32x4_t x00 = vld1q_f32(c0 + j), x01 = vld1q_f32(c0 + j + 4);
+      float32x4_t x10 = vld1q_f32(c1 + j), x11 = vld1q_f32(c1 + j + 4);
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float* brow = b + kk * n + j;
+        const float32x4_t b0 = vld1q_f32(brow);
+        const float32x4_t b1 = vld1q_f32(brow + 4);
+        x00 = vfmaq_n_f32(x00, b0, a0[kk]);
+        x01 = vfmaq_n_f32(x01, b1, a0[kk]);
+        x10 = vfmaq_n_f32(x10, b0, a1[kk]);
+        x11 = vfmaq_n_f32(x11, b1, a1[kk]);
+      }
+      vst1q_f32(c0 + j, x00);
+      vst1q_f32(c0 + j + 4, x01);
+      vst1q_f32(c1 + j, x10);
+      vst1q_f32(c1 + j + 4, x11);
+    }
+    if (j < j1) {
+      tile_kernel_scalar(a, b, c, k, n, i, i + 2, j, j1, k0, k1);
+    }
+  }
+  if (i < i1) {
+    tile_kernel_scalar(a, b, c, k, n, i, i1, j0, j1, k0, k1);
+  }
+}
+
+#endif  // LCRS_SIMD_COMPILED_NEON
+
+using TileKernel = void (*)(const float*, const float*, float*,
+                            std::int64_t, std::int64_t, std::int64_t,
+                            std::int64_t, std::int64_t, std::int64_t,
+                            std::int64_t, std::int64_t);
+
+TileKernel select_tile_kernel() {
+  const simd::Level level = simd::active_level();
+#if LCRS_SIMD_COMPILED_AVX2
+  if (level == simd::Level::kAvx2) return tile_kernel_avx2;
+#endif
+#if LCRS_SIMD_COMPILED_SSE
+  if (level == simd::Level::kSse) return tile_kernel_sse;
+#endif
+#if LCRS_SIMD_COMPILED_NEON
+  if (level == simd::Level::kNeon) return tile_kernel_neon;
+#endif
+  (void)level;
+  return tile_kernel_scalar;
+}
+
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t k, std::int64_t n, float beta) {
   scale_c(c, m, n, beta);
+  const TileKernel kernel = select_tile_kernel();
   parallel_for(m, [&](std::int64_t row_begin, std::int64_t row_end) {
     for (std::int64_t i0 = row_begin; i0 < row_end; i0 += kTileM) {
       const std::int64_t i1 = std::min(i0 + kTileM, row_end);
@@ -53,7 +275,7 @@ void gemm(const float* a, const float* b, float* c, std::int64_t m,
         const std::int64_t k1 = std::min(k0 + kTileK, k);
         for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
           const std::int64_t j1 = std::min(j0 + kTileN, n);
-          tile_kernel(a, b, c, k, n, i0, i1, j0, j1, k0, k1);
+          kernel(a, b, c, k, n, i0, i1, j0, j1, k0, k1);
         }
       }
     }
@@ -117,7 +339,9 @@ void gemm_bt(const float* a, const float* b, float* c, std::int64_t m,
   // accumulators in flight. Every c[i][j] is still a single ascending-k
   // accumulation over (A row i, B row j) regardless of m, so results are
   // bit-identical for any batch size -- the row-independence the batched
-  // edge serving path relies on.
+  // edge serving path relies on. This training-path kernel is left
+  // scalar on purpose: a vectorized dot product needs lane-split partial
+  // sums, which would reassociate the chain.
   scale_c(c, m, n, beta);
   parallel_for(m, [&](std::int64_t row_begin, std::int64_t row_end) {
     std::int64_t i = row_begin;
@@ -182,6 +406,214 @@ void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
       c[i * n + j] = beta * c[i * n + j] + acc;
     }
   }
+}
+
+PackedA pack_a_panels(const float* a, std::int64_t m, std::int64_t k) {
+  LCRS_CHECK(m >= 0 && k >= 0, "pack_a_panels negative dims");
+  PackedA p;
+  p.m = m;
+  p.k = k;
+  const std::int64_t panels = p.panel_count();
+  p.panels.assign(
+      static_cast<std::size_t>(panels * k * PackedA::kPanelRows), 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t panel = i / PackedA::kPanelRows;
+    const std::int64_t r = i % PackedA::kPanelRows;
+    const float* src = a + i * k;
+    float* dst = p.panels.data() + panel * k * PackedA::kPanelRows;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      dst[kk * PackedA::kPanelRows + r] = src[kk];
+    }
+  }
+  return p;
+}
+
+namespace {
+
+// Panel microkernels: C rows [r0, r0+rows) over all n columns from one
+// zero state, ascending k. `pan` is the panel base (k-major quads).
+
+void panel_rows_scalar(const float* pan, const float* b, float* c,
+                       std::int64_t k, std::int64_t n, std::int64_t rows) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* crow = c + r * n;
+    std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pan[kk * PackedA::kPanelRows + r];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+#if LCRS_SIMD_COMPILED_AVX2
+
+void panel_rows_avx2(const float* pan, const float* b, float* c,
+                     std::int64_t k, std::int64_t n, std::int64_t rows) {
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 x00 = _mm256_setzero_ps(), x01 = _mm256_setzero_ps();
+    __m256 x10 = _mm256_setzero_ps(), x11 = _mm256_setzero_ps();
+    __m256 x20 = _mm256_setzero_ps(), x21 = _mm256_setzero_ps();
+    __m256 x30 = _mm256_setzero_ps(), x31 = _mm256_setzero_ps();
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* quad = pan + kk * PackedA::kPanelRows;
+      const float* brow = b + kk * n + j;
+      const __m256 b0 = _mm256_loadu_ps(brow);
+      const __m256 b1 = _mm256_loadu_ps(brow + 8);
+      __m256 av = _mm256_broadcast_ss(quad);
+      x00 = madd8(av, b0, x00);
+      x01 = madd8(av, b1, x01);
+      av = _mm256_broadcast_ss(quad + 1);
+      x10 = madd8(av, b0, x10);
+      x11 = madd8(av, b1, x11);
+      av = _mm256_broadcast_ss(quad + 2);
+      x20 = madd8(av, b0, x20);
+      x21 = madd8(av, b1, x21);
+      av = _mm256_broadcast_ss(quad + 3);
+      x30 = madd8(av, b0, x30);
+      x31 = madd8(av, b1, x31);
+    }
+    // Padded panel rows compute garbage-free zeros; only real rows land.
+    if (rows > 0) {
+      _mm256_storeu_ps(c + j, x00);
+      _mm256_storeu_ps(c + j + 8, x01);
+    }
+    if (rows > 1) {
+      _mm256_storeu_ps(c + n + j, x10);
+      _mm256_storeu_ps(c + n + j + 8, x11);
+    }
+    if (rows > 2) {
+      _mm256_storeu_ps(c + 2 * n + j, x20);
+      _mm256_storeu_ps(c + 2 * n + j + 8, x21);
+    }
+    if (rows > 3) {
+      _mm256_storeu_ps(c + 3 * n + j, x30);
+      _mm256_storeu_ps(c + 3 * n + j + 8, x31);
+    }
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 x0 = _mm256_setzero_ps(), x1 = _mm256_setzero_ps();
+    __m256 x2 = _mm256_setzero_ps(), x3 = _mm256_setzero_ps();
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* quad = pan + kk * PackedA::kPanelRows;
+      const __m256 bv = _mm256_loadu_ps(b + kk * n + j);
+      x0 = madd8(_mm256_broadcast_ss(quad), bv, x0);
+      x1 = madd8(_mm256_broadcast_ss(quad + 1), bv, x1);
+      x2 = madd8(_mm256_broadcast_ss(quad + 2), bv, x2);
+      x3 = madd8(_mm256_broadcast_ss(quad + 3), bv, x3);
+    }
+    if (rows > 0) _mm256_storeu_ps(c + j, x0);
+    if (rows > 1) _mm256_storeu_ps(c + n + j, x1);
+    if (rows > 2) _mm256_storeu_ps(c + 2 * n + j, x2);
+    if (rows > 3) _mm256_storeu_ps(c + 3 * n + j, x3);
+  }
+  for (; j < n; ++j) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += pan[kk * PackedA::kPanelRows + r] * b[kk * n + j];
+      }
+      c[r * n + j] = acc;
+    }
+  }
+}
+
+#endif  // LCRS_SIMD_COMPILED_AVX2
+
+#if LCRS_SIMD_COMPILED_SSE
+
+void panel_rows_sse(const float* pan, const float* b, float* c,
+                    std::int64_t k, std::int64_t n, std::int64_t rows) {
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m128 x00 = _mm_setzero_ps(), x01 = _mm_setzero_ps();
+    __m128 x10 = _mm_setzero_ps(), x11 = _mm_setzero_ps();
+    __m128 x20 = _mm_setzero_ps(), x21 = _mm_setzero_ps();
+    __m128 x30 = _mm_setzero_ps(), x31 = _mm_setzero_ps();
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* quad = pan + kk * PackedA::kPanelRows;
+      const float* brow = b + kk * n + j;
+      const __m128 b0 = _mm_loadu_ps(brow);
+      const __m128 b1 = _mm_loadu_ps(brow + 4);
+      __m128 av = _mm_set1_ps(quad[0]);
+      x00 = _mm_add_ps(x00, _mm_mul_ps(av, b0));
+      x01 = _mm_add_ps(x01, _mm_mul_ps(av, b1));
+      av = _mm_set1_ps(quad[1]);
+      x10 = _mm_add_ps(x10, _mm_mul_ps(av, b0));
+      x11 = _mm_add_ps(x11, _mm_mul_ps(av, b1));
+      av = _mm_set1_ps(quad[2]);
+      x20 = _mm_add_ps(x20, _mm_mul_ps(av, b0));
+      x21 = _mm_add_ps(x21, _mm_mul_ps(av, b1));
+      av = _mm_set1_ps(quad[3]);
+      x30 = _mm_add_ps(x30, _mm_mul_ps(av, b0));
+      x31 = _mm_add_ps(x31, _mm_mul_ps(av, b1));
+    }
+    if (rows > 0) {
+      _mm_storeu_ps(c + j, x00);
+      _mm_storeu_ps(c + j + 4, x01);
+    }
+    if (rows > 1) {
+      _mm_storeu_ps(c + n + j, x10);
+      _mm_storeu_ps(c + n + j + 4, x11);
+    }
+    if (rows > 2) {
+      _mm_storeu_ps(c + 2 * n + j, x20);
+      _mm_storeu_ps(c + 2 * n + j + 4, x21);
+    }
+    if (rows > 3) {
+      _mm_storeu_ps(c + 3 * n + j, x30);
+      _mm_storeu_ps(c + 3 * n + j + 4, x31);
+    }
+  }
+  for (; j < n; ++j) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += pan[kk * PackedA::kPanelRows + r] * b[kk * n + j];
+      }
+      c[r * n + j] = acc;
+    }
+  }
+}
+
+#endif  // LCRS_SIMD_COMPILED_SSE
+
+using PanelKernel = void (*)(const float*, const float*, float*,
+                             std::int64_t, std::int64_t, std::int64_t);
+
+PanelKernel select_panel_kernel() {
+  const simd::Level level = simd::active_level();
+#if LCRS_SIMD_COMPILED_AVX2
+  if (level == simd::Level::kAvx2) return panel_rows_avx2;
+#endif
+#if LCRS_SIMD_COMPILED_SSE
+  if (level == simd::Level::kSse) return panel_rows_sse;
+#endif
+  // No NEON variant yet: kNeon falls back to scalar for this kernel
+  // (per-kernel fallback is part of the dispatch contract).
+  (void)level;
+  return panel_rows_scalar;
+}
+
+}  // namespace
+
+void gemm_packed_a(const PackedA& a, const float* b, float* c,
+                   std::int64_t n) {
+  LCRS_CHECK(n >= 0, "gemm_packed_a negative n");
+  if (a.m == 0 || n == 0) return;
+  const PanelKernel kernel = select_panel_kernel();
+  const std::int64_t panels = a.panel_count();
+  parallel_for(panels, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t r0 = p * PackedA::kPanelRows;
+      const std::int64_t rows =
+          std::min<std::int64_t>(PackedA::kPanelRows, a.m - r0);
+      kernel(a.panels.data() + p * a.k * PackedA::kPanelRows, b, c + r0 * n,
+             a.k, n, rows);
+    }
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

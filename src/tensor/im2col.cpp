@@ -1,5 +1,10 @@
 #include "tensor/im2col.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "common/parallel.h"
+
 namespace lcrs {
 
 void ConvGeom::validate() const {
@@ -31,11 +36,88 @@ void im2col(const float* image, const ConvGeom& g, float* cols,
             continue;
           }
           const float* in_row = chan + in_y * g.in_w;
+          if (g.stride == 1) {
+            // in_x = x + kw - pad is affine with slope 1: the valid x
+            // range is contiguous, so the interior is one memcpy.
+            const std::int64_t lo =
+                std::max<std::int64_t>(0, g.pad - kw);
+            const std::int64_t hi =
+                std::min<std::int64_t>(ow, g.in_w + g.pad - kw);
+            float* dst = out_row + y * ow;
+            for (std::int64_t x = 0; x < std::min<std::int64_t>(lo, ow);
+                 ++x) {
+              dst[x] = pad_value;
+            }
+            if (hi > lo) {
+              std::memcpy(dst + lo, in_row + (lo + kw - g.pad),
+                          static_cast<std::size_t>(hi - lo) *
+                              sizeof(float));
+            }
+            for (std::int64_t x = std::max<std::int64_t>(hi, 0); x < ow;
+                 ++x) {
+              dst[x] = pad_value;
+            }
+            continue;
+          }
           for (std::int64_t x = 0; x < ow; ++x) {
             const std::int64_t in_x = x * g.stride + kw - g.pad;
             out_row[y * ow + x] =
                 (in_x >= 0 && in_x < g.in_w) ? in_row[in_x] : pad_value;
           }
+        }
+      }
+    }
+  }
+}
+
+void im2col_batch(const float* input, std::int64_t n, const ConvGeom& g,
+                  float* cols, float pad_value) {
+  LCRS_CHECK(n >= 0, "im2col_batch negative batch size");
+  const std::int64_t image_size = g.in_c * g.in_h * g.in_w;
+  const std::int64_t block = g.patch_size() * g.out_h() * g.out_w();
+  parallel_for(n, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t s = s0; s < s1; ++s) {
+      im2col(input + s * image_size, g, cols + s * block, pad_value);
+    }
+  });
+}
+
+void im2col_rows(const float* image, const ConvGeom& g, float* rows,
+                 float pad_value) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t patch = g.patch_size();
+  const std::int64_t chan_stride = g.in_h * g.in_w;
+  for (std::int64_t y = 0; y < oh; ++y) {
+    for (std::int64_t x = 0; x < ow; ++x) {
+      float* prow = rows + (y * ow + x) * patch;
+      const std::int64_t base_y = y * g.stride - g.pad;
+      const std::int64_t base_x = x * g.stride - g.pad;
+      std::int64_t col = 0;
+      for (std::int64_t c = 0; c < g.in_c; ++c) {
+        const float* chan = image + c * chan_stride;
+        for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+          const std::int64_t in_y = base_y + kh;
+          if (in_y < 0 || in_y >= g.in_h) {
+            for (std::int64_t kw = 0; kw < g.kernel; ++kw) {
+              prow[col++] = pad_value;
+            }
+            continue;
+          }
+          const std::int64_t lo =
+              std::clamp<std::int64_t>(-base_x, 0, g.kernel);
+          const std::int64_t hi =
+              std::clamp<std::int64_t>(g.in_w - base_x, 0, g.kernel);
+          const float* in_row = chan + in_y * g.in_w;
+          for (std::int64_t kw = 0; kw < lo; ++kw) prow[col + kw] = pad_value;
+          if (hi > lo) {
+            // The kw taps of one kernel row are contiguous in the image.
+            std::memcpy(prow + col + lo, in_row + base_x + lo,
+                        static_cast<std::size_t>(hi - lo) * sizeof(float));
+          }
+          for (std::int64_t kw = hi; kw < g.kernel; ++kw) {
+            prow[col + kw] = pad_value;
+          }
+          col += g.kernel;
         }
       }
     }

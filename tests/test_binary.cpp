@@ -5,10 +5,13 @@
 
 #include <tuple>
 
+#include <vector>
+
 #include "binary/binarize.h"
 #include "binary/bitmatrix.h"
 #include "binary/input_scale.h"
 #include "binary/xnor_gemm.h"
+#include "common/simd.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
@@ -175,6 +178,125 @@ TEST(InputScale, RowScaleIsMeanAbs) {
   const Tensor beta = input_scale_rows(x);
   EXPECT_FLOAT_EQ(beta[0], 1.0f);
   EXPECT_FLOAT_EQ(beta[1], 2.0f);
+}
+
+// --- SIMD dispatch parity: the bit-domain kernels must be EXACTLY equal
+// across every level, not merely close (DESIGN.md "SIMD kernel layer").
+
+std::vector<simd::Level> testable_levels() {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  for (const simd::Level l :
+       {simd::Level::kSse, simd::Level::kAvx2, simd::Level::kNeon}) {
+    if (simd::level_available(l)) levels.push_back(l);
+  }
+  return levels;
+}
+
+// Ragged widths straddle every vector boundary: sub-word, word-exact,
+// one-past-word, multi-word with partial vector groups. Data includes
+// exact zeros (sign(0) = +1 is the convention the compares must keep).
+TEST(PackSigns, AllDispatchLevelsBitIdenticalAcrossRaggedCols) {
+  Rng rng(771);
+  for (const std::int64_t cols : {1, 3, 7, 63, 64, 65, 96, 127, 130}) {
+    for (const std::int64_t rows : {1, 2, 5}) {
+      std::vector<float> data(static_cast<std::size_t>(rows * cols));
+      for (auto& v : data) {
+        const std::int64_t kind = rng.randint(0, 9);
+        v = kind == 0 ? 0.0f
+            : kind == 1 ? -0.0f
+                        : static_cast<float>(rng.normal());
+      }
+      BitMatrix reference(rows, cols);
+      {
+        simd::ScopedForcedLevel force(simd::Level::kScalar);
+        pack_signs(data.data(), rows, cols, &reference);
+      }
+      for (const simd::Level level : testable_levels()) {
+        simd::ScopedForcedLevel force(level);
+        BitMatrix packed(rows, cols);
+        pack_signs(data.data(), rows, cols, &packed);
+        ASSERT_TRUE(packed == reference)
+            << "level " << simd::level_name(level) << " cols " << cols
+            << " rows " << rows;
+      }
+    }
+  }
+}
+
+TEST(PackSigns, TailWordBitsBeyondColsStayZero) {
+  // All-positive input would set every bit the packer touches; bits past
+  // `cols` in the last word must still come out 0 at every level, or the
+  // zero-padding XNOR cancellation (dot = cols - 2*popcount) breaks.
+  const std::int64_t rows = 3;
+  for (const std::int64_t cols : {1, 5, 63, 65, 70, 129}) {
+    std::vector<float> ones(static_cast<std::size_t>(rows * cols), 1.0f);
+    for (const simd::Level level : testable_levels()) {
+      simd::ScopedForcedLevel force(level);
+      BitMatrix m(rows, cols);
+      pack_signs(ones.data(), rows, cols, &m);
+      const std::int64_t words = m.words_per_row();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          ASSERT_TRUE(m.get(r, c)) << "level " << simd::level_name(level);
+        }
+        const std::int64_t tail_bits = cols - (words - 1) * 64;
+        const std::uint64_t last = m.row(r)[words - 1];
+        if (tail_bits < 64) {
+          ASSERT_EQ(last >> tail_bits, 0u)
+              << "level " << simd::level_name(level) << " cols " << cols
+              << ": tail bits set past column " << cols;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackSigns, DirtyScratchReuseEqualsFreshPack) {
+  // pack_signs promises full-word stores so a reused scratch BitMatrix
+  // needs no clear; saturate one with all-ones first, then repack.
+  Rng rng(772);
+  const std::int64_t rows = 4, cols = 70;
+  std::vector<float> ones(static_cast<std::size_t>(rows * cols), 1.0f);
+  std::vector<float> data(static_cast<std::size_t>(rows * cols));
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  BitMatrix scratch(rows, cols);
+  pack_signs(ones.data(), rows, cols, &scratch);   // dirty it
+  pack_signs(data.data(), rows, cols, &scratch);   // reuse without clear
+  const BitMatrix fresh = BitMatrix::pack(data.data(), rows, cols);
+  EXPECT_TRUE(scratch == fresh);
+}
+
+TEST(XnorGemm, AllDispatchLevelsBitIdentical) {
+  // Cols >= 512 puts the row span at >= 8 words, which is where the AVX2
+  // vpshufb-popcount path engages; the small shapes pin the scalar
+  // fallback and the tail loop.
+  Rng rng(773);
+  using ShapeCase = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+  for (const auto& [m, k, n] :
+       {ShapeCase{1, 1, 1}, ShapeCase{3, 65, 4}, ShapeCase{2, 511, 3},
+        ShapeCase{4, 512, 5}, ShapeCase{1, 700, 1}, ShapeCase{6, 1030, 2}}) {
+    std::vector<float> av(static_cast<std::size_t>(m * k));
+    std::vector<float> bv(static_cast<std::size_t>(n * k));
+    for (auto& v : av) v = static_cast<float>(rng.normal());
+    for (auto& v : bv) v = static_cast<float>(rng.normal());
+    const BitMatrix a = BitMatrix::pack(av.data(), m, k);
+    const BitMatrix b = BitMatrix::pack(bv.data(), n, k);
+    std::vector<float> reference(static_cast<std::size_t>(m * n));
+    {
+      simd::ScopedForcedLevel force(simd::Level::kScalar);
+      xnor_gemm(a, b, reference.data());
+    }
+    for (const simd::Level level : testable_levels()) {
+      simd::ScopedForcedLevel force(level);
+      std::vector<float> c(static_cast<std::size_t>(m * n), -1.0f);
+      xnor_gemm(a, b, c.data());
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        ASSERT_EQ(c[i], reference[i])
+            << "level " << simd::level_name(level) << " m=" << m
+            << " k=" << k << " n=" << n << " index " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -14,11 +14,16 @@
 // Seeds are fixed; any failure replays exactly.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "binary/binary_conv2d.h"
 #include "binary/binary_linear.h"
+#include "common/simd.h"
+#include "common/simd_math.h"
 #include "core/inference.h"
+#include "nn/conv2d.h"
 #include "tensor/tensor_ops.h"
 
 namespace lcrs {
@@ -172,6 +177,170 @@ TEST(PropertyBatch, CompleteMainBatchMatchesPerSamplePath) {
   }
   EXPECT_THROW(core::complete_main_batch(net, Tensor::ones(Shape{1, 2})),
                Error);
+}
+
+// --- Prepared (panel-packed) Conv2d serving path ---
+
+TEST(PropertyBatch, PreparedConvBatchRowsMatchSingleSampleExactly) {
+  // The prepared path computes each output as one ascending-k chain per
+  // (weight row, patch), independent of how many samples share the call
+  // -- so batch row i must be BIT-identical to serving sample i alone.
+  Rng rng(11007);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::int64_t in_c = rng.randint(1, 4);
+    const std::int64_t out_c = rng.randint(1, 7);
+    const std::int64_t kernel = rng.randint(1, 4);
+    const std::int64_t stride = rng.randint(1, 2);
+    const std::int64_t pad = rng.randint(0, 2);
+    const std::int64_t h = kernel + rng.randint(1, 8);
+    const std::int64_t w = kernel + rng.randint(1, 8);
+    const std::int64_t n = rng.randint(2, 6);
+    nn::Conv2d conv(in_c, out_c, kernel, stride, pad, h, w, rng);
+    conv.prepare_inference();
+    ASSERT_TRUE(conv.inference_prepared());
+    const Tensor x = Tensor::randn(Shape{n, in_c, h, w}, rng);
+    const Tensor batched = conv.forward(x, /*train=*/false);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Tensor solo = conv.forward(x.slice_outer(i, i + 1), false);
+      EXPECT_EQ(max_abs_diff(batched.slice_outer(i, i + 1), solo), 0.0f)
+          << "trial " << trial << " row " << i;
+    }
+  }
+}
+
+TEST(PropertyBatch, PreparedConvMatchesUnpreparedWithinTolerance) {
+  // Prepared and unprepared forwards run different kernels (panel GEMM
+  // vs blocked GEMM); both are single ascending-k chains, so they agree
+  // to the documented k-scaled cross-kernel tolerance.
+  Rng rng(11008);
+  nn::Conv2d conv(3, 8, 5, 1, 2, 12, 12, rng);
+  const Tensor x = Tensor::randn(Shape{4, 3, 12, 12}, rng);
+  const Tensor unprepared = conv.forward(x, /*train=*/false);
+  conv.prepare_inference();
+  const Tensor prepared = conv.forward(x, /*train=*/false);
+  ASSERT_TRUE(unprepared.same_shape(prepared));
+  const float tol =
+      1e-3f * static_cast<float>(conv.geometry().patch_size());
+  EXPECT_LT(max_abs_diff(unprepared, prepared), tol);
+}
+
+TEST(PropertyBatch, PreparedConvForcedScalarMatchesNativeWithinTolerance) {
+  Rng rng(11009);
+  nn::Conv2d conv(2, 6, 3, 1, 1, 10, 10, rng);
+  conv.prepare_inference();
+  const Tensor x = Tensor::randn(Shape{3, 2, 10, 10}, rng);
+  const Tensor native = conv.forward(x, /*train=*/false);
+  Tensor scalar;
+  {
+    simd::ScopedForcedLevel force(simd::Level::kScalar);
+    scalar = conv.forward(x, /*train=*/false);
+  }
+  const float tol =
+      1e-3f * static_cast<float>(conv.geometry().patch_size());
+  EXPECT_LT(max_abs_diff(native, scalar), tol);
+}
+
+TEST(PropertyBatch, BackwardInvalidatesPreparedConvPanels) {
+  // An optimizer step after backward moves the weights; a stale panel
+  // pack would silently serve the old network. backward() must drop it.
+  Rng rng(11010);
+  nn::Conv2d conv(1, 4, 3, 1, 1, 8, 8, rng);
+  conv.prepare_inference();
+  ASSERT_TRUE(conv.inference_prepared());
+  const Tensor x = Tensor::randn(Shape{2, 1, 8, 8}, rng);
+  const Tensor y = conv.forward(x, /*train=*/true);
+  (void)conv.backward(Tensor::ones(y.shape()));
+  EXPECT_FALSE(conv.inference_prepared());
+}
+
+TEST(PropertyBatch, PreparedMainBranchBatchForwardIsRowIndependent) {
+  // Same row-independence claim as the unprepared test above, but with
+  // the serving preparation the edge server actually applies (packed
+  // Linear transposes + packed Conv2d panels + batched im2col).
+  Rng rng(11011);
+  core::CompositeNetwork net = make_net(rng);
+  net.prepare_edge_inference();
+  for (const std::int64_t k : {2, 5}) {
+    const Tensor inputs = Tensor::randn(Shape{k, 1, 28, 28}, rng);
+    const Tensor shared_batch = net.shared_stage().forward(inputs, false);
+    const Tensor full = net.forward_main_from_shared(shared_batch);
+    for (std::int64_t i = 0; i < k; ++i) {
+      const Tensor row =
+          net.forward_main_from_shared(shared_batch.slice_outer(i, i + 1));
+      EXPECT_EQ(max_abs_diff(full.slice_outer(i, i + 1), row), 0.0f)
+          << "k=" << k << " row " << i;
+    }
+  }
+}
+
+// --- Dispatched tanh kernel (common/simd_math.h) ---
+
+std::vector<simd::Level> testable_levels() {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  for (const simd::Level l :
+       {simd::Level::kSse, simd::Level::kAvx2, simd::Level::kNeon}) {
+    if (simd::level_available(l)) levels.push_back(l);
+  }
+  return levels;
+}
+
+TEST(PropertyTanh, KernelMatchesStdTanhWithinDocumentedBound) {
+  // The vector levels use a rational approximation; DESIGN.md documents
+  // a 1e-6 absolute bound against std::tanh. Scalar must be exact.
+  std::vector<float> xs;
+  for (float v = -10.0f; v <= 10.0f; v += 0.0137f) xs.push_back(v);
+  for (const float s : {0.0f, -0.0f, 1e-5f, -1e-5f, 3.9e-4f, 4.1e-4f,
+                        7.905f, -7.905f, 7.906f, -7.906f, 50.0f, -50.0f,
+                        std::numeric_limits<float>::infinity(),
+                        -std::numeric_limits<float>::infinity()}) {
+    xs.push_back(s);
+  }
+  for (const simd::Level level : testable_levels()) {
+    simd::ScopedForcedLevel force(level);
+    std::vector<float> got = xs;
+    simd::tanh_inplace(got.data(), static_cast<std::int64_t>(got.size()));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const float want = std::tanh(xs[i]);
+      if (level == simd::Level::kScalar) {
+        EXPECT_EQ(got[i], want)
+            << "scalar level must be exact std::tanh at x=" << xs[i];
+      } else {
+        EXPECT_NEAR(got[i], want, 1e-6f)
+            << simd::level_name(level) << " at x=" << xs[i];
+      }
+    }
+    // NaN propagates; signed zero is preserved bit-for-bit.
+    float nan = std::numeric_limits<float>::quiet_NaN();
+    simd::tanh_inplace(&nan, 1);
+    EXPECT_TRUE(std::isnan(nan)) << simd::level_name(level);
+    float negzero = -0.0f;
+    simd::tanh_inplace(&negzero, 1);
+    EXPECT_TRUE(std::signbit(negzero)) << simd::level_name(level);
+  }
+}
+
+TEST(PropertyTanh, KernelIsElementwisePureAcrossRaggedLengths) {
+  // The batcher changes tensor lengths, never values: an element must map
+  // to the same bits whether it sits in a full vector lane, the padded
+  // ragged tail, or a length-1 call. Row independence of the prepared
+  // main branch stands on this purity.
+  Rng rng(11012);
+  const Tensor x = Tensor::randn(Shape{37}, rng);
+  Tensor full = x;
+  simd::tanh_inplace(full.data(), full.numel());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float one = x[i];
+    simd::tanh_inplace(&one, 1);
+    EXPECT_EQ(full[i], one) << "index " << i;
+  }
+  for (const std::int64_t len : {1, 7, 8, 9, 31, 32, 33}) {
+    std::vector<float> prefix(x.data(), x.data() + len);
+    simd::tanh_inplace(prefix.data(), len);
+    for (std::int64_t j = 0; j < len; ++j) {
+      EXPECT_EQ(full[j], prefix[static_cast<std::size_t>(j)])
+          << "len " << len << " index " << j;
+    }
+  }
 }
 
 }  // namespace
