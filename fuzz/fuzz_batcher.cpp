@@ -1,0 +1,218 @@
+// Structure-aware batcher/demux harness: replays fuzz-generated request
+// interleavings through the PR-5 batch-queue state machine over real
+// loopback sockets.
+//
+// The input decodes to a bounded op script over up to 3 client slots:
+// connect, send a request (one of three shapes, so same-shape coalescing
+// and batch cuts both happen), receive a reply, ping, abrupt close, or
+// inject garbage bytes. The server is deliberately tiny (1-slot admission
+// headroom, batching window enabled) so busy rejection, coalescing, and
+// demux all trigger within a few ops.
+//
+// Oracles:
+//   * Demux: every kCompleteResponse carries a label computed from the
+//     request tensor itself, so a response routed to the wrong
+//     connection (or the wrong request on one connection) is caught.
+//   * Reply discipline: per connection, replies arrive FIFO, exactly one
+//     per request (kCompleteResponse or kBusy).
+//   * Liveness: after every script, a fresh client must connect, ping,
+//     and complete one request within a deadline -- a wedged queue or a
+//     dead worker pool fails here instead of hanging the fuzzer.
+#include <array>
+#include <cmath>
+#include <deque>
+#include <optional>
+
+#include "edge/server.h"
+#include "edge/tcp.h"
+#include "fuzz_util.h"
+
+using namespace lcrs;
+
+namespace {
+
+constexpr int kMaxClients = 3;
+constexpr int kMaxOps = 48;
+constexpr double kIoDeadlineMs = 5000.0;
+
+const Shape& shape_menu(std::int64_t i) {
+  static const std::array<Shape, 3> menu = {
+      Shape{1, 2, 4, 4}, Shape{1, 3, 3, 3}, Shape{1, 1, 8, 8}};
+  return menu[static_cast<std::size_t>(i % 3)];
+}
+
+/// The label the completion derives from a request row. Client and
+/// server run this same function on bit-identical floats, so agreement
+/// is exact.
+std::int64_t row_label(const float* p, std::int64_t n) {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) sum += static_cast<double>(p[i]);
+  return static_cast<std::int64_t>(std::llround(sum * 16.0));
+}
+
+std::vector<edge::CompleteResponse> batch_complete(const Tensor& batch) {
+  const std::int64_t k = batch.dim(0);
+  const std::int64_t per = batch.numel() / k;
+  std::vector<edge::CompleteResponse> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    edge::CompleteResponse resp;
+    resp.label = row_label(batch.data() + i * per, per);
+    // Echo the batch size so coalescing is observable in responses.
+    resp.probabilities =
+        Tensor(Shape{1}, std::vector<float>{static_cast<float>(k)});
+    out.push_back(std::move(resp));
+  }
+  return out;
+}
+
+/// One persistent server across all fuzz executions: restarting per input
+/// would fuzz construction, not the queue state machine.
+edge::EdgeServer& server() {
+  static edge::EdgeServer s(
+      0, edge::BatchCompletionFn(batch_complete), [] {
+        edge::ServerOptions o;
+        o.num_workers = 2;
+        o.max_batch = 3;
+        o.max_wait_us = 300.0;   // leave the coalescing window open
+        o.queue_capacity = 2;    // third concurrent request draws kBusy
+        o.busy_retry_after_ms = 1;
+        return o;
+      }());
+  return s;
+}
+
+struct ClientSlot {
+  std::optional<edge::Socket> sock;
+  std::deque<std::int64_t> expected;  // FIFO labels for outstanding requests
+
+  bool alive() const { return sock.has_value(); }
+  void drop() {
+    sock.reset();
+    expected.clear();
+  }
+};
+
+edge::Deadline io_deadline() {
+  return edge::Deadline::after_ms(kIoDeadlineMs);
+}
+
+void op_send_request(fuzz::FuzzInput* in, ClientSlot* c) {
+  const Shape& shape = shape_menu(in->take_range(0, 2));
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) t.data()[i] = in->take_f32();
+  edge::Frame frame{edge::MsgType::kCompleteRequest,
+                    edge::make_complete_request(t),
+                    /*trace_id=*/in->take_u8()};  // 0 = v1, else v2 header
+  c->sock->send_frame(frame, io_deadline());
+  c->expected.push_back(row_label(t.data(), t.numel()));
+}
+
+void op_recv_reply(ClientSlot* c) {
+  if (c->expected.empty()) return;  // nothing outstanding: would block
+  const std::optional<edge::Frame> reply =
+      c->sock->recv_frame(io_deadline());
+  if (!reply.has_value()) {  // server closed on us (e.g. after garbage)
+    c->drop();
+    return;
+  }
+  const std::int64_t want = c->expected.front();
+  c->expected.pop_front();
+  if (reply->type == edge::MsgType::kBusy) {
+    (void)edge::parse_busy_reply(reply->payload);  // must parse cleanly
+    return;  // admission-rejected: no completion for this request
+  }
+  FUZZ_ASSERT(reply->type == edge::MsgType::kCompleteResponse,
+              "unexpected reply type for an outstanding request");
+  const edge::CompleteResponse resp =
+      edge::parse_complete_response(reply->payload);
+  FUZZ_ASSERT(resp.label == want,
+              "demux error: response label does not match this "
+              "connection's FIFO request");
+}
+
+void op_ping(ClientSlot* c) {
+  if (!c->expected.empty()) return;  // keep the FIFO oracle simple
+  c->sock->send_frame(edge::Frame{edge::MsgType::kPing, {}}, io_deadline());
+  const std::optional<edge::Frame> reply =
+      c->sock->recv_frame(io_deadline());
+  if (!reply.has_value()) {
+    c->drop();
+    return;
+  }
+  FUZZ_ASSERT(reply->type == edge::MsgType::kPong, "ping answered non-pong");
+}
+
+void op_garbage(fuzz::FuzzInput* in, ClientSlot* c) {
+  std::uint8_t junk[16];
+  for (auto& b : junk) b = in->take_u8();
+  c->sock->send_all(junk, sizeof(junk), io_deadline());
+  // The server will reject the stream and close; this slot may see EOF on
+  // its next use and drops then.
+  c->expected.clear();
+}
+
+/// Post-script liveness probe: the server must still accept, ping, and
+/// complete -- within a deadline, so a wedged state machine is a failure,
+/// not a hang.
+void check_server_alive() {
+  edge::Socket probe = edge::connect_local(server().port());
+  probe.send_frame(edge::Frame{edge::MsgType::kPing, {}}, io_deadline());
+  std::optional<edge::Frame> reply = probe.recv_frame(io_deadline());
+  FUZZ_ASSERT(reply.has_value() && reply->type == edge::MsgType::kPong,
+              "server stopped answering pings after a fuzzed script");
+
+  Tensor t = Tensor::full(shape_menu(0), 0.5f);
+  probe.send_frame(edge::Frame{edge::MsgType::kCompleteRequest,
+                               edge::make_complete_request(t)},
+                   io_deadline());
+  reply = probe.recv_frame(io_deadline());
+  FUZZ_ASSERT(reply.has_value(), "server hung up on the liveness probe");
+  if (reply->type == edge::MsgType::kCompleteResponse) {
+    const edge::CompleteResponse resp =
+        edge::parse_complete_response(reply->payload);
+    FUZZ_ASSERT(resp.label == row_label(t.data(), t.numel()),
+                "liveness probe got a wrong-label response");
+  } else {
+    // A kBusy here is legal (stragglers from the script may still hold
+    // the queue); anything else is not.
+    FUZZ_ASSERT(reply->type == edge::MsgType::kBusy,
+                "liveness probe got an unexpected reply type");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 12)) return 0;
+  fuzz::FuzzInput in(data, size);
+  std::array<ClientSlot, kMaxClients> clients;
+
+  for (int op = 0; op < kMaxOps && !in.empty(); ++op) {
+    auto& c = clients[static_cast<std::size_t>(
+        in.take_range(0, kMaxClients - 1))];
+    const std::int64_t action = in.take_range(0, 5);
+    try {
+      if (!c.alive()) {
+        if (action == 4) continue;  // close of a dead slot: no-op
+        c.sock = edge::connect_local(server().port());
+      }
+      switch (action) {
+        case 0: break;  // connect only
+        case 1: op_send_request(&in, &c); break;
+        case 2: op_recv_reply(&c); break;
+        case 3: op_ping(&c); break;
+        case 4: c.drop(); break;  // abrupt close, replies abandoned
+        default: op_garbage(&in, &c); break;
+      }
+    } catch (const IoError&) {
+      // Torn connections (garbage-poisoned, server-closed, timed out)
+      // are part of the state space; the slot just dies.
+      c.drop();
+    }
+  }
+  for (auto& c : clients) c.drop();
+  check_server_alive();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Checkpoint-loader harness: raw bytes -> core::load_composite, the
+// parser ROADMAP item 1 will build the model registry on top of.
+//
+// Oracle: an accepted checkpoint re-saves to exactly the input bytes
+// (config encoding is canonical: arch names round-trip through
+// arch_by_name/arch_name, sizes and f64 bits are verbatim), so the
+// loader cannot silently drop or reinterpret fields.
+#include "core/checkpoint.h"
+#include "fuzz_util.h"
+
+using namespace lcrs;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Checkpoints nest whole model-parameter blobs; cap well above every
+  // committed seed but low enough that garbage inputs stay cheap.
+  if (size > (1u << 20)) return 0;
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  try {
+    core::LoadedComposite loaded = core::load_composite(bytes);
+    const std::vector<std::uint8_t> resaved =
+        core::save_composite(loaded.net, loaded.ckpt);
+    FUZZ_ASSERT(resaved == bytes,
+                "checkpoint re-save differs from accepted input");
+  } catch (const Error&) {
+    // expected rejection path
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Differential binary-kernel harness: decodes ragged shapes and asserts
+// the bit-domain parity contract -- pack_signs and xnor_gemm are
+// *bit-exact* across every dispatch level (no tolerance: XNOR math is
+// integer-valued).
+//
+// Oracles:
+//   * pack_signs at every level == BitMatrix::pack (the pre-SIMD scalar
+//     packer) == an independent per-bit sign check (>= 0 -> 1, so
+//     sign(0) = +1 is pinned);
+//   * xnor_gemm at every level == the formula cols - 2 * popcount(XOR)
+//     recomputed bit by bit from unpacked entries;
+//   * serialize/deserialize round-trips the packed matrix exactly.
+#include <cstring>
+#include <vector>
+
+#include "binary/bitmatrix.h"
+#include "binary/xnor_gemm.h"
+#include "common/simd.h"
+#include "fuzz_util.h"
+
+using namespace lcrs;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz::FuzzInput in(data, size);
+  const std::int64_t m = in.take_range(1, 8);
+  const std::int64_t n = in.take_range(1, 8);
+  // Cross word boundaries and the xnor_gemm k>=512 AVX2 engagement point.
+  const std::int64_t k = in.take_range(1, 600);
+
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(n * k));
+  for (auto& v : a) v = in.take_f32();
+  for (auto& v : b) v = in.take_f32();
+
+  // Scalar-packed references.
+  binary::BitMatrix a_ref = binary::BitMatrix::pack(a.data(), m, k);
+  binary::BitMatrix b_ref = binary::BitMatrix::pack(b.data(), n, k);
+
+  // Independent per-bit oracle for the packing convention.
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t c = 0; c < k; ++c) {
+      FUZZ_ASSERT(a_ref.get(r, c) ==
+                      (a[static_cast<std::size_t>(r * k + c)] >= 0.0f),
+                  "BitMatrix::pack violates the sign(0) = +1 convention");
+    }
+  }
+
+  // Reference XNOR result recomputed from unpacked bits.
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t mismatches = 0;
+      for (std::int64_t c = 0; c < k; ++c) {
+        mismatches += a_ref.get(i, c) != b_ref.get(j, c);
+      }
+      c_ref[static_cast<std::size_t>(i * n + j)] =
+          static_cast<float>(k - 2 * mismatches);
+    }
+  }
+
+  const simd::Level levels[] = {simd::Level::kScalar, simd::Level::kSse,
+                                simd::Level::kAvx2, simd::Level::kNeon};
+  for (const simd::Level level : levels) {
+    if (!simd::level_available(level)) continue;
+    simd::ScopedForcedLevel forced(level);
+
+    binary::BitMatrix a_bits(m, k);
+    binary::BitMatrix b_bits(n, k);
+    binary::pack_signs(a.data(), m, k, &a_bits);
+    binary::pack_signs(b.data(), n, k, &b_bits);
+    FUZZ_ASSERT(a_bits == a_ref && b_bits == b_ref,
+                "pack_signs is not bit-identical to BitMatrix::pack");
+
+    std::vector<float> c(static_cast<std::size_t>(m * n), -12345.0f);
+    binary::xnor_gemm(a_bits, b_bits, c.data());
+    FUZZ_ASSERT(std::memcmp(c.data(), c_ref.data(),
+                            c.size() * sizeof(float)) == 0,
+                "xnor_gemm diverges from the per-bit popcount oracle");
+
+    // xnor_dot must agree entry-wise with the full GEMM.
+    const std::int64_t i = in.take_range(0, m - 1);
+    const std::int64_t j = in.take_range(0, n - 1);
+    FUZZ_ASSERT(static_cast<float>(binary::xnor_dot(
+                    a_bits.row(i), b_bits.row(j), k)) ==
+                    c_ref[static_cast<std::size_t>(i * n + j)],
+                "xnor_dot disagrees with xnor_gemm");
+  }
+
+  // Wire round-trip of the packed form (the artifact the browser ships).
+  ByteWriter w;
+  a_ref.serialize(w);
+  ByteReader r(w.bytes());
+  const binary::BitMatrix back = binary::BitMatrix::deserialize(r);
+  FUZZ_ASSERT(back == a_ref, "BitMatrix serialize/deserialize round-trip");
+  FUZZ_ASSERT(r.at_end(), "BitMatrix deserialize left trailing bytes");
+  return 0;
+}

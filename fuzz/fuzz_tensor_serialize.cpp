@@ -1,0 +1,45 @@
+// Tensor deserializer harness: raw bytes -> read_tensor.
+//
+// Oracles: an accepted tensor re-serializes to exactly the bytes that
+// were consumed (the format is canonical and self-delimiting), the
+// re-serialized size matches tensor_wire_bytes, and a second read of the
+// re-serialized bytes is bit-identical.
+#include <cstring>
+
+#include "fuzz_util.h"
+#include "tensor/serialize.h"
+
+using namespace lcrs;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  ByteReader r(bytes);
+  try {
+    const Tensor t = read_tensor(r);
+    const std::size_t consumed = bytes.size() - r.remaining();
+
+    ByteWriter w;
+    write_tensor(w, t);
+    FUZZ_ASSERT(static_cast<std::int64_t>(w.size()) ==
+                    tensor_wire_bytes(t.shape()),
+                "tensor_wire_bytes disagrees with write_tensor");
+    FUZZ_ASSERT(w.size() == consumed,
+                "re-serialization is a different length than was consumed");
+    FUZZ_ASSERT(std::memcmp(w.bytes().data(), bytes.data(), consumed) == 0,
+                "tensor re-serialization differs from accepted input");
+
+    ByteReader r2(w.bytes());
+    const Tensor t2 = read_tensor(r2);
+    FUZZ_ASSERT(t2.shape() == t.shape(), "round-trip changed the shape");
+    FUZZ_ASSERT(std::memcmp(t2.data(), t.data(),
+                            static_cast<std::size_t>(t.numel()) *
+                                sizeof(float)) == 0,
+                "round-trip changed the payload");
+    FUZZ_ASSERT(r2.at_end(), "round-trip reader left trailing bytes");
+  } catch (const Error&) {
+    // expected rejection path
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Shared scaffolding for the fuzz harnesses (see DESIGN.md "Fuzzing &
+// coverage").
+//
+// Every harness is one .cpp file defining LLVMFuzzerTestOneInput and
+// compiles two ways from the same source:
+//
+//   libFuzzer mode   (LCRS_FUZZ=ON, Clang): -fsanitize=fuzzer,address,
+//                    undefined provides the driver; the harness explores
+//                    inputs coverage-guided from fuzz/corpus/<name>/.
+//   standalone mode  (always built, any compiler): LCRS_FUZZ_STANDALONE
+//                    makes this header supply a main() that replays every
+//                    file under the corpus directories given on the
+//                    command line. Registered as ctest targets, so the
+//                    committed corpus -- seeds plus minimized crashers --
+//                    is a permanent tier-1 regression suite.
+//
+// Harness contract: for ANY input bytes the harness must return normally
+// or reject via lcrs::Error. Any other escaping exception, any signal,
+// any sanitizer report, and any FUZZ_ASSERT failure is a finding. New
+// crashers get minimized, committed to fuzz/corpus/<name>/crasher-*, and
+// fixed in the same change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+// The single entry point both drivers call.
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+// Oracle check inside a harness. Not a gtest macro on purpose: in
+// libFuzzer mode there is no test framework, and abort() is what both
+// libFuzzer and ctest report as a crash.
+#define FUZZ_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: (%s) at %s:%d -- %s\n",     \
+                   #cond, __FILE__, __LINE__, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+namespace lcrs::fuzz {
+
+/// Consume-from-front structured decoder: turns raw fuzz bytes into the
+/// bounded shapes / op-codes / float payloads the structure-aware
+/// harnesses need. Running out of input yields zeros, so every byte
+/// string decodes to *some* valid structure (no rejected inputs means no
+/// wasted fuzz executions).
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  std::uint8_t take_u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint32_t take_u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(take_u8()) << (8 * i);
+    }
+    return v;
+  }
+
+  /// Uniform-ish draw in [lo, hi] driven by one input byte (two for wide
+  /// ranges). Keeps kernel shapes small so each execution stays fast.
+  std::int64_t take_range(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    std::uint64_t raw = take_u8();
+    if (span > 256) raw = raw << 8 | take_u8();
+    return lo + static_cast<std::int64_t>(raw % span);
+  }
+
+  /// A finite float in roughly [-8, 8] (plus exact 0 with probability
+  /// 1/16, to probe sign(0) = +1 conventions). Never NaN/Inf, so float
+  /// oracles can use relative tolerances without special cases.
+  float take_f32() {
+    const std::uint8_t hi = take_u8();
+    if ((hi & 0x0f) == 0) return 0.0f;
+    const std::uint8_t lo = take_u8();
+    const int mag = ((hi << 8) | lo) & 0x7fff;            // 0 .. 32767
+    const float v = static_cast<float>(mag - 16384) / 2048.0f;
+    return v;
+  }
+
+  /// The rest of the input verbatim (for harnesses that hand raw bytes to
+  /// a parser after slicing off a structured prefix).
+  std::vector<std::uint8_t> take_rest() {
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + size_);
+    pos_ = size_;
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lcrs::fuzz
+
+#ifdef LCRS_FUZZ_STANDALONE
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+// Standalone corpus-replay driver: feeds every regular file under each
+// argument (file or directory, recursively) through the harness. Mirrors
+// llvm's StandaloneFuzzTargetMain so the exact same corpus drives both
+// modes.
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t executed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::vector<fs::path> files;
+    const fs::path root(argv[i]);
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "no such corpus input: %s\n", argv[i]);
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& path : files) {
+      std::ifstream in(path, std::ios::binary);
+      std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+      std::printf("replay %s (%zu bytes)\n", path.c_str(), bytes.size());
+      std::fflush(stdout);
+      LLVMFuzzerTestOneInput(
+          reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+      ++executed;
+    }
+  }
+  std::printf("replayed %zu corpus input(s), all clean\n", executed);
+  return 0;
+}
+
+#endif  // LCRS_FUZZ_STANDALONE

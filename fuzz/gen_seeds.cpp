@@ -1,0 +1,342 @@
+// Deterministic corpus generator: writes the committed seed corpus
+// (seed-*) and the regression crashers (crasher-*) for every fuzz
+// harness into <out-root>/<harness>/. Run from the repo root as
+//
+//   ./build/fuzz/fuzz_gen_seeds fuzz/corpus
+//
+// and commit the result. Everything here is reproducible: fixed Rng
+// seeds, no time or environment dependence, so regenerating after a
+// format change yields a reviewable diff.
+//
+// Crasher files reproduce the hand-built corpus that used to live inline
+// in tests/test_fuzz_parsers.cpp (Fuzz.CrasherCorpus) plus inputs found
+// by the harnesses themselves; each must be *rejected* (lcrs::Error or,
+// for structured harnesses, a survived oracle) forever after the fix
+// that accompanied it.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "edge/protocol.h"
+#include "models/zoo.h"
+#include "tensor/serialize.h"
+#include "webinfer/export.h"
+#include "webinfer/format.h"
+
+namespace fs = std::filesystem;
+using namespace lcrs;
+using Bytes = std::vector<std::uint8_t>;
+
+namespace {
+
+fs::path g_root;
+
+void emit(const std::string& harness, const std::string& name,
+          const Bytes& bytes) {
+  const fs::path dir = g_root / harness;
+  fs::create_directories(dir);
+  const fs::path path = dir / name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.randint(0, 255));
+  return out;
+}
+
+// ---------------------------------------------------------------- frames
+
+void gen_frame_parser() {
+  Rng rng(101);
+  emit("frame_parser", "seed-ping",
+       edge::encode_frame({edge::MsgType::kPing, {}}));
+  emit("frame_parser", "seed-pong",
+       edge::encode_frame({edge::MsgType::kPong, {}}));
+  emit("frame_parser", "seed-shutdown",
+       edge::encode_frame({edge::MsgType::kShutdown, {}}));
+  emit("frame_parser", "seed-busy",
+       edge::encode_frame({edge::MsgType::kBusy, edge::make_busy_reply(25)}));
+  emit("frame_parser", "seed-request-v1",
+       edge::encode_frame(
+           {edge::MsgType::kCompleteRequest,
+            edge::make_complete_request(Tensor::randn(Shape{1, 4, 7, 7},
+                                                      rng))}));
+  emit("frame_parser", "seed-request-v2",
+       edge::encode_frame(
+           {edge::MsgType::kCompleteRequest,
+            edge::make_complete_request(Tensor::randn(Shape{1, 2, 4, 4},
+                                                      rng)),
+            0x0123456789abcdefull}));
+  {
+    edge::CompleteResponse resp;
+    resp.label = 7;
+    resp.probabilities = Tensor::randn(Shape{1, 10}, rng);
+    emit("frame_parser", "seed-response",
+         edge::encode_frame({edge::MsgType::kCompleteResponse,
+                             edge::make_complete_response(resp)}));
+  }
+
+  constexpr std::uint32_t kFrameMagic = 0x4c435246;    // "LCRF"
+  constexpr std::uint32_t kFrameMagicV2 = 0x4c435632;  // "LCV2"
+  {  // inflated length field with no payload behind it
+    ByteWriter w;
+    w.write_u32(kFrameMagic);
+    w.write_u8(0);
+    w.write_u32(0xFFFFFFFFu);
+    emit("frame_parser", "crasher-v1-inflated-length", w.bytes());
+  }
+  emit("frame_parser", "crasher-truncated-header", {0x46, 0x52});
+  {  // one-past-the-end message type (kBusy + 1)
+    ByteWriter w;
+    w.write_u32(kFrameMagic);
+    w.write_u8(6);
+    w.write_u32(0);
+    emit("frame_parser", "crasher-v1-bad-type", w.bytes());
+  }
+  {  // v2 inflated length, trace id valid so only the size is bad
+    ByteWriter w;
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(0);
+    w.write_u64(1);
+    w.write_u32(0xFFFFFFFFu);
+    emit("frame_parser", "crasher-v2-inflated-length", w.bytes());
+  }
+  {  // v2 truncated inside the widened header
+    ByteWriter w;
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(0);
+    w.write_u32(7);  // only 4 of the 8 trace-id bytes present
+    emit("frame_parser", "crasher-v2-truncated-header", w.bytes());
+  }
+  {  // v2 with the reserved zero trace id ("untraced" must use v1)
+    ByteWriter w;
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(0);
+    w.write_u64(0);
+    w.write_u32(0);
+    emit("frame_parser", "crasher-v2-zero-trace-id", w.bytes());
+  }
+  {  // v2 with an invalid message type
+    ByteWriter w;
+    w.write_u32(kFrameMagicV2);
+    w.write_u8(200);
+    w.write_u64(1);
+    w.write_u32(0);
+    emit("frame_parser", "crasher-v2-bad-type", w.bytes());
+  }
+  // Busy-payload crashers (used to call parse_busy_reply directly in the
+  // inline corpus): wrapped as whole kBusy frames so the frame harness
+  // drives them through its typed-payload path.
+  emit("frame_parser", "crasher-busy-truncated",
+       edge::encode_frame({edge::MsgType::kBusy, {0x01, 0x02}}));
+  {
+    Bytes busy = edge::make_busy_reply(5);
+    busy.push_back(0xAA);
+    emit("frame_parser", "crasher-busy-trailing",
+         edge::encode_frame({edge::MsgType::kBusy, busy}));
+  }
+}
+
+// ---------------------------------------------------------------- tensor
+
+void gen_tensor_serialize() {
+  Rng rng(202);
+  {
+    ByteWriter w;
+    write_tensor(w, Tensor::randn(Shape{3, 4, 5}, rng));
+    emit("tensor_serialize", "seed-rank3", w.bytes());
+  }
+  {
+    ByteWriter w;
+    write_tensor(w, Tensor::randn(Shape{1}, rng));
+    emit("tensor_serialize", "seed-scalar", w.bytes());
+  }
+  {
+    ByteWriter w;
+    write_tensor(w, Tensor::randn(Shape{1, 3, 9, 9}, rng));
+    emit("tensor_serialize", "seed-image", w.bytes());
+  }
+
+  constexpr std::uint32_t kTensorMagic = 0x4c435254;  // "LCRT"
+  {  // absurd rank
+    ByteWriter w;
+    w.write_u32(kTensorMagic);
+    w.write_u32(0xFFFFFFFFu);
+    emit("tensor_serialize", "crasher-absurd-rank", w.bytes());
+  }
+  {  // negative dimension
+    ByteWriter w;
+    w.write_u32(kTensorMagic);
+    w.write_u32(2);
+    w.write_i64(4);
+    w.write_i64(-5);
+    emit("tensor_serialize", "crasher-negative-dim", w.bytes());
+  }
+  {  // dims pass validation but the payload is absent -- must raise
+     // ParseError before attempting the 1 GiB allocation
+    ByteWriter w;
+    w.write_u32(kTensorMagic);
+    w.write_u32(1);
+    w.write_i64(1ll << 28);
+    emit("tensor_serialize", "crasher-huge-dim-no-payload", w.bytes());
+  }
+}
+
+// ------------------------------------------------------------ checkpoint
+
+void gen_checkpoint() {
+  Rng rng(303);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const Bytes ckpt = core::save_composite(
+      net, core::Checkpoint{cfg, models::default_branch(cfg.arch), 0.05});
+  emit("checkpoint", "seed-lenet", ckpt);
+
+  emit("checkpoint", "crasher-truncated-header",
+       Bytes(ckpt.begin(), ckpt.begin() + 32));
+  {
+    Bytes bad = ckpt;
+    bad[0] ^= 0xFF;  // wrong magic
+    emit("checkpoint", "crasher-bad-magic", bad);
+  }
+  {
+    // Trailing garbage after a fully valid checkpoint: accepted blobs
+    // must be exactly one checkpoint (load_composite checks at_end).
+    Bytes trailing = ckpt;
+    trailing.push_back(0xAA);
+    emit("checkpoint", "crasher-trailing-byte", trailing);
+  }
+}
+
+// ------------------------------------------------------------- web model
+
+void gen_model_blob() {
+  Rng rng(404);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const Bytes blob =
+      webinfer::serialize(webinfer::export_browser_model(net, 1, 28, 28));
+  emit("model_blob", "seed-lenet", blob);
+
+  constexpr std::uint32_t kWebModelMagic = 0x4c435257;  // "LCRW"
+  {  // future format version
+    ByteWriter w;
+    w.write_u32(kWebModelMagic);
+    w.write_u32(999);
+    emit("model_blob", "crasher-future-version", w.bytes());
+  }
+  {  // ends right after a valid magic + version
+    ByteWriter w;
+    w.write_u32(kWebModelMagic);
+    w.write_u32(1);
+    emit("model_blob", "crasher-header-only", w.bytes());
+  }
+  {  // trailing garbage after a valid blob (deserialize checks at_end)
+    Bytes trailing = blob;
+    trailing.push_back(0xAA);
+    emit("model_blob", "crasher-trailing-byte", trailing);
+  }
+}
+
+// ----------------------------------------------------- structured inputs
+
+void gen_bytes() {
+  emit("bytes", "seed-empty", {});
+  for (const std::size_t n : {16u, 64u, 200u}) {
+    emit("bytes", "seed-random-" + std::to_string(n),
+         random_bytes(n, 500 + n));
+  }
+  // Regression for the ByteReader::read_string cursor bug this PR fixes:
+  // byte 0 = 175 makes phase 1 a no-op (175 % 25 == 0) and selects the
+  // whole 7-byte input as the adversarial buffer (175 % 8 == 7); every op
+  // byte is 6 = read_string. The first read_string sees length
+  // 0x060606AF, far past the end -- it must throw *without* consuming the
+  // 4 length bytes (failed reads leave the cursor untouched).
+  emit("bytes", "crasher-readstring-cursor", {175, 6, 6, 6, 6, 6, 6});
+}
+
+void gen_batcher() {
+  // Op stream: [client-idx, action, args...] repeated; see fuzz_batcher.
+  // Exhausted input decodes as zeros, so short scripts are valid.
+  emit("batcher", "seed-send-only", {0, 1});  // request, reply abandoned
+  {
+    // client 0: send a zero tensor (shape 0 = {1,2,4,4}, 32 one-byte
+    // zero floats, trace id 9 = v2 framing), recv the reply, then ping.
+    Bytes script{0, 1, 0};
+    script.insert(script.end(), 32, 0);  // the 32 floats
+    script.push_back(9);                 // trace id
+    script.insert(script.end(), {0, 2, 0, 3});
+    emit("batcher", "seed-send-recv", script);
+  }
+  {
+    // Three clients racing requests then draining: coalescing + busy.
+    Bytes script;
+    Rng rng(606);
+    for (int round = 0; round < 3; ++round) {
+      for (std::uint8_t c = 0; c < 3; ++c) {
+        script.push_back(c);
+        script.push_back(1);  // send
+        script.push_back(static_cast<std::uint8_t>(rng.randint(0, 2)));
+        for (int i = 0; i < 8; ++i) {
+          script.push_back(static_cast<std::uint8_t>(rng.randint(0, 255)));
+        }
+      }
+      for (std::uint8_t c = 0; c < 3; ++c) {
+        script.push_back(c);
+        script.push_back(2);  // recv
+      }
+    }
+    emit("batcher", "seed-three-clients", script);
+  }
+  emit("batcher", "seed-garbage-then-probe", {0, 5, 0xDE, 0xAD, 0xBE, 0xEF});
+  for (const std::size_t n : {24u, 64u, 120u}) {
+    emit("batcher", "seed-random-" + std::to_string(n),
+         random_bytes(n, 600 + n));
+  }
+}
+
+void gen_kernels() {
+  for (const char* h : {"kernels_gemm", "kernels_binary", "kernels_im2col"}) {
+    const std::uint64_t base =
+        h[8] == 'g' ? 700 : (h[8] == 'b' ? 800 : 900);
+    emit(h, "seed-zeros", Bytes(64, 0x00));    // minimum shapes, zero data
+    emit(h, "seed-ones", Bytes(512, 0xFF));    // maximum shapes
+    for (const std::size_t n : {8u, 64u, 256u, 1024u}) {
+      emit(h, "seed-random-" + std::to_string(n), random_bytes(n, base + n));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  g_root = fs::path(argv[1]);
+  gen_frame_parser();
+  gen_tensor_serialize();
+  gen_checkpoint();
+  gen_model_blob();
+  gen_bytes();
+  gen_batcher();
+  gen_kernels();
+  std::printf("corpus written under %s\n", g_root.c_str());
+  return 0;
+}

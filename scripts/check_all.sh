@@ -10,6 +10,11 @@
 #   5. ThreadSanitizer suites (edge runtime + kernel thread pool + sync)
 #   6. ASan over every suite
 #   7. UBSan over every suite
+#   8. bounded fuzz pass over every fuzz/ harness (corpus replay
+#      fallback on non-Clang toolchains; LCRS_FUZZ_STRICT=1 forces
+#      failure without Clang)
+#   9. line+branch coverage with per-module floors
+#      (scripts/coverage_floors.txt)
 # Exits nonzero on the first failure. Fast, cheap gates run before the
 # sanitizer rebuilds so style/lint mistakes fail in seconds, not minutes.
 set -euo pipefail
@@ -17,27 +22,33 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 
-echo "==================== [1/7] tier-1 build (WERROR) + ctest"
+echo "==================== [1/9] tier-1 build (WERROR) + ctest"
 cmake -B build -S . -DLCRS_WERROR=ON
 cmake --build build -j"$JOBS"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
-echo "==================== [2/7] invariant lint"
+echo "==================== [2/9] invariant lint"
 python3 scripts/lint_invariants.py
 
-echo "==================== [3/7] thread-safety analysis (Clang)"
+echo "==================== [3/9] thread-safety analysis (Clang)"
 scripts/check_thread_safety.sh
 
-echo "==================== [4/7] clang-tidy"
+echo "==================== [4/9] clang-tidy"
 scripts/run_clang_tidy.sh
 
-echo "==================== [5/7] TSan"
+echo "==================== [5/9] TSan"
 scripts/check_tsan.sh
 
-echo "==================== [6/7] ASan"
+echo "==================== [6/9] ASan"
 scripts/check_sanitizers.sh asan
 
-echo "==================== [7/7] UBSan"
+echo "==================== [7/9] UBSan"
 scripts/check_sanitizers.sh ubsan
+
+echo "==================== [8/9] fuzz (bounded libFuzzer / corpus replay)"
+scripts/check_fuzz.sh
+
+echo "==================== [9/9] coverage floors"
+scripts/check_coverage.sh
 
 echo "check_all: every gate clean."

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Short, bounded coverage-guided fuzz pass over every harness in fuzz/.
+#
+# Requires Clang (libFuzzer ships with it). Without Clang the script
+# falls back to replaying the committed corpus through the standalone
+# fuzz_*_replay runners (same harness code, no exploration) and warns;
+# set LCRS_FUZZ_STRICT=1 to fail instead (CI does, on builders that
+# guarantee Clang).
+#
+# Budget: LCRS_FUZZ_SECONDS per harness (default 20; CI uses up to 90).
+# Any crash is a finding: libFuzzer leaves crash-* / the failing input in
+# build-fuzz/artifacts/<harness>/. Minimize with
+#   ./build-fuzz/fuzz/fuzz_<name> -minimize_crash=1 -runs=10000 <file>
+# then commit it as fuzz/corpus/<name>/crasher-<what> and fix the bug in
+# the same change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+SECONDS_PER_TARGET=${LCRS_FUZZ_SECONDS:-20}
+STRICT=${LCRS_FUZZ_STRICT:-0}
+
+HARNESSES=$(sed -n '/^set(LCRS_FUZZ_HARNESSES/,/^)/p' fuzz/CMakeLists.txt \
+            | sed '1d;$d' | tr -d ' ')
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  if [[ "$STRICT" == "1" ]]; then
+    echo "check_fuzz: clang++ not found and LCRS_FUZZ_STRICT=1" >&2
+    exit 1
+  fi
+  echo "check_fuzz: clang++ not found; falling back to corpus replay" \
+       "(no coverage-guided exploration)" >&2
+  cmake -B build -S . >/dev/null
+  for name in $HARNESSES; do
+    cmake --build build --target "fuzz_${name}_replay" -j"$JOBS" >/dev/null
+  done
+  (cd build && ctest -R '^fuzz_replay_' --output-on-failure -j"$JOBS")
+  echo "check_fuzz: corpus replay clean (install clang for real fuzzing)"
+  exit 0
+fi
+
+echo "check_fuzz: building libFuzzer harnesses (clang, ASan+UBSan)"
+cmake -B build-fuzz -S . -DLCRS_FUZZ=ON \
+      -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-fuzz -j"$JOBS" --target $(for n in $HARNESSES; do echo "fuzz_$n"; done)
+
+fail=0
+for name in $HARNESSES; do
+  corpus="fuzz/corpus/$name"
+  artifacts="build-fuzz/artifacts/$name"
+  # libFuzzer writes newly-discovered inputs into the FIRST corpus dir;
+  # keep the committed corpus read-only by growing a scratch copy.
+  scratch="build-fuzz/corpus/$name"
+  mkdir -p "$artifacts" "$scratch"
+  echo "==== fuzzing $name for ${SECONDS_PER_TARGET}s"
+  if ! "./build-fuzz/fuzz/fuzz_$name" \
+        -max_total_time="$SECONDS_PER_TARGET" \
+        -rss_limit_mb=4096 -timeout=30 \
+        -artifact_prefix="$artifacts/" \
+        -print_final_stats=1 \
+        "$scratch" "$corpus"; then
+    echo "check_fuzz: $name CRASHED -- minimize the input in $artifacts/," \
+         "commit it as $corpus/crasher-*, and fix the bug" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" != "0" ]]; then
+  exit 1
+fi
+echo "check_fuzz: every harness clean for ${SECONDS_PER_TARGET}s."

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Per-module line/branch coverage report with regression floors.
+
+Walks a --coverage instrumented build tree (configure with
+-DLCRS_COVERAGE=ON, run the test suite, then this script), feeds every
+.gcda through `gcov --json-format`, and aggregates line and branch
+counts per top-level module (src/<module>).
+
+Headers and library objects are compiled into many translation units;
+each TU reports the same (file, line) independently. We deduplicate by
+taking the max count per (file, line) across TUs -- a line is covered if
+ANY instantiation executed it, which matches the intuition behind the
+floor gate.
+
+Floors live in scripts/coverage_floors.txt:
+
+    # module  min_line_pct  min_branch_pct
+    src/common  90.0  55.0
+
+The script exits non-zero if any floored module regresses below its
+floor, and prints (and writes to --output) the full per-module table
+either way, so CI uploads the report even on failure.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def find_gcda(build_dir: Path):
+    return sorted(build_dir.rglob("*.gcda"))
+
+
+def run_gcov(gcda: Path, gcov: str):
+    """Returns the parsed gcov JSON document for one .gcda, or None."""
+    # gcov resolves the .gcno next to the .gcda and the source paths
+    # recorded at compile time (absolute under CMake).
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout", "--branch-probabilities",
+         str(gcda)],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"coverage: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return None
+    # One JSON document per line (gcov emits one per input file).
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line:
+            docs.append(json.loads(line))
+    return docs
+
+
+def module_of(rel: str):
+    """src/common/bytes.h -> src/common; non-src files -> None."""
+    parts = Path(rel).parts
+    if len(parts) >= 2 and parts[0] == "src":
+        return f"src/{parts[1]}"
+    return None
+
+
+def aggregate(build_dir: Path, source_root: Path, gcov: str):
+    """(file, line) -> max execution count, plus per-line branch counts."""
+    line_counts = {}                   # (rel_file, line) -> max count
+    branch_counts = defaultdict(list)  # (rel_file, line) -> [max per idx]
+    gcdas = find_gcda(build_dir)
+    if not gcdas:
+        print(f"coverage: no .gcda files under {build_dir} -- "
+              "build with -DLCRS_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        sys.exit(2)
+    for gcda in gcdas:
+        docs = run_gcov(gcda, gcov)
+        if not docs:
+            continue
+        for doc in docs:
+            for f in doc.get("files", []):
+                path = Path(f["file"])
+                if not path.is_absolute():
+                    path = (source_root / path).resolve()
+                try:
+                    rel = str(path.resolve().relative_to(source_root))
+                except ValueError:
+                    continue  # system header / external
+                if module_of(rel) is None:
+                    continue
+                for ln in f.get("lines", []):
+                    key = (rel, ln["line_number"])
+                    cnt = ln["count"]
+                    if cnt > line_counts.get(key, -1):
+                        line_counts[key] = cnt
+                    br = ln.get("branches", [])
+                    if br:
+                        slot = branch_counts[key]
+                        for i, b in enumerate(br):
+                            if i < len(slot):
+                                slot[i] = max(slot[i], b["count"])
+                            else:
+                                slot.append(b["count"])
+    return line_counts, branch_counts
+
+
+def summarize(line_counts, branch_counts):
+    """module -> dict(lines_total, lines_hit, br_total, br_taken)."""
+    mods = defaultdict(lambda: dict(lines_total=0, lines_hit=0,
+                                    br_total=0, br_taken=0))
+    for (rel, _line), cnt in line_counts.items():
+        m = mods[module_of(rel)]
+        m["lines_total"] += 1
+        if cnt > 0:
+            m["lines_hit"] += 1
+    for (rel, _line), branches in branch_counts.items():
+        m = mods[module_of(rel)]
+        m["br_total"] += len(branches)
+        m["br_taken"] += sum(1 for c in branches if c > 0)
+    return mods
+
+
+def pct(hit, total):
+    return 100.0 * hit / total if total else 100.0
+
+
+def load_floors(path: Path):
+    floors = {}
+    if not path.exists():
+        return floors
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 3:
+            print(f"coverage: malformed floor line: {raw!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        floors[fields[0]] = (float(fields[1]), float(fields[2]))
+    return floors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", type=Path, default=Path("build-cov"))
+    ap.add_argument("--source-root", type=Path,
+                    default=Path(__file__).resolve().parent.parent)
+    ap.add_argument("--floors", type=Path,
+                    default=Path(__file__).resolve().parent
+                    / "coverage_floors.txt")
+    ap.add_argument("--output", type=Path, default=None,
+                    help="also write the report here "
+                         "(default: <build-dir>/coverage_report.txt)")
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    args = ap.parse_args()
+
+    source_root = args.source_root.resolve()
+    line_counts, branch_counts = aggregate(args.build_dir.resolve(),
+                                           source_root, args.gcov)
+    mods = summarize(line_counts, branch_counts)
+    floors = load_floors(args.floors)
+
+    rows = []
+    failures = []
+    header = (f"{'module':<16} {'lines':>12} {'line%':>7} "
+              f"{'branches':>12} {'branch%':>8}  floor")
+    rows.append(header)
+    rows.append("-" * len(header))
+    for name in sorted(mods):
+        m = mods[name]
+        lp = pct(m["lines_hit"], m["lines_total"])
+        bp = pct(m["br_taken"], m["br_total"])
+        floor = floors.get(name)
+        mark = ""
+        if floor:
+            line_floor, br_floor = floor
+            mark = f"lines>={line_floor:.0f} branches>={br_floor:.0f}"
+            if lp < line_floor:
+                failures.append(
+                    f"{name}: line coverage {lp:.1f}% < floor "
+                    f"{line_floor:.1f}%")
+            if bp < br_floor:
+                failures.append(
+                    f"{name}: branch coverage {bp:.1f}% < floor "
+                    f"{br_floor:.1f}%")
+        rows.append(
+            f"{name:<16} {m['lines_hit']:>5}/{m['lines_total']:<6} "
+            f"{lp:>6.1f} {m['br_taken']:>5}/{m['br_total']:<6} "
+            f"{bp:>7.1f}  {mark}")
+    report = "\n".join(rows) + "\n"
+    if failures:
+        report += "\nFAIL: coverage regressed below committed floors:\n"
+        report += "".join(f"  {f}\n" for f in failures)
+    else:
+        report += "\nOK: all floored modules at or above their floors.\n"
+
+    print(report, end="")
+    out = args.output or args.build_dir / "coverage_report.txt"
+    out.write_text(report)
+    print(f"coverage: report written to {out}")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

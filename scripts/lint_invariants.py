@@ -38,6 +38,19 @@ Encodes rules no generic tool knows about this codebase:
                 every vector code path and parity tests cannot be
                 bypassed by a stray inline intrinsic.
 
+  fuzz-registration
+                Every harness fuzz/fuzz_*.cpp must be registered in
+                fuzz/CMakeLists.txt (LCRS_FUZZ_HARNESSES) and have a
+                non-empty committed corpus under fuzz/corpus/<name>/ --
+                an unregistered harness silently never runs, an empty
+                corpus replays nothing.
+  wire-resize   Parser code in src/ may not size an allocation
+                (resize/reserve/container construction) from a value
+                read off the wire (ByteReader read_u32/u64/i64) without
+                an intervening bound check naming that value (an
+                if-guard or LCRS_CHECK). A forged length field must fail
+                as ParseError before the allocator sees it.
+
 Vetted exceptions live in scripts/invariant_allowlist.txt as
 `rule:path[:symbol]  # reason` lines; path is repo-relative.
 
@@ -116,6 +129,15 @@ SIMD_EXEMPT_FILES = {
     "src/binary/bitmatrix.cpp",
     "src/binary/xnor_gemm.cpp",
 }
+
+# A local variable (or member) assigned straight from a ByteReader length/
+# count read. The captured name is then tracked forward for allocation use.
+WIRE_READ = re.compile(
+    r"\b(\w+)\s*=\s*\w+(?:\.|->)read_(?:u32|u64|i64)\s*\(\s*\)")
+
+# How far past the read we look for an unguarded allocation. Generous
+# enough to cover any parser function body in this repo.
+WIRE_WINDOW = 2000
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -279,6 +301,49 @@ class Linter:
                 "dispatch layer -- add a dispatched kernel under "
                 "src/common/simd* or the vetted kernel files instead")
 
+    def lint_wire_resize(self, path: Path, code: str) -> None:
+        for m in WIRE_READ.finditer(code):
+            var = m.group(1)
+            window = code[m.end():m.end() + WIRE_WINDOW]
+            alloc = re.search(
+                rf"(?:\.|->)(?:resize|reserve)\s*\(\s*[^()]*\b{var}\b|"
+                rf"\bstd::vector\s*<[^;=]*>\s+\w+\s*\(\s*[^()]*\b{var}\b|"
+                rf"\bnew\b[^;]*\b{var}\b", window)
+            if not alloc:
+                continue
+            guarded = re.search(
+                rf"if\s*\([^;{{]*\b{var}\b|LCRS_CHECK\s*\([^;]*\b{var}\b",
+                window[:alloc.start()])
+            if not guarded:
+                line = code.count("\n", 0, m.start()) + 1
+                self.report(
+                    "wire-resize", path, line,
+                    f"`{var}` comes off the wire and sizes an allocation "
+                    "with no intervening bound check -- validate against "
+                    "remaining()/a format cap before allocating",
+                    symbol=var)
+
+    def lint_fuzz_registration(self) -> None:
+        fuzz_dir = REPO / "fuzz"
+        cmake = fuzz_dir / "CMakeLists.txt"
+        if not fuzz_dir.is_dir():
+            return
+        cmake_text = cmake.read_text() if cmake.exists() else ""
+        for harness in sorted(fuzz_dir.glob("fuzz_*.cpp")):
+            name = harness.stem.removeprefix("fuzz_")
+            if not re.search(rf"^\s*{re.escape(name)}\s*$", cmake_text,
+                             re.MULTILINE):
+                self.report(
+                    "fuzz-registration", harness, 1,
+                    f"harness not listed in fuzz/CMakeLists.txt "
+                    f"LCRS_FUZZ_HARNESSES (expected entry `{name}`)")
+            corpus = fuzz_dir / "corpus" / name
+            if not (corpus.is_dir() and any(corpus.iterdir())):
+                self.report(
+                    "fuzz-registration", harness, 1,
+                    f"no committed corpus under fuzz/corpus/{name}/ -- "
+                    "add seeds via fuzz/gen_seeds.cpp")
+
     def lint_metric_names(self, path: Path, code: str) -> None:
         rel = path.relative_to(REPO).as_posix()
         if rel.startswith("src/common/obs/"):
@@ -306,10 +371,12 @@ class Linter:
                 self.lint_randomness(path, code)
                 self.lint_naked_new(path, code)
                 self.lint_raw_sync(path, code)
+                self.lint_wire_resize(path, code)
             if rel.startswith(("src/", "bench/")):
                 self.lint_metric_names(path, code)
                 self.lint_simd_intrinsics(path, code)
             self.lint_kernel_checks(path, code)
+        self.lint_fuzz_registration()
         for rule, rel, line, detail in self.violations:
             print(f"{rel}:{line}: [{rule}] {detail}")
         stale = self.allow - self.used_allow

@@ -42,8 +42,16 @@ class ByteWriter {
     write_u64(bits);
   }
 
-  /// Length-prefixed UTF-8 string.
+  /// Length-prefixed UTF-8 string. The length prefix is 32-bit, so a
+  /// string that cannot be represented must be rejected here -- a silent
+  /// truncating cast would write a prefix that disagrees with the bytes
+  /// behind it and corrupt everything downstream of the mismatch.
   void write_string(const std::string& s) {
+    if (s.size() > UINT32_MAX) {
+      throw InvalidArgument("ByteWriter: string of " +
+                            std::to_string(s.size()) +
+                            " bytes does not fit a u32 length prefix");
+    }
     write_u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
@@ -64,6 +72,13 @@ class ByteWriter {
 
 /// Reads primitives back out of a byte span; throws ParseError on
 /// truncation so malformed model files / frames fail loudly.
+///
+/// Every read_* method gives the strong exception guarantee: a read
+/// either succeeds and consumes exactly its width, or throws with the
+/// cursor untouched. Multi-part reads (read_string) therefore validate
+/// the declared length against remaining() *before* consuming the
+/// prefix. The fuzz harness fuzz_bytes.cpp asserts this for arbitrary
+/// read sequences over arbitrary buffers.
 class ByteReader {
  public:
   ByteReader(const std::uint8_t* data, std::size_t size)
@@ -110,8 +125,19 @@ class ByteReader {
   }
 
   std::string read_string() {
-    const std::uint32_t n = read_u32();
-    need(n);
+    need(4);
+    std::uint32_t n = 0;
+    for (int i = 0; i < 4; ++i) {
+      n |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    // Validate the declared length before consuming the prefix so a
+    // truncated string leaves the cursor exactly where it was.
+    if (size_ - pos_ - 4 < n) {
+      throw ParseError("ByteReader: truncated string (declared " +
+                       std::to_string(n) + " bytes, have " +
+                       std::to_string(size_ - pos_ - 4) + ")");
+    }
+    pos_ += 4;
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;

@@ -28,6 +28,16 @@ models::ModelConfig read_config(ByteReader& r) {
   cfg.num_classes = r.read_i64();
   cfg.width = r.read_f64();
   cfg.dropout = r.read_f64();
+  // Wire-side caps on top of ModelConfig::validate (which only checks
+  // lower bounds): load_composite rebuilds the network from these fields
+  // before the parameter blobs are parsed, so a forged checkpoint with
+  // absurd dimensions must be rejected here, not discovered as an OOM
+  // inside CompositeNetwork::build. Caps are far above every shipped
+  // config (paper inputs are 28x28 / 224x224).
+  if (cfg.in_channels > 64 || cfg.in_h > 1024 || cfg.in_w > 1024 ||
+      cfg.num_classes > 4096) {
+    throw ParseError("checkpoint config exceeds wire-format caps");
+  }
   cfg.validate();
   return cfg;
 }
@@ -40,11 +50,22 @@ void write_branch(ByteWriter& w, const models::BinaryBranchConfig& bc) {
 }
 
 models::BinaryBranchConfig read_branch(ByteReader& r) {
+  // Range-check before narrowing: the wire carries i64 but the struct
+  // holds int counts, and the values size network allocations.
+  const std::int64_t n_conv = r.read_i64();
+  const std::int64_t n_fc = r.read_i64();
+  const std::int64_t conv_channels = r.read_i64();
+  const std::int64_t fc_width = r.read_i64();
+  if (n_conv < 0 || n_conv > 16 || n_fc < 0 || n_fc > 16 ||
+      conv_channels < 1 || conv_channels > 1024 || fc_width < 1 ||
+      fc_width > 8192) {
+    throw ParseError("checkpoint branch config exceeds wire-format caps");
+  }
   models::BinaryBranchConfig bc;
-  bc.n_binary_conv = static_cast<int>(r.read_i64());
-  bc.n_binary_fc = static_cast<int>(r.read_i64());
-  bc.conv_channels = r.read_i64();
-  bc.fc_width = r.read_i64();
+  bc.n_binary_conv = static_cast<int>(n_conv);
+  bc.n_binary_fc = static_cast<int>(n_fc);
+  bc.conv_channels = conv_channels;
+  bc.fc_width = fc_width;
   return bc;
 }
 
@@ -56,6 +77,14 @@ void write_stage(ByteWriter& w, nn::Sequential& stage) {
 
 void read_stage(ByteReader& r, nn::Sequential& stage) {
   const std::uint32_t size = r.read_u32();
+  // The declared length comes straight off the wire: bound it by what is
+  // actually present before allocating (a forged 4 GiB prefix must fail
+  // as a ParseError, not as an allocation).
+  if (size > r.remaining()) {
+    throw ParseError("checkpoint stage declares " + std::to_string(size) +
+                     " bytes but only " + std::to_string(r.remaining()) +
+                     " remain");
+  }
   std::vector<std::uint8_t> bytes(size);
   r.read_bytes(bytes.data(), size);
   nn::load_params(stage, bytes);
@@ -97,6 +126,9 @@ LoadedComposite load_composite(const std::vector<std::uint8_t>& bytes) {
   read_stage(r, net.shared_stage());
   read_stage(r, net.main_rest());
   read_stage(r, net.binary_branch());
+  if (!r.at_end()) {
+    throw ParseError("trailing bytes after checkpoint");
+  }
   return LoadedComposite{std::move(net), ckpt};
 }
 

@@ -18,6 +18,13 @@ MsgType check_type(std::uint8_t type) {
 }  // namespace
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  // The wire carries a 32-bit payload length; a larger payload must be
+  // rejected here, not silently truncated into a self-inconsistent frame.
+  if (frame.payload.size() > UINT32_MAX) {
+    throw InvalidArgument("frame payload of " +
+                          std::to_string(frame.payload.size()) +
+                          " bytes does not fit the u32 length field");
+  }
   ByteWriter w;
   if (frame.trace_id == 0) {
     // Untraced frames stay byte-identical to the v1 wire format.

@@ -28,6 +28,10 @@ std::vector<std::uint8_t> save_params(Layer& model) {
 }
 
 void load_params(Layer& model, const std::vector<std::uint8_t>& bytes) {
+  // Transactional: parse and validate the entire blob into staging
+  // storage first, then commit. A throw anywhere below leaves the model
+  // exactly as it was -- tests/test_truncation.cpp feeds every prefix of
+  // a valid blob through here and asserts no partial mutation.
   ByteReader r(bytes);
   if (r.read_u32() != kModelMagic) throw ParseError("bad model magic");
   const auto params = model.params();
@@ -37,6 +41,8 @@ void load_params(Layer& model, const std::vector<std::uint8_t>& bytes) {
                      std::to_string(count) + ", model has " +
                      std::to_string(params.size()));
   }
+  std::vector<Tensor> staged_params;
+  staged_params.reserve(params.size());
   for (Param* p : params) {
     const std::string name = r.read_string();
     if (name != p->name) {
@@ -47,7 +53,7 @@ void load_params(Layer& model, const std::vector<std::uint8_t>& bytes) {
     if (t.shape() != p->value.shape()) {
       throw ParseError("parameter shape mismatch for " + name);
     }
-    p->value = std::move(t);
+    staged_params.push_back(std::move(t));
   }
   const auto states = model.state_tensors();
   const std::uint32_t state_count = r.read_u32();
@@ -56,6 +62,8 @@ void load_params(Layer& model, const std::vector<std::uint8_t>& bytes) {
                      std::to_string(state_count) + ", model has " +
                      std::to_string(states.size()));
   }
+  std::vector<Tensor> staged_states;
+  staged_states.reserve(states.size());
   for (const Layer::NamedState& s : states) {
     const std::string name = r.read_string();
     if (name != s.name) {
@@ -66,7 +74,18 @@ void load_params(Layer& model, const std::vector<std::uint8_t>& bytes) {
     if (t.shape() != s.tensor->shape()) {
       throw ParseError("state shape mismatch for " + name);
     }
-    *s.tensor = std::move(t);
+    staged_states.push_back(std::move(t));
+  }
+  if (!r.at_end()) {
+    throw ParseError("trailing bytes after model parameters");
+  }
+
+  // Commit -- nothing below can throw.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged_params[i]);
+  }
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    *states[i].tensor = std::move(staged_states[i]);
   }
 }
 

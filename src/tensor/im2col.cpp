@@ -12,6 +12,16 @@ void ConvGeom::validate() const {
              "conv geometry needs positive input dims");
   LCRS_CHECK(kernel > 0 && stride > 0 && pad >= 0,
              "conv geometry needs kernel>0, stride>0, pad>=0");
+  // Per-field caps so every derived quantity (out_h * out_w, patch_size,
+  // the patch * pixels buffer size) fits int64 with huge margin. Geometry
+  // arrives from untrusted web-model blobs (webinfer read_geom), where a
+  // forged field would otherwise overflow the arithmetic above into a
+  // small positive buffer size and turn the lowering into a heap smash.
+  constexpr std::int64_t kMaxExtent = 1 << 20;  // 1M pixels per axis
+  LCRS_CHECK(in_c <= kMaxExtent && in_h <= kMaxExtent && in_w <= kMaxExtent &&
+                 kernel <= kMaxExtent && stride <= kMaxExtent &&
+                 pad <= kMaxExtent,
+             "conv geometry field exceeds the 2^20 wire-format cap");
   LCRS_CHECK(in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
              "kernel " << kernel << " larger than padded input " << in_h
                        << "x" << in_w << " pad " << pad);

@@ -28,7 +28,10 @@ class Shape {
     return dims_[static_cast<std::size_t>(i)];
   }
 
-  /// Total number of elements (1 for a rank-0 scalar shape).
+  /// Total number of elements (1 for a rank-0 scalar shape). Overflow is
+  /// impossible for any constructed Shape: validate() bounds the product
+  /// at construction, so deserializers that build a Shape from wire dims
+  /// get the overflow check for free.
   std::int64_t numel() const {
     std::int64_t n = 1;
     for (const auto d : dims_) n *= d;
@@ -45,8 +48,14 @@ class Shape {
 
  private:
   void validate() const {
+    // Checked product: a shape whose element count overflows int64 would
+    // turn every downstream numel()-derived allocation size into garbage
+    // (possibly small and positive), so it is rejected at construction.
+    std::int64_t n = 1;
     for (const auto d : dims_) {
       LCRS_CHECK(d >= 0, "negative dimension in shape " << to_string());
+      LCRS_CHECK(!__builtin_mul_overflow(n, d, &n),
+                 "element count overflows int64 in shape " << to_string());
     }
   }
 

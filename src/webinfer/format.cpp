@@ -205,6 +205,13 @@ WebModel deserialize(const std::vector<std::uint8_t>& bytes) {
   }
   m.ops.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) m.ops.push_back(read_op(r));
+  // The blob is exactly one model: trailing bytes mean a corrupted
+  // download or a smuggled payload, and accepting them would break the
+  // serialize(deserialize(b)) == b canonical-format invariant the fuzz
+  // harness enforces.
+  if (!r.at_end()) {
+    throw ParseError("trailing bytes after web model blob");
+  }
   return m;
 }
 

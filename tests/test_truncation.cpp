@@ -1,0 +1,148 @@
+// Truncation property tests: every strict prefix of a valid serialized
+// artifact must be rejected with lcrs::Error -- no foreign exception
+// escaping, no crash -- and a rejected parse must leave the destination
+// object untouched (the strong guarantee load_params documents).
+//
+// The fuzz harnesses (fuzz/) probe the same parsers with arbitrary
+// bytes; this test nails the one structured input family fuzzing only
+// samples: the exact truncation boundary at every byte offset.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/checkpoint.h"
+#include "nn/model_io.h"
+#include "tensor/serialize.h"
+#include "webinfer/export.h"
+
+namespace lcrs {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes prefix_of(const Bytes& b, std::size_t n) {
+  return Bytes(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+/// Offsets to test for artifacts too large for the exhaustive loop:
+/// every byte of the header region, a stride through the middle, and
+/// the final bytes (where the last stage's payload and the at_end check
+/// live).
+std::vector<std::size_t> sampled_offsets(std::size_t size,
+                                         std::size_t stride = 251) {
+  std::vector<std::size_t> offs;
+  for (std::size_t i = 0; i < size && i < 200; ++i) offs.push_back(i);
+  for (std::size_t i = 200; i < size; i += stride) offs.push_back(i);
+  for (std::size_t i = size > 64 ? size - 64 : 0; i < size; ++i) {
+    offs.push_back(i);
+  }
+  return offs;
+}
+
+TEST(Truncation, EveryTensorPrefixRejected) {
+  Rng rng(11);
+  ByteWriter w;
+  write_tensor(w, Tensor::randn(Shape{3, 4, 5}, rng));
+  const Bytes& valid = w.bytes();
+  for (std::size_t n = 0; n < valid.size(); ++n) {
+    const Bytes p = prefix_of(valid, n);
+    ByteReader r(p);
+    EXPECT_THROW((void)read_tensor(r), Error) << "prefix length " << n;
+    // Strong guarantee: the failed parse consumed nothing observable --
+    // a fresh reader over the same prefix behaves identically.
+    ByteReader r2(p);
+    EXPECT_THROW((void)read_tensor(r2), Error);
+  }
+}
+
+TEST(Truncation, EveryCheckpointPrefixRejectedSampled) {
+  Rng rng(12);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const Bytes ckpt = core::save_composite(
+      net, core::Checkpoint{cfg, models::default_branch(cfg.arch), 0.05});
+  ASSERT_NO_THROW((void)core::load_composite(ckpt));
+  // Wide stride: every prefix that reaches a stage blob pays a full
+  // network rebuild before the parse can fail, so keep the sample small
+  // enough for the unit tier while still crossing every stage boundary.
+  for (const std::size_t n : sampled_offsets(ckpt.size(), 4099)) {
+    EXPECT_THROW((void)core::load_composite(prefix_of(ckpt, n)), Error)
+        << "prefix length " << n << " of " << ckpt.size();
+  }
+}
+
+TEST(Truncation, EveryWebModelPrefixRejectedSampled) {
+  Rng rng(13);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const Bytes blob =
+      webinfer::serialize(webinfer::export_browser_model(net, 1, 28, 28));
+  ASSERT_NO_THROW((void)webinfer::deserialize(blob));
+  for (const std::size_t n : sampled_offsets(blob.size())) {
+    EXPECT_THROW((void)webinfer::deserialize(prefix_of(blob, n)), Error)
+        << "prefix length " << n << " of " << blob.size();
+  }
+}
+
+/// Byte-exact snapshot of a layer's parameters and state tensors.
+std::vector<Tensor> snapshot(nn::Layer& layer) {
+  std::vector<Tensor> out;
+  for (const nn::Param* p : layer.params()) out.push_back(p->value);
+  for (const auto& s : layer.state_tensors()) out.push_back(*s.tensor);
+  return out;
+}
+
+void expect_unchanged(nn::Layer& layer, const std::vector<Tensor>& before) {
+  std::size_t i = 0;
+  for (const nn::Param* p : layer.params()) {
+    ASSERT_LT(i, before.size());
+    ASSERT_EQ(p->value.shape(), before[i].shape());
+    EXPECT_EQ(std::memcmp(p->value.data(), before[i].data(),
+                          static_cast<std::size_t>(before[i].numel()) *
+                              sizeof(float)),
+              0)
+        << "param " << p->name << " mutated by a rejected load";
+    ++i;
+  }
+  for (const auto& s : layer.state_tensors()) {
+    ASSERT_LT(i, before.size());
+    EXPECT_EQ(std::memcmp(s.tensor->data(), before[i].data(),
+                          static_cast<std::size_t>(before[i].numel()) *
+                              sizeof(float)),
+              0)
+        << "state " << s.name << " mutated by a rejected load";
+    ++i;
+  }
+}
+
+TEST(Truncation, LoadParamsIsTransactional) {
+  // Source and destination networks have different weights, so any
+  // partially-applied load is observable as a changed tensor.
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  Rng rng_src(14), rng_dst(15);
+  core::CompositeNetwork src = core::CompositeNetwork::build(cfg, rng_src);
+  core::CompositeNetwork dst = core::CompositeNetwork::build(cfg, rng_dst);
+  const Bytes params = nn::save_params(src.binary_branch());
+
+  const std::vector<Tensor> before = snapshot(dst.binary_branch());
+  for (const std::size_t n : sampled_offsets(params.size())) {
+    EXPECT_THROW(nn::load_params(dst.binary_branch(), prefix_of(params, n)),
+                 Error)
+        << "prefix length " << n;
+    expect_unchanged(dst.binary_branch(), before);
+  }
+  // Trailing garbage is also rejected without mutation.
+  Bytes trailing = params;
+  trailing.push_back(0xAA);
+  EXPECT_THROW(nn::load_params(dst.binary_branch(), trailing), Error);
+  expect_unchanged(dst.binary_branch(), before);
+
+  // And the pristine blob still applies: afterwards dst == src bit-wise.
+  ASSERT_NO_THROW(nn::load_params(dst.binary_branch(), params));
+  EXPECT_EQ(nn::save_params(dst.binary_branch()), params);
+}
+
+}  // namespace
+}  // namespace lcrs
