@@ -40,18 +40,26 @@
 // single-request completion under the same config, so a config can only
 // "win" by serving the exact same answers faster.
 //
-//   ./bench_edge_throughput [requests_per_client]
+// A final interleaved A/B prices the ops plane itself: the same pooled
+// config with the HTTP ops server live (and a scraper hammering
+// /metrics and /tracez throughout) vs with it disabled. The acceptance
+// bar is "within noise".
+//
+//   ./bench_edge_throughput [requests_per_client] [--json out.json]
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/obs/ops_server.h"
 #include "common/simd.h"
 #include "edge/server.h"
 #include "tensor/tensor_ops.h"
@@ -98,11 +106,35 @@ struct CellResult {
 };
 
 CellResult run_cell(const Serving& serving, const edge::ServerOptions& opts,
-                    int n_clients, int requests_each) {
+                    int n_clients, int requests_each,
+                    bool scrape_during = false) {
   auto server =
       opts.direct_execution
           ? std::make_unique<edge::EdgeServer>(0, serving.per_sample, opts)
           : std::make_unique<edge::EdgeServer>(0, serving.batched, opts);
+
+  // When asked, keep a live scraper on the ops plane for the whole
+  // measurement window so the A/B prices serving *while being watched*,
+  // not just the idle cost of an open listener.
+  std::atomic<bool> scrape_done{false};
+  std::thread scraper;
+  if (scrape_during && server->ops_port() != 0) {
+    const std::uint16_t ops_port = server->ops_port();
+    scraper = std::thread([&scrape_done, ops_port] {
+      int i = 0;
+      while (!scrape_done.load(std::memory_order_relaxed)) {
+        try {
+          obs::http_get(ops_port, (i++ % 2) == 0 ? "/metrics" : "/tracez");
+        } catch (const std::exception&) {
+          // Scrape failures must never abort the measurement.
+        }
+        // ~40 scrapes/s -- still orders of magnitude hotter than a real
+        // Prometheus interval, but not so hot that the scraper itself
+        // becomes the workload on small hosts.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
 
   const Workload w = make_workload(serving, n_clients);
   std::atomic<std::int64_t> mismatches{0};
@@ -136,6 +168,8 @@ CellResult run_cell(const Serving& serving, const edge::ServerOptions& opts,
   }
   for (auto& t : clients) t.join();
   const double secs = watch.micros() / 1e6;
+  scrape_done.store(true);
+  if (scraper.joinable()) scraper.join();
 
   CellResult r;
   r.reqs_per_sec =
@@ -216,7 +250,9 @@ Serving fc_serving(core::CompositeNetwork& net, std::size_t fc_split) {
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
+  const std::string json_path = bench::take_json_flag(argc, argv);
   const int requests_each = argc > 1 ? std::atoi(argv[1]) : 100;
+  bench::BenchReport report("edge_throughput");
 
   // Two networks with identical weights (same seed): `base` stays exactly
   // as training left it and serves the pre-PR baseline; `packed` has its
@@ -309,6 +345,9 @@ int main(int argc, char** argv) {
           return 1;
         }
         row.push_back(cell.reqs_per_sec);
+        report.add(std::string(c.name) + "/" + config.name + "/" +
+                       std::to_string(n) + "c",
+                   "req/s", cell.reqs_per_sec);
         if (n == 16) {
           batches16 = cell.batches;
           served16 = cell.served;
@@ -357,6 +396,48 @@ int main(int argc, char** argv) {
     std::printf("  -> interleaved A/B at 16 clients (5 pairs, pooled+SIMD "
                 "vs pre-PR scalar): median %.2fx  [min %.2fx, max %.2fx]\n",
                 ratios[ratios.size() / 2], ratios.front(), ratios.back());
+    report.add(std::string(c.name) + "/interleaved_pool_vs_prepr/16c",
+               "ratio", ratios[ratios.size() / 2], ratios.front(),
+               ratios.back(), static_cast<int>(ratios.size()));
+  }
+
+  // Ops-plane tax: the shipped pooled config on the conv1 workload, ops
+  // plane live + actively scraped vs fully disabled. Same interleaving
+  // trick as above so host drift cancels in each pair's ratio; the
+  // acceptance bar is a median within measurement noise of 1.0x.
+  {
+    edge::ServerOptions ops_on = {};
+    ops_on.num_workers = 1;
+    ops_on.max_batch = 16;
+    ops_on.max_wait_us = 200.0;
+    edge::ServerOptions ops_off = ops_on;
+    ops_on.ops_port = 0;  // ephemeral side port, flight recorder on
+
+    const Serving serving = conv1_serving(packed, /*with_batched=*/true);
+    std::vector<double> ratios;
+    for (int rep = 0; rep < 5; ++rep) {
+      const CellResult on =
+          run_cell(serving, ops_on, 16, requests_each, /*scrape_during=*/true);
+      const CellResult off = run_cell(serving, ops_off, 16, requests_each);
+      if (on.mismatches != 0 || off.mismatches != 0) {
+        std::printf("FATAL: mismatched replies in ops A/B pass\n");
+        return 1;
+      }
+      ratios.push_back(on.reqs_per_sec / off.reqs_per_sec);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    std::printf("\n[ops plane]\n  -> interleaved A/B at 16 clients (5 pairs, "
+                "ops on+scraped vs ops off, conv1/pool w=1 b=16): median "
+                "%.2fx  [min %.2fx, max %.2fx]\n",
+                ratios[ratios.size() / 2], ratios.front(), ratios.back());
+    report.add("ops_plane/interleaved_on_vs_off/16c", "ratio",
+               ratios[ratios.size() / 2], ratios.front(), ratios.back(),
+               static_cast<int>(ratios.size()));
+  }
+
+  if (!json_path.empty()) {
+    if (!report.write(json_path)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;
 }

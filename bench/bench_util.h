@@ -15,8 +15,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/obs/flight_recorder.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/composite.h"
 #include "core/joint_trainer.h"
@@ -180,6 +183,114 @@ inline std::vector<models::LayerProfile> full_width_profile(
 inline void print_rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench telemetry.
+//
+// CI archives one JSON file per bench binary so regressions can be
+// diffed across runs by tooling instead of by eyeballing stdout. The
+// schema is deliberately flat and versioned:
+//
+//   {"schema": "lcrs-bench-v1",
+//    "bench":  "<binary name>",
+//    "host":   {"simd_level": ..., "compiler": ..., "build": ...,
+//               "hardware_threads": ...},
+//    "results": [{"name": ..., "unit": ..., "value": ...,
+//                 "ci_lo": ..., "ci_hi": ..., "samples": ...}, ...]}
+//
+// No timestamps: two runs of the same binary on the same tree should
+// produce byte-identical files modulo the measured numbers, so diffs
+// show only what actually changed.
+
+/// One measured quantity. For single-shot cells ci_lo == ci_hi == value
+/// and samples == 1; for repeated measurements [ci_lo, ci_hi] is the
+/// observed min/max envelope across samples.
+struct BenchRecord {
+  std::string name;
+  std::string unit;
+  double value = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  int samples = 1;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& name, const std::string& unit, double value,
+           double ci_lo, double ci_hi, int samples) {
+    records_.push_back(BenchRecord{name, unit, value, ci_lo, ci_hi, samples});
+  }
+  void add(const std::string& name, const std::string& unit, double value) {
+    add(name, unit, value, value, value, 1);
+  }
+
+  /// Writes the report; returns false (after perror-style logging) when
+  /// the file cannot be written so harnesses can fail the run.
+  bool write(const std::string& path) const {
+    std::string out = "{\n";
+    out += "  \"schema\": \"lcrs-bench-v1\",\n";
+    out += "  \"bench\": \"" + obs::json_escape(bench_) + "\",\n";
+    out += "  \"host\": {\n";
+    out += "    \"simd_level\": \"";
+    out += simd::level_name(simd::active_level());
+    out += "\",\n";
+    out += "    \"compiler\": \"" + obs::json_escape(__VERSION__) + "\",\n";
+#ifdef NDEBUG
+    out += "    \"build\": \"release\",\n";
+#else
+    out += "    \"build\": \"debug\",\n";
+#endif
+    out += "    \"hardware_threads\": " +
+           std::to_string(std::thread::hardware_concurrency()) + "\n  },\n";
+    out += "  \"results\": [";
+    char buf[256];
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::snprintf(buf, sizeof(buf),
+                    "\"value\": %.10g, \"ci_lo\": %.10g, \"ci_hi\": %.10g, "
+                    "\"samples\": %d}",
+                    r.value, r.ci_lo, r.ci_hi, r.samples);
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"name\": \"" + obs::json_escape(r.name) +
+             "\", \"unit\": \"" + obs::json_escape(r.unit) + "\", " + buf;
+    }
+    out += "\n  ]\n}\n";
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+    return ok;
+  }
+
+  bool empty() const { return records_.empty(); }
+
+ private:
+  std::string bench_;
+  std::vector<BenchRecord> records_;
+};
+
+/// Pulls `--json <path>` out of argv (compacting the remaining args so
+/// positional parsing is undisturbed) and returns the path, or "" when
+/// the flag is absent.
+inline std::string take_json_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      const std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return std::string();
 }
 
 }  // namespace lcrs::bench

@@ -12,8 +12,18 @@
 //       Report branch accuracies, exit statistics and a per-class
 //       confusion summary on a fresh test set.
 //
-//   lcrs_tool serve <in.ckpt> <port>
+//   lcrs_tool serve <in.ckpt> <port> [ops_port]
 //       Host the main branch on a TCP edge server until EOF on stdin.
+//       With ops_port (0 = ephemeral) the ops plane serves /metrics,
+//       /healthz, /readyz, /statusz, /tracez on a side port.
+//
+//   lcrs_tool scrape <ops_port> [path]
+//       One HTTP GET against a live ops port (default path /metrics);
+//       prints the body, exits nonzero unless the status is 200.
+//
+//   lcrs_tool watch <ops_port> [count] [interval_ms]
+//       Poll /metrics and print one compact serving line per interval
+//       (requests, req/s, queue depth, connections, rejected busy).
 //
 //   lcrs_tool classify <in.ckpt> [n_samples]
 //       Run Algorithm 2 end-to-end against an in-process edge server
@@ -32,9 +42,13 @@
 #include <optional>
 #include <string>
 
+#include <thread>
+
 #include "common/logging.h"
 #include "common/obs/metrics.h"
+#include "common/obs/ops_server.h"
 #include "common/obs/trace.h"
+#include "common/stopwatch.h"
 #include "core/checkpoint.h"
 #include "core/entropy.h"
 #include "core/joint_trainer.h"
@@ -56,10 +70,12 @@ int usage() {
                "[train_n]\n"
                "  lcrs_tool export <in.ckpt> <out.blob>\n"
                "  lcrs_tool eval <in.ckpt> [n_samples]\n"
-               "  lcrs_tool serve <in.ckpt> <port>\n"
+               "  lcrs_tool serve <in.ckpt> <port> [ops_port]\n"
                "  lcrs_tool classify <in.ckpt> [n_samples]\n"
                "  lcrs_tool metrics <in.ckpt> [n_samples] [text|json] "
-               "[trace.jsonl]\n");
+               "[trace.jsonl]\n"
+               "  lcrs_tool scrape <ops_port> [path]\n"
+               "  lcrs_tool watch <ops_port> [count] [interval_ms]\n");
   return 2;
 }
 
@@ -183,11 +199,19 @@ int cmd_serve(int argc, char** argv) {
   if (argc < 4) return usage();
   core::LoadedComposite loaded = core::load_composite_file(argv[2]);
   const int port = std::atoi(argv[3]);
+  edge::ServerOptions opts;
+  if (argc > 4) opts.ops_port = std::atoi(argv[4]);
   edge::EdgeServer server(static_cast<std::uint16_t>(port),
-                          completion_for(loaded.net));
+                          completion_for(loaded.net), opts);
   std::printf("serving main branch on 127.0.0.1:%u -- press Ctrl-D to "
               "stop\n",
               server.port());
+  if (server.ops_port() != 0) {
+    std::printf("ops plane on 127.0.0.1:%u (/metrics /healthz /readyz "
+                "/statusz /tracez)\n",
+                server.ops_port());
+  }
+  std::fflush(stdout);  // scripts poll the port lines before stdin closes
   // Block until stdin closes.
   int ch;
   while ((ch = std::getchar()) != EOF) {
@@ -274,6 +298,70 @@ int cmd_metrics(int argc, char** argv) {
   return 0;
 }
 
+int cmd_scrape(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  const std::string path = argc > 3 ? argv[3] : "/metrics";
+  const obs::HttpGetResult r = obs::http_get(port, path);
+  std::fwrite(r.body.data(), 1, r.body.size(), stdout);
+  if (r.status != 200) {
+    std::fprintf(stderr, "scrape %s: HTTP %d\n", path.c_str(), r.status);
+    return 1;
+  }
+  return 0;
+}
+
+/// First sample value for `name` in a Prometheus exposition body, or 0.
+double sample_value(const std::string& body, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while ((pos = body.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || body[pos - 1] == '\n') {
+      return std::atof(body.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return 0.0;
+}
+
+int cmd_watch(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  const std::int64_t count = argc > 3 ? std::atoll(argv[3]) : 10;
+  const double interval_ms = argc > 4 ? std::atof(argv[4]) : 1000.0;
+  double prev_requests = 0.0;
+  Stopwatch watch;
+  double prev_s = 0.0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const obs::HttpGetResult r = obs::http_get(port, "/metrics");
+    if (r.status != 200) {
+      std::fprintf(stderr, "watch: HTTP %d from /metrics\n", r.status);
+      return 1;
+    }
+    const double requests =
+        sample_value(r.body, "lcrs_edge_server_requests");
+    const double now_s = watch.seconds();
+    const double rate = i == 0 || now_s <= prev_s
+                            ? 0.0
+                            : (requests - prev_requests) / (now_s - prev_s);
+    std::printf("requests %10.0f  (%8.1f req/s)  queue %4.0f  "
+                "active_conns %4.0f  busy %6.0f  uptime %7.1fs\n",
+                requests, rate,
+                sample_value(r.body, "lcrs_edge_server_queue_depth"),
+                sample_value(r.body, "lcrs_edge_server_active_connections"),
+                sample_value(r.body, "lcrs_edge_server_rejected_busy"),
+                sample_value(r.body, "lcrs_process_uptime_seconds"));
+    std::fflush(stdout);
+    prev_requests = requests;
+    prev_s = now_s;
+    if (i + 1 < count) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,6 +375,8 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "classify") return cmd_classify(argc, argv);
     if (cmd == "metrics") return cmd_metrics(argc, argv);
+    if (cmd == "scrape") return cmd_scrape(argc, argv);
+    if (cmd == "watch") return cmd_watch(argc, argv);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

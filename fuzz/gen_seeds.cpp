@@ -310,6 +310,55 @@ void gen_batcher() {
   }
 }
 
+void gen_ops_http() {
+  // Layout per fuzz_ops_http: byte 0 = flags (bit 0: ready), rest = the
+  // raw HTTP request head.
+  auto req = [](std::uint8_t flags, const std::string& head) {
+    Bytes b;
+    b.reserve(1 + head.size());
+    b.push_back(flags);
+    b.insert(b.end(), head.begin(), head.end());
+    return b;
+  };
+  for (const char* path : {"/metrics", "/metrics.json", "/healthz",
+                           "/readyz", "/statusz", "/tracez", "/"}) {
+    std::string name = path[1] == '\0' ? std::string("index")
+                                       : std::string(path + 1);
+    for (char& c : name) {
+      if (c == '.') c = '-';
+    }
+    emit("ops_http", "seed-get-" + name,
+         req(1, "GET " + std::string(path) + " HTTP/1.0\r\n"
+                "Host: 127.0.0.1\r\nConnection: close\r\n\r\n"));
+  }
+  emit("ops_http", "seed-readyz-draining",
+       req(0, "GET /readyz HTTP/1.0\r\n\r\n"));
+  emit("ops_http", "seed-query-string",
+       req(1, "GET /metrics?format=text HTTP/1.1\r\nAccept: */*\r\n\r\n"));
+  emit("ops_http", "seed-post", req(1, "POST /metrics HTTP/1.0\r\n\r\n"));
+  emit("ops_http", "seed-not-found", req(1, "GET /nope HTTP/1.0\r\n\r\n"));
+  // Malformed heads the parser must reject without crashing.
+  emit("ops_http", "seed-bad-no-version", req(1, "GET /metrics\r\n\r\n"));
+  emit("ops_http", "seed-bad-lowercase-method",
+       req(1, "get /metrics HTTP/1.0\r\n\r\n"));
+  emit("ops_http", "seed-bad-relative-target",
+       req(1, "GET metrics HTTP/1.0\r\n\r\n"));
+  emit("ops_http", "seed-bad-folded-header",
+       req(1, "GET / HTTP/1.0\r\nX-A: b\r\n c\r\n\r\n"));
+  emit("ops_http", "seed-bad-control-bytes",
+       req(1, std::string("GET /\x01\x02 HTTP/1.0\r\n\r\n")));
+  emit("ops_http", "seed-bad-colonless-header",
+       req(1, "GET / HTTP/1.0\r\nnocolon\r\n\r\n"));
+  // Label-escape stress: quotes, backslashes, newlines in the raw input
+  // (exercises check_escape_helpers more than the parser).
+  emit("ops_http", "seed-escape-stress",
+       req(1, "a\"b\\c\nd\\\\e\"\"\n\\"));
+  for (const std::size_t n : {8u, 64u, 300u}) {
+    emit("ops_http", "seed-random-" + std::to_string(n),
+         random_bytes(n, 1000 + n));
+  }
+}
+
 void gen_kernels() {
   for (const char* h : {"kernels_gemm", "kernels_binary", "kernels_im2col"}) {
     const std::uint64_t base =
@@ -336,6 +385,7 @@ int main(int argc, char** argv) {
   gen_model_blob();
   gen_bytes();
   gen_batcher();
+  gen_ops_http();
   gen_kernels();
   std::printf("corpus written under %s\n", g_root.c_str());
   return 0;

@@ -15,6 +15,9 @@
 #      failure without Clang)
 #   9. line+branch coverage with per-module floors
 #      (scripts/coverage_floors.txt)
+#  10. ops-plane smoke: boots `lcrs_tool serve` with the HTTP ops plane,
+#      scrapes every endpoint over a real socket, and validates the
+#      /metrics body with scripts/validate_prometheus.py
 # Exits nonzero on the first failure. Fast, cheap gates run before the
 # sanitizer rebuilds so style/lint mistakes fail in seconds, not minutes.
 set -euo pipefail
@@ -22,33 +25,36 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 
-echo "==================== [1/9] tier-1 build (WERROR) + ctest"
+echo "==================== [1/10] tier-1 build (WERROR) + ctest"
 cmake -B build -S . -DLCRS_WERROR=ON
 cmake --build build -j"$JOBS"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
-echo "==================== [2/9] invariant lint"
+echo "==================== [2/10] invariant lint"
 python3 scripts/lint_invariants.py
 
-echo "==================== [3/9] thread-safety analysis (Clang)"
+echo "==================== [3/10] thread-safety analysis (Clang)"
 scripts/check_thread_safety.sh
 
-echo "==================== [4/9] clang-tidy"
+echo "==================== [4/10] clang-tidy"
 scripts/run_clang_tidy.sh
 
-echo "==================== [5/9] TSan"
+echo "==================== [5/10] TSan"
 scripts/check_tsan.sh
 
-echo "==================== [6/9] ASan"
+echo "==================== [6/10] ASan"
 scripts/check_sanitizers.sh asan
 
-echo "==================== [7/9] UBSan"
+echo "==================== [7/10] UBSan"
 scripts/check_sanitizers.sh ubsan
 
-echo "==================== [8/9] fuzz (bounded libFuzzer / corpus replay)"
+echo "==================== [8/10] fuzz (bounded libFuzzer / corpus replay)"
 scripts/check_fuzz.sh
 
-echo "==================== [9/9] coverage floors"
+echo "==================== [9/10] coverage floors"
 scripts/check_coverage.sh
+
+echo "==================== [10/10] ops-plane smoke (CLI + exposition)"
+scripts/check_ops_smoke.sh
 
 echo "check_all: every gate clean."

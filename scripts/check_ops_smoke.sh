@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the ops plane through the shipped CLI.
+#
+# What it proves (beyond the unit/integration tests):
+#   * `lcrs_tool serve <ckpt> <port> [ops_port]` boots an edge server with
+#     the HTTP ops plane on a real ephemeral port;
+#   * every endpoint answers over a real socket via `lcrs_tool scrape`;
+#   * the /metrics body passes scripts/validate_prometheus.py (strict
+#     exposition-format conformance, histogram cumulativity, +Inf==_count);
+#   * /healthz//readyz report ok while serving, and the server shuts down
+#     cleanly when stdin closes (the fifo trick below).
+#
+# Also runs the ops-plane ctest suites first so a failure localizes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" --target lcrs_tool test_ops_plane test_ops_http
+
+echo "== ops smoke: ctest suites =="
+(cd build && ctest -R '^test_ops_(plane|http)$' --output-on-failure -j2)
+
+WORK=$(mktemp -d /tmp/ops-smoke-XXXXXX)
+SERVE_PID=""
+SMOKE_OK=0
+cleanup() {
+  # Closing the fifo's write end is the shutdown signal for cmd_serve.
+  exec 3>&- 2>/dev/null || true
+  if [[ -n "$SERVE_PID" ]]; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  if [[ "$SMOKE_OK" == 1 ]]; then
+    rm -rf "$WORK"
+  else
+    echo "check_ops_smoke: logs kept in $WORK" >&2
+  fi
+}
+trap cleanup EXIT
+
+echo "== ops smoke: train a tiny checkpoint =="
+./build/examples/lcrs_tool train LeNet MNIST "$WORK/tiny.ckpt" 1 32 \
+  > "$WORK/train.log"
+
+echo "== ops smoke: boot lcrs_tool serve with an ephemeral ops port =="
+mkfifo "$WORK/stdin.fifo"
+# Open the fifo read-write on fd 3: never blocks, and holds a writer so
+# the server's stdin stays open until we close fd 3 (= shutdown signal).
+exec 3<> "$WORK/stdin.fifo"
+# 3>&- matters: without it the server inherits our write end and its own
+# stdin can never reach EOF.
+./build/examples/lcrs_tool serve "$WORK/tiny.ckpt" 0 0 \
+  < "$WORK/stdin.fifo" > "$WORK/serve.log" 3>&- &
+SERVE_PID=$!
+
+OPS_PORT=""
+for _ in $(seq 1 100); do
+  OPS_PORT=$(sed -n 's/^ops plane on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+             "$WORK/serve.log" 2>/dev/null || true)
+  [[ -n "$OPS_PORT" ]] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "check_ops_smoke: server exited early" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$OPS_PORT" ]]; then
+  echo "check_ops_smoke: never saw the ops-plane port line" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+echo "ops plane is on port $OPS_PORT"
+
+echo "== ops smoke: scrape every endpoint =="
+SCRAPE=./build/examples/lcrs_tool
+for path in /metrics /metrics.json /healthz /readyz /statusz /tracez /; do
+  "$SCRAPE" scrape "$OPS_PORT" "$path" > /dev/null
+  echo "  GET $path -> 200"
+done
+
+echo "== ops smoke: exposition conformance =="
+"$SCRAPE" scrape "$OPS_PORT" /metrics > "$WORK/metrics.txt"
+python3 scripts/validate_prometheus.py "$WORK/metrics.txt"
+
+grep -q '^lcrs_edge_server_ready 1$' "$WORK/metrics.txt" \
+  || { echo "check_ops_smoke: server not ready in exposition" >&2; exit 1; }
+grep -q '^lcrs_process_uptime_seconds ' "$WORK/metrics.txt" \
+  || { echo "check_ops_smoke: missing process uptime gauge" >&2; exit 1; }
+[[ "$("$SCRAPE" scrape "$OPS_PORT" /healthz)" == "ok" ]] \
+  || { echo "check_ops_smoke: /healthz body mismatch" >&2; exit 1; }
+
+echo "== ops smoke: unknown path is a 404 without killing the server =="
+if "$SCRAPE" scrape "$OPS_PORT" /no-such-endpoint > /dev/null 2>&1; then
+  echo "check_ops_smoke: expected non-zero exit for 404" >&2
+  exit 1
+fi
+"$SCRAPE" scrape "$OPS_PORT" /healthz > /dev/null
+
+echo "== ops smoke: clean shutdown =="
+exec 3>&-
+SHUT_RC=0
+wait "$SERVE_PID" || SHUT_RC=$?
+SERVE_PID=""
+if [[ "$SHUT_RC" != 0 ]]; then
+  echo "check_ops_smoke: serve exited with $SHUT_RC" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+grep -q '^served ' "$WORK/serve.log" \
+  || { echo "check_ops_smoke: missing shutdown stats line" >&2; exit 1; }
+
+SMOKE_OK=1
+echo "check_ops_smoke: ops plane end-to-end clean"

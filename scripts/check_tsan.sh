@@ -12,6 +12,8 @@
 #   test_edge_load  worker pool + batcher under N concurrent clients
 #   test_edge_soak  sustained mixed traffic, overload, reconnect churn
 #   test_obs        concurrent metric updates and span emission
+#   test_ops_plane  flight-recorder retention under the span tap
+#   test_ops_http   ops HTTP plane scraped while 16 clients serve
 #   test_sync       lcrs::Mutex/CondVar wrappers + lock-order checker
 #                   under an 8-thread hammer
 set -euo pipefail
@@ -21,7 +23,8 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
 SUITES=(test_common test_gemm test_nn_layers test_binary test_edge
-        test_edge_load test_edge_soak test_obs test_sync)
+        test_edge_load test_edge_soak test_obs test_ops_plane
+        test_ops_http test_sync)
 
 cmake -B "$BUILD_DIR" -S . -DLCRS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -19,8 +19,11 @@ Encodes rules no generic tool knows about this codebase:
                 (src/common/obs/metric_names.h). Registering an
                 instrument with an inline string literal --
                 counter("..."), gauge("..."), histogram("...") -- is
-                banned in src/ and bench/ outside src/common/obs/, so a
-                name cannot silently fork into two spellings.
+                banned in src/ and bench/ outside the catalogue and the
+                registry machinery itself (metric_names.h, metrics.h,
+                metrics.cpp), so a name cannot silently fork into two
+                spellings. ops_server.cpp and flight_recorder.cpp are
+                deliberately covered.
   raw-sync      All blocking synchronisation in src/ goes through the
                 annotated wrappers in src/common/sync.h (lcrs::Mutex,
                 lcrs::MutexLock, lcrs::CondVar) so Clang -Wthread-safety
@@ -344,10 +347,20 @@ class Linter:
                     f"no committed corpus under fuzz/corpus/{name}/ -- "
                     "add seeds via fuzz/gen_seeds.cpp")
 
+    # Only the catalogue and the registry machinery itself may mention
+    # instrument names inline; every other obs file (ops_server,
+    # flight_recorder, trace) registers through metric_names.h like the
+    # rest of the tree.
+    METRIC_NAME_EXEMPT = {
+        "src/common/obs/metric_names.h",
+        "src/common/obs/metrics.h",
+        "src/common/obs/metrics.cpp",
+    }
+
     def lint_metric_names(self, path: Path, code: str) -> None:
         rel = path.relative_to(REPO).as_posix()
-        if rel.startswith("src/common/obs/"):
-            return  # the catalogue and registry implement the machinery
+        if rel in self.METRIC_NAME_EXEMPT:
+            return
         for m in METRIC_LITERAL.finditer(code):
             line = code.count("\n", 0, m.start()) + 1
             self.report(

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Strict validator for Prometheus text exposition format 0.0.4.
+
+Reads an exposition body from a file (or stdin with `-`) and checks the
+invariants the ops-plane /metrics endpoint promises:
+
+  * every line is a `# TYPE <name> <counter|gauge|histogram>` comment or
+    a `<name>[{labels}] <value>` sample (no stray text, no tabs);
+  * metric and label names match the Prometheus grammar;
+  * every sample's base name was declared by a preceding TYPE line, and
+    no name is declared twice;
+  * sample values parse as numbers (+Inf/-Inf/NaN allowed);
+  * per histogram: at least one bucket, bucket `le` bounds strictly
+    ascending, bucket counts non-decreasing (cumulative), a `+Inf`
+    bucket present and exactly equal to `_count`, and `_sum`/`_count`
+    both present;
+  * label values are properly escaped (no raw newline can survive into
+    a line, but a lone trailing backslash or unescaped quote fails).
+
+Used by tests, scripts/check_ops_smoke.sh, and the CI ops-smoke job to
+fail on unparseable exposition. Exit 0 when valid, 1 with one message
+per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPE_LINE = re.compile(r"^# TYPE ([^ ]+) (counter|gauge|histogram)$")
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage; NaN parses
+
+
+def base_name(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class Validator:
+    def __init__(self) -> None:
+        self.errors: list[str] = []
+        self.types: dict[str, str] = {}
+        # histogram base -> {"buckets": [(le, value)], "sum": v, "count": v}
+        self.histograms: dict[str, dict] = {}
+
+    def err(self, lineno: int, msg: str) -> None:
+        self.errors.append(f"line {lineno}: {msg}")
+
+    def feed(self, lineno: int, line: str) -> None:
+        if line.startswith("# HELP "):
+            return  # we do not emit HELP, but it is legal
+        if line.startswith("#"):
+            m = TYPE_LINE.match(line)
+            if not m:
+                self.err(lineno, f"malformed comment line: {line!r}")
+                return
+            name, kind = m.groups()
+            if not METRIC_NAME.match(name):
+                self.err(lineno, f"illegal metric name {name!r}")
+            if name in self.types:
+                self.err(lineno, f"duplicate TYPE declaration for {name}")
+            self.types[name] = kind
+            if kind == "histogram":
+                self.histograms[name] = {
+                    "buckets": [], "sum": None, "count": None}
+            return
+
+        m = SAMPLE.match(line)
+        if not m:
+            self.err(lineno, f"malformed sample line: {line!r}")
+            return
+        name, labels, value_text = m.groups()
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            self.err(lineno, f"unparseable value {value_text!r}")
+            return
+
+        base = base_name(name)
+        kind = self.types.get(name) or self.types.get(base)
+        if kind is None:
+            self.err(lineno, f"sample {name} has no preceding TYPE line")
+            return
+        if kind != "histogram" and (labels or name != base or base != name):
+            # counters/gauges in this exporter are label-free single lines
+            if labels:
+                self.err(lineno, f"unexpected labels on {kind} {name}")
+
+        parsed_labels = {}
+        if labels:
+            inner = labels[1:-1]
+            consumed = ""
+            for lm in LABEL_PAIR.finditer(inner):
+                parsed_labels[lm.group(1)] = lm.group(2)
+                consumed += lm.group(0) + ","
+            if inner and consumed.rstrip(",") != inner.rstrip(","):
+                self.err(lineno, f"malformed label set {labels!r}")
+            for lname, lvalue in parsed_labels.items():
+                if not LABEL_NAME.match(lname):
+                    self.err(lineno, f"illegal label name {lname!r}")
+                if re.search(r"(?<!\\)(?:\\\\)*\"", lvalue):
+                    self.err(lineno, f"unescaped quote in {lvalue!r}")
+
+        if kind == "histogram":
+            hist = self.histograms.setdefault(
+                base, {"buckets": [], "sum": None, "count": None})
+            if name == base + "_bucket":
+                le = parsed_labels.get("le")
+                if le is None:
+                    self.err(lineno, f"{name} sample without an le label")
+                    return
+                try:
+                    bound = parse_value(le)
+                except ValueError:
+                    self.err(lineno, f"unparseable le bound {le!r}")
+                    return
+                hist["buckets"].append((bound, value, lineno))
+            elif name == base + "_sum":
+                hist["sum"] = value
+            elif name == base + "_count":
+                hist["count"] = (value, lineno)
+            else:
+                self.err(lineno, f"unexpected histogram series {name}")
+
+    def finish(self) -> None:
+        for base, hist in self.histograms.items():
+            buckets = hist["buckets"]
+            if not buckets:
+                self.errors.append(f"histogram {base}: no _bucket samples")
+                continue
+            prev_bound = float("-inf")
+            prev_value = float("-inf")
+            for bound, value, lineno in buckets:
+                if not bound > prev_bound:
+                    self.err(lineno,
+                             f"{base}: le bounds not strictly ascending")
+                if value < prev_value:
+                    self.err(lineno,
+                             f"{base}: bucket counts not cumulative")
+                prev_bound, prev_value = bound, value
+            inf_buckets = [v for b, v, _ in buckets if b == float("inf")]
+            if not inf_buckets:
+                self.errors.append(f"histogram {base}: no +Inf bucket")
+            if hist["sum"] is None:
+                self.errors.append(f"histogram {base}: missing _sum")
+            if hist["count"] is None:
+                self.errors.append(f"histogram {base}: missing _count")
+            elif inf_buckets and hist["count"][0] != inf_buckets[-1]:
+                self.errors.append(
+                    f"histogram {base}: _count {hist['count'][0]} != "
+                    f"+Inf bucket {inf_buckets[-1]}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <exposition-file | ->", file=sys.stderr)
+        return 2
+    text = (sys.stdin.read() if sys.argv[1] == "-"
+            else open(sys.argv[1], encoding="utf-8").read())
+
+    v = Validator()
+    samples = 0
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        if line != line.strip() or "\t" in line:
+            v.err(lineno, f"stray whitespace: {line!r}")
+            continue
+        v.feed(lineno, line)
+        if not line.startswith("#"):
+            samples += 1
+    v.finish()
+    if samples == 0:
+        v.errors.append("no samples found (empty exposition)")
+
+    for e in v.errors:
+        print(f"validate_prometheus: {e}", file=sys.stderr)
+    if v.errors:
+        print(f"validate_prometheus: INVALID ({len(v.errors)} error(s))",
+              file=sys.stderr)
+        return 1
+    print(f"validate_prometheus: OK ({samples} samples, "
+          f"{len(v.histograms)} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

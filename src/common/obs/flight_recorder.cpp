@@ -1,0 +1,304 @@
+#include "common/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace lcrs::obs {
+
+namespace {
+
+// The Span-side tap flag lives here (declared in trace.h) so trace.cpp
+// does not depend on the recorder.
+std::atomic<bool> g_flight_recording{false};
+
+void append_json_trace(std::ostringstream& os, const FlightTrace& t) {
+  os << "{\"trace_id\":" << t.trace_id
+     << ",\"latency_us\":" << t.latency_us
+     << ",\"error\":" << (t.error ? "true" : "false")
+     << ",\"finished\":" << (t.finished ? "true" : "false")
+     << ",\"tag\":\"" << json_escape(t.tag) << "\""
+     << ",\"spans_dropped\":" << t.spans_dropped << ",\"spans\":[";
+  for (std::size_t i = 0; i < t.spans.size(); ++i) {
+    const SpanRecord& s = t.spans[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << json_escape(s.name)
+       << "\",\"start_ns\":" << s.start_ns << ",\"end_ns\":" << s.end_ns
+       << ",\"duration_us\":" << s.duration_us() << '}';
+  }
+  os << "]}";
+}
+
+void append_json_traces(std::ostringstream& os, const char* key,
+                        const std::vector<FlightTrace>& traces) {
+  os << '"' << key << "\":[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) os << ',';
+    append_json_trace(os, traces[i]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void FlightRecorderOptions::validate() const {
+  LCRS_CHECK(recent_capacity > 0, "recent_capacity must be >= 1");
+  LCRS_CHECK(slowest_capacity > 0, "slowest_capacity must be >= 1");
+  LCRS_CHECK(error_capacity > 0, "error_capacity must be >= 1");
+  LCRS_CHECK(max_pending > 0, "max_pending must be >= 1");
+  LCRS_CHECK(max_spans_per_trace > 0, "max_spans_per_trace must be >= 1");
+}
+
+const FlightTrace* FlightDump::slowest_trace() const {
+  // `slowest` is sorted descending by latency; fall back to scanning
+  // recent/errors in case nothing finished with spans yet.
+  if (!slowest.empty()) return &slowest.front();
+  const FlightTrace* best = nullptr;
+  for (const auto& t : recent) {
+    if (best == nullptr || t.latency_us > best->latency_us) best = &t;
+  }
+  return best;
+}
+
+std::string FlightDump::to_json() const {
+  std::ostringstream os;
+  os << "{\"pending\":" << pending
+     << ",\"traces_finished\":" << traces_finished
+     << ",\"traces_dropped\":" << traces_dropped << ',';
+  append_json_traces(os, "slowest", slowest);
+  os << ',';
+  append_json_traces(os, "errors", errors);
+  os << ',';
+  append_json_traces(os, "recent", recent);
+  os << '}';
+  return os.str();
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : opts_(options) {
+  opts_.validate();
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::recompute_latency(FlightTrace& t) {
+  if (t.spans.empty()) {
+    t.latency_us = 0.0;
+    return;
+  }
+  std::int64_t lo = t.spans.front().start_ns;
+  std::int64_t hi = t.spans.front().end_ns;
+  for (const SpanRecord& s : t.spans) {
+    lo = std::min(lo, s.start_ns);
+    hi = std::max(hi, s.end_ns);
+  }
+  t.latency_us = static_cast<double>(hi - lo) / 1e3;
+}
+
+FlightRecorder::TracePtr FlightRecorder::find_locked(
+    std::uint64_t trace_id) const {
+  const auto it = pending_.find(trace_id);
+  if (it != pending_.end()) return it->second;
+  // Retained traces: scan newest-first -- a late span or second finish()
+  // almost always targets the most recently retained trace.
+  for (auto rit = recent_.rbegin(); rit != recent_.rend(); ++rit) {
+    if ((*rit)->trace_id == trace_id) return *rit;
+  }
+  for (const TracePtr& t : slowest_) {
+    if (t->trace_id == trace_id) return t;
+  }
+  for (auto rit = errors_.rbegin(); rit != errors_.rend(); ++rit) {
+    if ((*rit)->trace_id == trace_id) return *rit;
+  }
+  return nullptr;
+}
+
+void FlightRecorder::update_slowest_locked(const TracePtr& t) {
+  const auto resident =
+      std::find(slowest_.begin(), slowest_.end(), t);
+  if (resident != slowest_.end()) return;  // latency already re-read on dump
+  if (slowest_.size() < opts_.slowest_capacity) {
+    slowest_.push_back(t);
+    return;
+  }
+  auto weakest = std::min_element(
+      slowest_.begin(), slowest_.end(), [](const TracePtr& a, const TracePtr& b) {
+        return a->latency_us < b->latency_us;
+      });
+  if ((*weakest)->latency_us < t->latency_us) *weakest = t;
+}
+
+void FlightRecorder::retain_locked(const TracePtr& t) {
+  recent_.push_back(t);
+  if (recent_.size() > opts_.recent_capacity) recent_.pop_front();
+  update_slowest_locked(t);
+  if (t->error) {
+    if (std::find(errors_.begin(), errors_.end(), t) == errors_.end()) {
+      errors_.push_back(t);
+      if (errors_.size() > opts_.error_capacity) errors_.pop_front();
+    }
+  }
+}
+
+void FlightRecorder::on_span(const SpanRecord& span) {
+  if (span.trace_id == 0) return;
+  MutexLock lock(mutex_);
+  TracePtr t = find_locked(span.trace_id);
+  if (t == nullptr) {
+    // First span of a new request: admit it to the pending set, evicting
+    // the oldest unfinished trace when full.
+    while (pending_.size() >= opts_.max_pending && !pending_order_.empty()) {
+      const std::uint64_t victim = pending_order_.front();
+      pending_order_.pop_front();
+      if (pending_.erase(victim) > 0) ++traces_dropped_;
+    }
+    t = std::make_shared<FlightTrace>();
+    t->trace_id = span.trace_id;
+    pending_[span.trace_id] = t;
+    pending_order_.push_back(span.trace_id);
+  }
+  if (t->spans.size() < opts_.max_spans_per_trace) {
+    t->spans.push_back(span);
+  } else {
+    ++t->spans_dropped;
+  }
+  if (t->finished) {
+    // Late span (loopback: client.network closes after the server's
+    // finish). Restitch and let the longer extent compete for slowest-N.
+    recompute_latency(*t);
+    update_slowest_locked(t);
+  }
+}
+
+void FlightRecorder::finish(std::uint64_t trace_id, bool error,
+                            const std::string& tag) {
+  if (trace_id == 0) return;
+  MutexLock lock(mutex_);
+  TracePtr t = find_locked(trace_id);
+  if (t == nullptr) {
+    // finish() without spans (recording enabled mid-request): still
+    // retain the outcome so error tags are never lost.
+    t = std::make_shared<FlightTrace>();
+    t->trace_id = trace_id;
+  }
+  pending_.erase(trace_id);
+  const bool was_finished = t->finished;
+  const bool was_error = t->error;
+  t->finished = true;
+  t->error = t->error || error;
+  if (!tag.empty()) {
+    if (!t->tag.empty()) t->tag += ',';
+    t->tag += tag;
+  }
+  recompute_latency(*t);
+  if (!was_finished) {
+    ++traces_finished_;
+    retain_locked(t);
+  } else {
+    update_slowest_locked(t);
+    if (t->error && !was_error) {
+      errors_.push_back(t);
+      if (errors_.size() > opts_.error_capacity) errors_.pop_front();
+    }
+  }
+}
+
+FlightDump FlightRecorder::dump() const {
+  FlightDump out;
+  MutexLock lock(mutex_);
+  out.pending = static_cast<std::int64_t>(pending_.size());
+  out.traces_finished = traces_finished_;
+  out.traces_dropped = traces_dropped_;
+  const auto copy_sorted = [](const FlightTrace& t) {
+    FlightTrace c = t;
+    std::sort(c.spans.begin(), c.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.start_ns < b.start_ns;
+              });
+    return c;
+  };
+  out.recent.reserve(recent_.size());
+  for (const TracePtr& t : recent_) out.recent.push_back(copy_sorted(*t));
+  out.slowest.reserve(slowest_.size());
+  for (const TracePtr& t : slowest_) out.slowest.push_back(copy_sorted(*t));
+  std::sort(out.slowest.begin(), out.slowest.end(),
+            [](const FlightTrace& a, const FlightTrace& b) {
+              return a.latency_us > b.latency_us;
+            });
+  out.errors.reserve(errors_.size());
+  for (const TracePtr& t : errors_) out.errors.push_back(copy_sorted(*t));
+  return out;
+}
+
+void FlightRecorder::clear() {
+  MutexLock lock(mutex_);
+  pending_.clear();
+  pending_order_.clear();
+  recent_.clear();
+  slowest_.clear();
+  errors_.clear();
+  traces_finished_ = 0;
+  traces_dropped_ = 0;
+}
+
+// --- Span-side hooks (declared in trace.h) ---------------------------
+
+bool flight_recording_enabled() {
+  return g_flight_recording.load(std::memory_order_relaxed);
+}
+
+void set_flight_recording_enabled(bool on) {
+  g_flight_recording.store(on, std::memory_order_relaxed);
+}
+
+void flight_record_span(const SpanRecord& span) {
+  if (flight_recording_enabled()) FlightRecorder::global().on_span(span);
+}
+
+void flight_record_finish(std::uint64_t trace_id, bool error,
+                          const std::string& tag) {
+  if (flight_recording_enabled()) {
+    FlightRecorder::global().finish(trace_id, error, tag);
+  }
+}
+
+}  // namespace lcrs::obs

@@ -1,0 +1,162 @@
+// Tail-sampling flight recorder: the "why was THAT request slow?" half
+// of observability.
+//
+// Histograms (common/obs/metrics.h) count latency outliers; trace sinks
+// (common/obs/trace.h) stream every span somewhere else. Neither answers
+// the on-call question "show me the p99 request's timeline" from inside
+// a live process. The flight recorder does: it taps every finished Span
+// (see the hook at the bottom of trace.h), groups spans by trace id into
+// per-request timelines, and when the request finishes retains it in
+// three fixed-size sets:
+//
+//   recent   -- a ring of the last N finished traces (context),
+//   slowest  -- the N traces with the largest stitched end-to-end
+//               latency seen since the last clear() (the tail),
+//   errors   -- a ring of every trace finished with an error flag
+//               (fallbacks, failed completions), oldest dropped first.
+//
+// "Stitched end-to-end latency" is the span extent max(end) - min(start)
+// across every span recorded under the trace id -- client conv1 through
+// edge serialize -- not any single stage. On loopback the client's
+// `client.network` span routinely closes *after* the server finishes the
+// trace; on_span() therefore merges late spans into already-finished
+// traces and re-evaluates slowest-set membership, so the retained
+// timeline is always the complete one.
+//
+// finish() may be called by both ends of a request (client outcome
+// tagging and server completion); the second call merges: error flags
+// OR together, tags join comma-separated, latency is recomputed.
+//
+// Concurrency: one leaf lcrs::Mutex ("obs.flight.recorder") guards all
+// containers; on_span/finish are called from client, connection, and
+// worker threads with no other lock held (Span destructors run outside
+// the server's queue/slot critical sections).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/obs/trace.h"
+#include "common/sync.h"
+
+namespace lcrs::obs {
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the flight-recorder dump
+/// and the ops-plane /statusz renderer.
+std::string json_escape(const std::string& s);
+
+struct FlightRecorderOptions {
+  std::size_t recent_capacity = 256;   // "recent" ring size
+  std::size_t slowest_capacity = 32;   // slowest-N retention set size
+  std::size_t error_capacity = 128;    // all-error ring size
+  std::size_t max_pending = 1024;      // in-flight (unfinished) traces
+  std::size_t max_spans_per_trace = 64;
+
+  void validate() const;
+};
+
+/// One request's timeline: every span recorded under its trace id plus
+/// the merged outcome from finish() calls.
+struct FlightTrace {
+  std::uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;   // sorted by start_ns in dump() output
+  std::int64_t spans_dropped = 0;  // spans past max_spans_per_trace
+  double latency_us = 0.0;         // stitched extent: max(end) - min(start)
+  bool error = false;
+  std::string tag;                 // outcome tags, comma-joined
+  bool finished = false;
+};
+
+/// Point-in-time copy of the recorder's retention sets (the /tracez
+/// payload).
+struct FlightDump {
+  std::vector<FlightTrace> recent;   // oldest first
+  std::vector<FlightTrace> slowest;  // descending latency
+  std::vector<FlightTrace> errors;   // oldest first
+  std::int64_t pending = 0;          // unfinished traces still buffered
+  std::int64_t traces_finished = 0;
+  std::int64_t traces_dropped = 0;   // pending traces evicted unfinished
+
+  /// The retained trace with the largest stitched latency, or nullptr.
+  const FlightTrace* slowest_trace() const;
+  std::string to_json() const;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder the Span hook feeds (see trace.h).
+  static FlightRecorder& global();
+
+  /// Buffers one finished span under its trace id. Spans with id 0 are
+  /// ignored. Late spans (arriving after finish()) merge into the
+  /// retained trace and latency/slowest membership are re-evaluated.
+  void on_span(const SpanRecord& span) LCRS_EXCLUDES(mutex_);
+
+  /// Marks the trace finished and moves it into the retention sets.
+  /// Safe to call from both ends of a request: repeat calls merge
+  /// (error ORs, tags join, latency recomputed). Unknown ids create an
+  /// empty finished trace so a tag is never lost. Id 0 is ignored.
+  void finish(std::uint64_t trace_id, bool error, const std::string& tag)
+      LCRS_EXCLUDES(mutex_);
+
+  FlightDump dump() const LCRS_EXCLUDES(mutex_);
+  void clear() LCRS_EXCLUDES(mutex_);
+
+  const FlightRecorderOptions& options() const { return opts_; }
+
+ private:
+  using TracePtr = std::shared_ptr<FlightTrace>;
+
+  /// Looks the id up in pending, then in the retention sets (a trace may
+  /// live in several sets at once; they share the pointer).
+  TracePtr find_locked(std::uint64_t trace_id) const LCRS_REQUIRES(mutex_);
+  void retain_locked(const TracePtr& t) LCRS_REQUIRES(mutex_);
+  void update_slowest_locked(const TracePtr& t) LCRS_REQUIRES(mutex_);
+  static void recompute_latency(FlightTrace& t);
+
+  const FlightRecorderOptions opts_;
+
+  // Leaf lock: nothing else is acquired while it is held.
+  mutable Mutex mutex_{"obs.flight.recorder"};
+  std::map<std::uint64_t, TracePtr> pending_ LCRS_GUARDED_BY(mutex_);
+  // Insertion order of pending ids for bounded eviction (lazily pruned:
+  // ids already finished are skipped when evicting).
+  std::deque<std::uint64_t> pending_order_ LCRS_GUARDED_BY(mutex_);
+  std::deque<TracePtr> recent_ LCRS_GUARDED_BY(mutex_);
+  std::vector<TracePtr> slowest_ LCRS_GUARDED_BY(mutex_);
+  std::deque<TracePtr> errors_ LCRS_GUARDED_BY(mutex_);
+  std::int64_t traces_finished_ LCRS_GUARDED_BY(mutex_) = 0;
+  std::int64_t traces_dropped_ LCRS_GUARDED_BY(mutex_) = 0;
+};
+
+/// Convenience wrappers over FlightRecorder::global() that no-op while
+/// recording is disabled (see set_flight_recording_enabled in trace.h) --
+/// hot paths call these unconditionally.
+void flight_record_finish(std::uint64_t trace_id, bool error,
+                          const std::string& tag);
+
+/// RAII enable/restore for tests and benchmarks.
+class ScopedFlightRecording {
+ public:
+  explicit ScopedFlightRecording(bool on = true)
+      : prev_(flight_recording_enabled()) {
+    set_flight_recording_enabled(on);
+  }
+  ~ScopedFlightRecording() { set_flight_recording_enabled(prev_); }
+  ScopedFlightRecording(const ScopedFlightRecording&) = delete;
+  ScopedFlightRecording& operator=(const ScopedFlightRecording&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace lcrs::obs

@@ -61,6 +61,24 @@ inline constexpr const char* kSpanEdgeDeserialize = "edge.deserialize";
 inline constexpr const char* kSpanEdgeComplete = "edge.complete";
 inline constexpr const char* kSpanEdgeSerialize = "edge.serialize";
 
+// --- edge server: ops plane shape gauges (set once at startup) -------
+inline constexpr const char* kServerWorkerPoolSize =
+    "edge.server.worker_pool_size";
+inline constexpr const char* kServerMaxBatch = "edge.server.max_batch";
+inline constexpr const char* kServerReady = "edge.server.ready";
+
+// --- ops-plane HTTP server -------------------------------------------
+inline constexpr const char* kOpsRequests = "obs.ops.requests";
+inline constexpr const char* kOpsHttpErrors = "obs.ops.http_errors";
+
+// --- process-level (obs::register_process_gauges) --------------------
+inline constexpr const char* kProcessUptimeSeconds =
+    "process.uptime_seconds";
+inline constexpr const char* kProcessSimdLevel = "process.simd_level";
+inline constexpr const char* kProcessBuildDebug = "process.build_debug";
+inline constexpr const char* kProcessHardwareThreads =
+    "process.hardware_threads";
+
 // --- exit policy (Eq. 7 entropy threshold) ---------------------------
 inline constexpr const char* kExitEntropy = "core.exit.entropy";
 inline constexpr const char* kExitBinary = "core.exit.binary_branch";

@@ -5,6 +5,11 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <thread>
+
+#include "common/obs/metric_names.h"
+#include "common/obs/trace.h"
+#include "common/simd.h"
 
 namespace lcrs::obs {
 
@@ -310,6 +315,38 @@ void Registry::reset_values() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+}
+
+// ---------------------------------------------------------------------
+// Process-level gauges
+
+double process_uptime_seconds() {
+  // steady_now_ns() is anchored at its first call, which happens during
+  // startup for any process that traces or registers these gauges.
+  return static_cast<double>(steady_now_ns()) / 1e9;
+}
+
+void register_process_gauges() {
+  Registry& g = Registry::global();
+  g.gauge(names::kProcessSimdLevel)
+      .set(static_cast<double>(static_cast<int>(simd::active_level())));
+#ifdef NDEBUG
+  g.gauge(names::kProcessBuildDebug).set(0.0);
+#else
+  g.gauge(names::kProcessBuildDebug).set(1.0);
+#endif
+  g.gauge(names::kProcessHardwareThreads)
+      .set(static_cast<double>(std::thread::hardware_concurrency()));
+  g.gauge(names::kProcessUptimeSeconds).set(process_uptime_seconds());
+}
+
+void update_process_gauges() {
+  // Scrape-time refresh: uptime advances; the SIMD level is re-read so a
+  // ScopedForcedLevel (tests/benches) shows up in the exposition too.
+  Registry& g = Registry::global();
+  g.gauge(names::kProcessUptimeSeconds).set(process_uptime_seconds());
+  g.gauge(names::kProcessSimdLevel)
+      .set(static_cast<double>(static_cast<int>(simd::active_level())));
 }
 
 // ---------------------------------------------------------------------

@@ -203,6 +203,10 @@ class MirroredGauge {
     local_.add(d);
     global_.add(d);
   }
+  void set(double v) {
+    local_.set(v);
+    global_.set(v);
+  }
   double value() const { return local_.value(); }
 
  private:
@@ -226,6 +230,20 @@ class MirroredHistogram {
   Histogram& local_;
   Histogram& global_;
 };
+
+// ---------------------------------------------------------------------
+// Process-level gauges (metric_names.h "process.*" family): uptime,
+// resolved SIMD dispatch level, build type, hardware threads. Registered
+// once into Registry::global() (idempotent); uptime is refreshed by
+// update_process_gauges(), which scrape paths call just before
+// snapshotting so /metrics and /statusz report live values.
+
+void register_process_gauges();
+void update_process_gauges();
+
+/// Seconds since the process-local steady-clock anchor (what the uptime
+/// gauge reports; also used by /statusz).
+double process_uptime_seconds();
 
 // ---------------------------------------------------------------------
 // Profiling toggle (per-layer / per-op timing hooks).

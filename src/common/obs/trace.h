@@ -112,22 +112,35 @@ class ScopedTraceSink {
   TraceSink* prev_;
 };
 
+/// Flight-recorder tap (implemented in flight_recorder.cpp, declared
+/// here so Span need not include the recorder). While enabled, every
+/// finished span is also delivered to FlightRecorder::global() -- the
+/// tail-sampling layer behind the ops plane's /tracez endpoint.
+bool flight_recording_enabled();
+void set_flight_recording_enabled(bool on);
+void flight_record_span(const SpanRecord& span);
+
 /// RAII span: records start on construction, emits to the sink captured
-/// at construction on destruction. Inactive (zero cost beyond the
-/// constructor) when no sink is installed or trace_id is 0.
+/// at construction (and/or the flight recorder) on destruction.
+/// Inactive (zero cost beyond two relaxed loads in the constructor) when
+/// trace_id is 0 or neither a sink nor flight recording is installed.
 class Span {
  public:
   Span(std::uint64_t trace_id, std::string name)
       : sink_(trace_sink()), trace_id_(trace_id) {
-    if (sink_ != nullptr && trace_id_ != 0) {
+    active_ = trace_id_ != 0 &&
+              (sink_ != nullptr || flight_recording_enabled());
+    if (active_) {
       name_ = std::move(name);
       start_ns_ = steady_now_ns();
     }
   }
 
   ~Span() {
-    if (sink_ != nullptr && trace_id_ != 0) {
-      sink_->emit(SpanRecord{trace_id_, name_, start_ns_, steady_now_ns()});
+    if (active_) {
+      const SpanRecord rec{trace_id_, name_, start_ns_, steady_now_ns()};
+      if (sink_ != nullptr) sink_->emit(rec);
+      flight_record_span(rec);  // no-op when recording is disabled
     }
   }
 
@@ -137,6 +150,7 @@ class Span {
  private:
   TraceSink* sink_;
   std::uint64_t trace_id_;
+  bool active_ = false;
   std::string name_;
   std::int64_t start_ns_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/obs/flight_recorder.h"
 #include "common/obs/trace.h"
 #include "common/stopwatch.h"
 #include "core/entropy.h"
@@ -59,6 +60,7 @@ ClientResult BrowserClient::classify(const Tensor& sample) {
   if (policy_.should_exit(entropy)) {
     exit_binary_.add();
     core::record_exit_decision(core::ExitPoint::kBinaryBranch, entropy);
+    obs::flight_record_finish(trace_id, false, "client.exit_binary");
     ClientResult r;
     r.label = argmax(probs);
     r.exit_point = core::ExitPoint::kBinaryBranch;
@@ -144,6 +146,7 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
       exit_main_.add();
       roundtrip_us_.record(watch.micros());
       core::record_exit_decision(core::ExitPoint::kMainBranch, entropy);
+      obs::flight_record_finish(trace_id, false, "client.exit_main");
       return r;
     } catch (const ServerBusyError& e) {
       // Backpressure, not breakage: the connection is still in sync, so
@@ -168,6 +171,7 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
   }
 
   if (!retry_.fallback_to_binary) {
+    obs::flight_record_finish(trace_id, true, "client.error: " + last_error);
     throw IoError("edge completion failed after " +
                   std::to_string(retry_.max_attempts) +
                   " attempt(s): " + last_error);
@@ -178,6 +182,9 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
   // missed tau, and tag the result so callers can count degraded answers.
   exit_fallback_.add();
   core::record_exit_decision(core::ExitPoint::kBinaryBranchFallback, entropy);
+  // Error-tagged so the degraded request lands in the flight recorder's
+  // all-error retention set with its full timeline and failure reason.
+  obs::flight_record_finish(trace_id, true, "client.fallback: " + last_error);
   LCRS_WARN("edge unreachable (" << last_error
                                  << "); falling back to binary branch");
   ClientResult r;

@@ -1,11 +1,15 @@
 #include "edge/server.h"
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/obs/flight_recorder.h"
+#include "common/obs/ops_server.h"
 #include "common/obs/trace.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/inference.h"
 #include "tensor/tensor_ops.h"
@@ -66,6 +70,8 @@ void ServerOptions::validate() const {
              "ServerOptions.max_batch must be >= 1, got " << max_batch);
   LCRS_CHECK(max_wait_us >= 0.0,
              "ServerOptions.max_wait_us must be >= 0, got " << max_wait_us);
+  LCRS_CHECK(ops_port <= 65535,
+             "ServerOptions.ops_port must be <= 65535, got " << ops_port);
 }
 
 EdgeServer::EdgeServer(std::uint16_t port, CompletionFn complete,
@@ -78,6 +84,16 @@ EdgeServer::EdgeServer(std::uint16_t port, BatchCompletionFn complete,
     : listener_(port), batch_complete_(std::move(complete)), opts_(options) {
   LCRS_CHECK(batch_complete_ != nullptr, "edge server needs a completion fn");
   opts_.validate();
+  // Process/config gauges: registered up front so the very first scrape
+  // (or any /statusz probe) already sees the serving shape.
+  obs::register_process_gauges();
+  obs::MirroredGauge(metrics_, obs::names::kServerWorkerPoolSize)
+      .set(opts_.direct_execution ? 0.0
+                                  : static_cast<double>(opts_.num_workers));
+  obs::MirroredGauge(metrics_, obs::names::kServerMaxBatch)
+      .set(opts_.direct_execution ? 1.0
+                                  : static_cast<double>(opts_.max_batch));
+  ready_gauge_.set(1.0);
   if (!opts_.direct_execution) {
     workers_.reserve(static_cast<std::size_t>(opts_.num_workers));
     for (int i = 0; i < opts_.num_workers; ++i) {
@@ -85,6 +101,18 @@ EdgeServer::EdgeServer(std::uint16_t port, BatchCompletionFn complete,
     }
   }
   acceptor_ = std::thread([this] { accept_loop(); });
+  if (opts_.ops_port >= 0) {
+    // The ops plane implies tail sampling: every request trace becomes
+    // explorable at /tracez while this server is alive.
+    flight_prev_ = obs::flight_recording_enabled();
+    obs::set_flight_recording_enabled(true);
+    obs::OpsHooks hooks;
+    hooks.ready = [this] { return ready(); };
+    hooks.status_json = [this] { return status_json(); };
+    ops_ = std::make_unique<obs::OpsServer>(
+        static_cast<std::uint16_t>(opts_.ops_port), std::move(hooks));
+    LCRS_DEBUG("ops plane listening on 127.0.0.1:" << ops_->port());
+  }
   LCRS_DEBUG("edge server listening on 127.0.0.1:"
              << listener_.port() << " ("
              << (opts_.direct_execution
@@ -96,7 +124,44 @@ EdgeServer::EdgeServer(std::uint16_t port, BatchCompletionFn complete,
 
 EdgeServer::~EdgeServer() { stop(); }
 
+std::uint16_t EdgeServer::ops_port() const {
+  return ops_ != nullptr ? ops_->port() : 0;
+}
+
+void EdgeServer::set_ready(bool ready) {
+  ready_.store(ready);
+  ready_gauge_.set(ready ? 1.0 : 0.0);
+}
+
+std::string EdgeServer::status_json() const {
+  std::ostringstream os;
+  os << "{\"uptime_seconds\":" << obs::process_uptime_seconds()
+     << ",\"simd_level\":\"" << simd::level_name(simd::active_level())
+#ifdef NDEBUG
+     << "\",\"build\":\"release"
+#else
+     << "\",\"build\":\"debug"
+#endif
+     << "\",\"compiler\":\"" << obs::json_escape(__VERSION__)
+     << "\",\"port\":" << listener_.port()
+     << ",\"ops_port\":" << (ops_ != nullptr ? ops_->port() : 0)
+     << ",\"ready\":" << (ready() ? "true" : "false")
+     << ",\"direct_execution\":"
+     << (opts_.direct_execution ? "true" : "false")
+     << ",\"num_workers\":" << opts_.num_workers
+     << ",\"max_batch\":" << opts_.max_batch
+     << ",\"max_wait_us\":" << opts_.max_wait_us
+     << ",\"queue_capacity\":" << opts_.queue_capacity
+     << ",\"busy_retry_after_ms\":" << opts_.busy_retry_after_ms
+     << ",\"requests_served\":" << requests_.value()
+     << ",\"connections_accepted\":" << accepted_.value()
+     << ",\"rejected_busy\":" << rejected_busy_.value()
+     << ",\"queue_depth\":" << queue_depth() << '}';
+  return os.str();
+}
+
 void EdgeServer::request_stop() {
+  set_ready(false);  // eject from LB rotation before tearing anything down
   stopping_.store(true);
   listener_.shutdown_now();
   // Wake every connection thread blocked in recv_frame: shutdown() makes
@@ -148,6 +213,13 @@ void EdgeServer::stop() {
   }
   for (auto& c : conns) {
     if (c.thread.joinable()) c.thread.join();
+  }
+  // The ops plane outlives the serving path inside stop() so /readyz
+  // reports "draining" for as long as requests can still be in flight;
+  // it goes down last.
+  if (ops_ != nullptr) {
+    ops_->stop();
+    obs::set_flight_recording_enabled(flight_prev_);
   }
 }
 
@@ -283,6 +355,7 @@ void EdgeServer::serve_request_direct(Socket& conn, const Tensor& shared,
                           make_complete_response(resp.front()), trace_id});
   }
   requests_.add();
+  obs::flight_record_finish(trace_id, false, "edge.served");
 }
 
 void EdgeServer::serve_request_queued(Socket& conn, Tensor shared,
@@ -312,6 +385,10 @@ void EdgeServer::serve_request_queued(Socket& conn, Tensor shared,
     // Backpressure: answer kBusy instead of buffering without bound. The
     // connection stays healthy and in sync -- the client may retry on it.
     rejected_busy_.add();
+    // Tagged but not flagged as an error: the client retries under the
+    // same trace id and usually lands, so the merged trace reads
+    // "edge.busy,...,edge.served".
+    obs::flight_record_finish(trace_id, false, "edge.busy");
     conn.send_frame(Frame{MsgType::kBusy,
                           make_busy_reply(opts_.busy_retry_after_ms),
                           trace_id});
@@ -319,13 +396,24 @@ void EdgeServer::serve_request_queued(Socket& conn, Tensor shared,
   }
 
   CompleteResponse response;
+  bool completed_ok = false;
+  std::string completion_error;
   {
     MutexLock lock(slot->mutex);
     while (!slot->ready) slot->cv.wait(slot->mutex);
-    if (!slot->ok) {
-      throw IoError("edge completion failed: " + slot->error);
+    completed_ok = slot->ok;
+    if (completed_ok) {
+      response = std::move(slot->response);
+    } else {
+      completion_error = slot->error;
     }
-    response = std::move(slot->response);
+  }
+  if (!completed_ok) {
+    // Recorded outside the slot lock: the recorder mutex stays a leaf
+    // acquired with no other lock held.
+    obs::flight_record_finish(trace_id, true,
+                              "edge.completion_failed: " + completion_error);
+    throw IoError("edge completion failed: " + completion_error);
   }
   {
     obs::Span span(trace_id, obs::names::kSpanEdgeSerialize);
@@ -333,6 +421,7 @@ void EdgeServer::serve_request_queued(Socket& conn, Tensor shared,
                           make_complete_response(response), trace_id});
   }
   requests_.add();
+  obs::flight_record_finish(trace_id, false, "edge.served");
 }
 
 void EdgeServer::worker_loop() {

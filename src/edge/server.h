@@ -46,6 +46,10 @@ namespace lcrs::core {
 class CompositeNetwork;
 }  // namespace lcrs::core
 
+namespace lcrs::obs {
+class OpsServer;  // common/obs/ops_server.h (included by server.cpp)
+}  // namespace lcrs::obs
+
 namespace lcrs::edge {
 
 /// Completes a conv1 feature map into (label, probabilities). Invoked
@@ -100,6 +104,13 @@ struct ServerOptions {
   /// Retry-after hint carried in kBusy replies.
   std::uint32_t busy_retry_after_ms = 5;
 
+  /// Ops-plane side port (HTTP /metrics, /metrics.json, /healthz,
+  /// /readyz, /statusz, /tracez). < 0 disables the ops plane (default);
+  /// 0 binds an ephemeral port; > 0 binds that port. Enabling it also
+  /// turns on the tail-sampling flight recorder for the server's
+  /// lifetime (restored on stop()).
+  int ops_port = -1;
+
   void validate() const;
 };
 
@@ -137,7 +148,16 @@ class EdgeServer {
   EdgeServer& operator=(const EdgeServer&) = delete;
 
   std::uint16_t port() const { return listener_.port(); }
+  /// Bound ops-plane port, or 0 when the ops plane is disabled.
+  std::uint16_t ops_port() const;
   const ServerOptions& options() const { return opts_; }
+
+  /// LB-facing readiness surfaced at /readyz (and the
+  /// edge.server.ready gauge). stop()/request_stop() flip it off; a
+  /// controlled drain can flip it off earlier so the replica is ejected
+  /// from rotation while in-flight requests finish.
+  void set_ready(bool ready);
+  bool ready() const { return ready_.load() && !stopping_.load(); }
   std::int64_t requests_served() const { return requests_.value(); }
   std::int64_t connections_accepted() const { return accepted_.value(); }
   std::int64_t rejected_busy() const { return rejected_busy_.value(); }
@@ -208,10 +228,15 @@ class EdgeServer {
                       const std::string& error)
       LCRS_EXCLUDES(slot.mutex);
 
+  /// /statusz payload: build/SIMD/uptime plus the serving configuration
+  /// and live counters. Called from the ops-server thread.
+  std::string status_json() const LCRS_EXCLUDES(queue_mutex_);
+
   Listener listener_;
   BatchCompletionFn batch_complete_;
   ServerOptions opts_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> ready_{true};
 
   obs::Registry metrics_;  // must precede the instruments bound to it
   obs::MirroredCounter requests_{metrics_, obs::names::kServerRequests};
@@ -229,6 +254,7 @@ class EdgeServer {
   obs::MirroredHistogram queue_wait_us_{metrics_,
                                         obs::names::kServerQueueWaitUs};
   obs::MirroredHistogram batch_size_{metrics_, obs::names::kServerBatchSize};
+  obs::MirroredGauge ready_gauge_{metrics_, obs::names::kServerReady};
 
   // Central request queue feeding the worker pool. Leaf-like: nothing
   // else is acquired while it is held (slots are fulfilled after it is
@@ -250,6 +276,11 @@ class EdgeServer {
       "edge.server.stop"};
   std::vector<std::thread> workers_;
   std::thread acceptor_;
+
+  bool flight_prev_ = false;  // flight-recorder state restored by stop()
+  // Declared last so it is destroyed first: its hooks (readiness,
+  // /statusz) read the members above from the ops-server thread.
+  std::unique_ptr<obs::OpsServer> ops_;
 };
 
 }  // namespace lcrs::edge

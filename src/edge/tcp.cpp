@@ -155,6 +155,21 @@ bool Socket::recv_all(void* data, std::size_t size,
   return true;
 }
 
+std::size_t Socket::recv_some(void* data, std::size_t size,
+                              const Deadline& deadline) const {
+  LCRS_CHECK(valid(), "recv on invalid socket");
+  LCRS_CHECK(size > 0, "recv_some needs a non-empty buffer");
+  for (;;) {
+    wait_ready(fd_, POLLIN, deadline, "recv");
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    return static_cast<std::size_t>(n);  // 0 = EOF
+  }
+}
+
 void Socket::send_frame(const Frame& frame, const Deadline& deadline) const {
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
   if (FaultInjector* fi = FaultInjector::active()) {

@@ -123,6 +123,13 @@ class Socket {
   bool recv_all(void* data, std::size_t size,
                 const Deadline& deadline = Deadline()) const;
 
+  /// Blocking partial receive for stream protocols without a length
+  /// prefix (the ops plane's HTTP reader): returns as soon as any bytes
+  /// arrive (at most `size`), 0 on EOF. Throws IoError on errors,
+  /// TimeoutError if the deadline expires first.
+  std::size_t recv_some(void* data, std::size_t size,
+                        const Deadline& deadline = Deadline()) const;
+
   /// Writes one protocol frame (subject to the active FaultInjector).
   void send_frame(const Frame& frame,
                   const Deadline& deadline = Deadline()) const;
