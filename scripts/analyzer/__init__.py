@@ -1,0 +1,19 @@
+"""lcrs-analyzer: AST-level semantic invariant checker.
+
+Parses clang JSON AST dumps (no libclang dependency) and enforces four
+repo invariants the regex lint tier could only approximate:
+
+  * lock-coverage    -- mutable state in mutex-owning classes is
+                        annotated, atomic, const, or vetted.
+  * wire-safety      -- network-derived sizes pass a guard before they
+                        reach an allocation or loop bound.
+  * kernel-purity    -- SIMD/kernel files never allocate, lock, or
+                        throw; intrinsics stay confined.
+  * metric-catalogue -- metric and span names at registration sites
+                        come from src/ops/metric_names.h constants.
+
+Entry points: `python3 scripts/analyzer` (via __main__.py) or
+`python3 -m analyzer` with scripts/ on sys.path. The usual front door
+is scripts/check_analyzer.sh, which handles clang discovery and the
+graceful no-clang skip.
+"""

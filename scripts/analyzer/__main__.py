@@ -1,0 +1,17 @@
+"""Makes `python3 scripts/analyzer` work without installing anything.
+
+When executed as a directory, Python puts scripts/analyzer itself on
+sys.path, which breaks the package-relative imports; re-anchor on the
+parent (scripts/) and import the package properly.
+"""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from analyzer.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,283 @@
+"""Clang JSON AST loading and source-location resolution.
+
+The analyzer consumes `clang++ -Xclang -ast-dump=json -fsyntax-only`
+output -- plain JSON, no libclang link dependency, so any clang >= 12 on
+PATH works. Two schema quirks matter:
+
+  * Locations are *incremental*: a `loc`/`range` dict omits `file` (and
+    `line`) when unchanged since the previously printed location, so the
+    dump must be walked in document order with a running (file, line)
+    state. `resolve_locations` does that once per TU and annotates every
+    node dict in place with `_file` / `_line` (and, for macro-expanded
+    nodes, `_spelling_file`), after which checks are free to visit nodes
+    in any order.
+
+  * Macro expansions replace the flat location fields with nested
+    `spellingLoc` (where the token text lives -- e.g. common/error.h for
+    code produced by LCRS_CHECK) and `expansionLoc` (the use site). The
+    analyzer positions findings at the expansion site and uses the
+    spelling file to recognize sanctioned macro machinery.
+
+Node dicts are used directly (no wrapper class): a TU dump of a real TU
+in this repo runs to hundreds of MB of JSON, and attribute access on
+plain dicts is the cheapest traversal Python offers.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Iterator
+
+Node = dict  # alias for readability; clang AST nodes are plain dicts
+
+
+class AstError(RuntimeError):
+    """Raised when a TU cannot be dumped or parsed."""
+
+
+# ---------------------------------------------------------------------
+# Location resolution
+
+
+class _LocState:
+    __slots__ = ("file", "line")
+
+    def __init__(self) -> None:
+        self.file: str | None = None
+        self.line: int | None = None
+
+
+def _resolve_loc_dict(d: dict, st: _LocState) -> tuple[str | None, int | None]:
+    """Resolves one flat loc dict against the running state (updating it).
+
+    An empty dict is clang's spelling of "invalid location": it neither
+    carries nor changes state.
+    """
+    if not d:
+        return None, None
+    if "file" in d:
+        st.file = d["file"]
+    if "line" in d:
+        st.line = d["line"]
+    # A loc with only col/tokLen inherits both file and line.
+    return st.file, st.line
+
+
+def _visit_loc(d: dict | None, st: _LocState) -> tuple[
+        str | None, int | None, str | None]:
+    """Resolves a loc that may be a macro loc. Returns (file, line,
+    spelling_file); file/line are the expansion (use) site."""
+    if not d:
+        return None, None, None
+    if "spellingLoc" in d or "expansionLoc" in d:
+        sfile, _ = _resolve_loc_dict(d.get("spellingLoc") or {}, st)
+        efile, eline = _resolve_loc_dict(d.get("expansionLoc") or {}, st)
+        return efile, eline, sfile
+    f, l = _resolve_loc_dict(d, st)
+    return f, l, None
+
+
+def resolve_locations(root: Node) -> None:
+    """Walks the TU in document order, annotating every node that carries
+    a `loc` or `range` with resolved `_file`/`_line` (expansion site) and
+    `_spelling_file` when the node comes out of a macro body.
+
+    Nodes with no location info of their own inherit the enclosing
+    node's resolved position, so checks can always ask "what file is
+    this in" without re-walking.
+    """
+    st = _LocState()
+
+    def visit(node: Any, inherited_file: str | None,
+              inherited_line: int | None) -> None:
+        if isinstance(node, list):
+            for item in node:
+                visit(item, inherited_file, inherited_line)
+            return
+        if not isinstance(node, dict):
+            return
+        file: str | None = None
+        line: int | None = None
+        spelling: str | None = None
+        if "loc" in node:
+            file, line, spelling = _visit_loc(node["loc"], st)
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            bf, bl, bs = _visit_loc(rng.get("begin"), st)
+            if file is None:
+                file, line, spelling = bf, bl, bs
+            _visit_loc(rng.get("end"), st)
+        node["_file"] = file if file is not None else inherited_file
+        node["_line"] = line if line is not None else inherited_line
+        if spelling is not None:
+            node["_spelling_file"] = spelling
+        inner = node.get("inner")
+        if inner:
+            visit(inner, node["_file"], node["_line"])
+
+    visit(root, None, None)
+
+
+# ---------------------------------------------------------------------
+# Traversal helpers (used by every check)
+
+
+_REPO_ROOT: str | None = None
+
+
+def set_repo_root(root: Path) -> None:
+    """Registers the repo root so node_file() can return repo-relative
+    paths for in-repo locations (real dumps print absolute paths;
+    committed fixture dumps already use relative ones)."""
+    global _REPO_ROOT
+    _REPO_ROOT = str(Path(root).resolve()) + "/"
+
+
+def _normalize(file: str) -> str:
+    if file and _REPO_ROOT and file.startswith(_REPO_ROOT):
+        return file[len(_REPO_ROOT):]
+    return file
+
+
+def in_repo(file: str) -> bool:
+    """After normalization, in-repo paths are relative; anything still
+    absolute (system headers, third-party) is foreign."""
+    return bool(file) and not file.startswith("/")
+
+
+def walk(node: Any) -> Iterator[Node]:
+    """Yields `node` and every descendant dict, in document order."""
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, list):
+            stack.extend(reversed(cur))
+            continue
+        if not isinstance(cur, dict):
+            continue
+        yield cur
+        inner = cur.get("inner")
+        if inner:
+            stack.append(inner)
+
+
+def node_file(node: Node) -> str:
+    return _normalize(node.get("_file") or "")
+
+
+def node_line(node: Node) -> int:
+    return node.get("_line") or 0
+
+
+def spelling_file(node: Node) -> str:
+    """File the node's tokens are spelled in: the macro-definition header
+    for macro-expanded nodes, the node's own file otherwise."""
+    return _normalize(node.get("_spelling_file") or "") or node_file(node)
+
+
+def qual_type(node: Node) -> str:
+    t = node.get("type")
+    if isinstance(t, dict):
+        return t.get("qualType", "")
+    return ""
+
+
+def strip_sugar(expr: Node | None) -> Node | None:
+    """Peels implicit casts / temporaries off an expression node."""
+    sugar = {
+        "ImplicitCastExpr", "MaterializeTemporaryExpr",
+        "CXXBindTemporaryExpr", "ExprWithCleanups", "ConstantExpr",
+        "ParenExpr", "CXXFunctionalCastExpr",
+    }
+    while isinstance(expr, dict) and expr.get("kind") in sugar:
+        inner = expr.get("inner") or []
+        expr = inner[0] if inner else None
+    return expr
+
+
+def callee_name(call: Node) -> str:
+    """Best-effort name of the function a CallExpr/CXXMemberCallExpr
+    invokes. Handles DeclRefExpr, MemberExpr, and unresolved lookups."""
+    inner = call.get("inner") or []
+    if not inner:
+        return ""
+    callee = strip_sugar(inner[0])
+    if not isinstance(callee, dict):
+        return ""
+    kind = callee.get("kind")
+    if kind == "MemberExpr":
+        # clang prints MemberExpr names as ".foo" / "->foo".
+        name = callee.get("name", "")
+        return name.lstrip(".->") if name else _referenced_name(callee)
+    if kind == "DeclRefExpr":
+        return _referenced_name(callee)
+    if kind in ("UnresolvedLookupExpr", "DependentScopeDeclRefExpr"):
+        return callee.get("name", "")
+    return ""
+
+
+def _referenced_name(ref: Node) -> str:
+    d = ref.get("referencedDecl") or ref.get("referencedMemberDecl")
+    if isinstance(d, dict):
+        return d.get("name", "")
+    return ""
+
+
+def referenced_decl_id(ref: Node) -> str | None:
+    """Decl id a DeclRefExpr resolves to (for dataflow by identity)."""
+    d = ref.get("referencedDecl")
+    if isinstance(d, dict):
+        return d.get("id")
+    return None
+
+
+def call_args(call: Node) -> list[Node]:
+    """Argument expressions of a call (skipping the callee for plain
+    calls and the object expression for member calls)."""
+    inner = call.get("inner") or []
+    return inner[1:] if inner else []
+
+
+def has_attr(decl: Node, *attr_kinds: str) -> bool:
+    for child in decl.get("inner") or []:
+        if isinstance(child, dict) and child.get("kind") in attr_kinds:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------
+# Producing / loading dumps
+
+
+def load_ast_file(path: Path) -> Node:
+    try:
+        with open(path, "r") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise AstError(f"cannot load AST dump {path}: {e}") from e
+    resolve_locations(root)
+    return root
+
+
+def dump_tu(clang: str, args: list[str], directory: str) -> Node:
+    """Runs clang on one compile_commands entry, returning the resolved
+    AST. `args` is the adapted flag list (see compiledb.adapt_args)."""
+    cmd = [clang, *args]
+    try:
+        proc = subprocess.run(cmd, cwd=directory, capture_output=True,
+                              text=True, check=False)
+    except OSError as e:
+        raise AstError(f"failed to run {clang}: {e}") from e
+    if proc.returncode != 0:
+        tail = "\n".join(proc.stderr.splitlines()[-8:])
+        raise AstError(
+            f"clang AST dump failed (exit {proc.returncode}) for "
+            f"{args[-1] if args else '?'}:\n{tail}")
+    try:
+        root = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        raise AstError(f"unparseable AST JSON from {clang}: {e}") from e
+    resolve_locations(root)
+    return root

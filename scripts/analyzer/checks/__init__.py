@@ -1,0 +1,12 @@
+"""Check registry: name -> run(index, config) -> list[Finding]."""
+
+from __future__ import annotations
+
+from . import kernel_purity, lock_coverage, metric_catalogue, wire_safety
+
+CHECKS = {
+    "lock-coverage": lock_coverage.run,
+    "wire-safety": wire_safety.run,
+    "kernel-purity": kernel_purity.run,
+    "metric-catalogue": metric_catalogue.run,
+}

@@ -1,0 +1,61 @@
+"""lock-coverage: every mutable field of a lock-owning class is guarded.
+
+Clang's -Wthread-safety only analyzes accesses to fields someone
+remembered to annotate: a field with *no* GUARDED_BY is simply invisible
+to it. This check closes that hole structurally. For every class/struct
+that owns an lcrs::Mutex, each non-static data member must be one of:
+
+  * GUARDED_BY / PT_GUARDED_BY an actual mutex (so -Wthread-safety takes
+    over enforcement from here),
+  * std::atomic (lock-free shared state),
+  * const (immutable after construction -- prefer this fix for
+    set-in-ctor configuration over a suppression),
+  * an internally-synchronized type (CondVar, the obs instruments, a
+    nested Mutex itself), or
+  * suppressed in scripts/analyzer/suppressions.txt with a reason
+    (e.g. "joined only in stop() which is serialized by stop_mutex_").
+
+The check is declaration-shaped, not access-shaped: it cannot prove a
+bare field racy, only that nothing *prevents* a racy access from
+compiling silently. That is exactly the "forgot to annotate" gap.
+"""
+
+from __future__ import annotations
+
+from ..findings import CheckConfig, Finding
+from ..index import TuIndex
+
+
+def _exempt_type(qt: str, cfg: CheckConfig) -> bool:
+    if qt.startswith("const "):
+        return True
+    for t in cfg.internally_synced:
+        if t in qt:
+            return True
+    for t in cfg.mutex_types:
+        if t in qt:
+            return True  # the lock itself (annotation anchor)
+    return False
+
+
+def run(indexes: list[TuIndex], cfg: CheckConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    for idx in indexes:
+        for rec in idx.records:
+            if not rec.owns_mutex(cfg.mutex_types):
+                continue
+            for f in rec.fields:
+                if f.guarded or _exempt_type(f.qual_type, cfg):
+                    continue
+                findings.append(Finding(
+                    check="lock-coverage",
+                    file=rec.file,
+                    line=f.line,
+                    symbol=f"{rec.name}::{f.name}",
+                    message=(
+                        f"field `{f.name}` ({f.qual_type}) of lock-owning "
+                        f"class {rec.name} is neither GUARDED_BY, atomic, "
+                        "const, nor internally synchronized -- annotate it "
+                        "or suppress with a reason"),
+                ))
+    return findings

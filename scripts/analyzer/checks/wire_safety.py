@@ -1,0 +1,202 @@
+"""wire-safety: wire-derived sizes are bounds-checked before they size
+anything.
+
+Tracks, per function body, every local initialized (or assigned) from a
+ByteReader length read (read_u32/u64/i64/u16) plus locals derived from
+one, and requires a bound check *between the read and the first use* as:
+
+  * a resize/reserve argument,
+  * a sized container construction (std::vector<T> v(n)),
+  * an operator-new array size, or
+  * a for/while loop bound.
+
+A "bound check" is any if-condition (or conditional-operator condition)
+that mentions the tainted value -- which is exactly what both idioms in
+this tree expand to: a hand-written `if (size > r.remaining()) throw
+ParseError(...)` and the `if (!(cond)) ...` that LCRS_CHECK produces.
+
+The analysis is flow-insensitive by order: events are taken in document
+order within one body, which matches the straight-line shape of every
+parser in this repo (early-throw guards, no backward jumps). It is
+intra-procedural by design; a length that crosses a function boundary
+re-enters the rule at the callee's own reads. This supersedes the regex
+`wire-resize` rule, which could only see ~2000 characters past the read
+and matched guards by spelling.
+"""
+
+from __future__ import annotations
+
+from ..astjson import (Node, call_args, callee_name, node_line,
+                       referenced_decl_id, strip_sugar, walk)
+from ..findings import CheckConfig, Finding
+from ..index import FunctionInfo, TuIndex
+
+_GUARD_STMTS = ("IfStmt", "ConditionalOperator")
+_LOOP_STMTS = ("ForStmt", "WhileStmt", "DoStmt")
+
+
+def _is_wire_read(expr: Node | None, cfg: CheckConfig) -> bool:
+    """Does this expression subtree contain a ByteReader length read?"""
+    if expr is None:
+        return False
+    for n in walk(expr):
+        if n.get("kind") == "CXXMemberCallExpr" and \
+                callee_name(n) in cfg.wire_reads:
+            return True
+    return False
+
+
+def _refs(expr, ids: set[str]) -> str | None:
+    """First tainted decl id referenced in the subtree, else None."""
+    if expr is None:
+        return None
+    for n in walk(expr):
+        if n.get("kind") == "DeclRefExpr":
+            did = referenced_decl_id(n)
+            if did in ids:
+                return did
+    return None
+
+
+def _condition_children(node: Node) -> list[Node]:
+    """Children of a control statement that form its condition: all
+    inner children except the trailing statement(s). For IfStmt that is
+    everything before the then/else; for loops everything before the
+    body. Clang emits empty dicts for absent for-parts; they walk to
+    nothing."""
+    inner = [c for c in node.get("inner") or [] if isinstance(c, dict)]
+    if not inner:
+        return []
+    kind = node.get("kind")
+    if kind == "IfStmt":
+        # [init?, condVar?, cond, then, else?] -- drop trailing stmts.
+        n_stmts = 2 if node.get("hasElse") else 1
+        return inner[:-n_stmts] if len(inner) > n_stmts else inner[:1]
+    if kind == "ConditionalOperator":
+        return inner[:1]
+    if kind in ("ForStmt", "WhileStmt"):
+        return inner[:-1]
+    if kind == "DoStmt":
+        return inner[1:]
+    return []
+
+
+class _BodyScan:
+    def __init__(self, fn: FunctionInfo, cfg: CheckConfig,
+                 findings: list[Finding]) -> None:
+        self.fn = fn
+        self.cfg = cfg
+        self.findings = findings
+        self.tainted: dict[str, str] = {}   # decl id -> variable name
+        self.guarded: set[str] = set()
+
+    # -- event handlers, invoked in document order --
+
+    def _taint(self, decl_id: str | None, name: str) -> None:
+        if decl_id:
+            self.tainted[decl_id] = name
+
+    def _unguarded_ref(self, expr) -> str | None:
+        did = _refs(expr, set(self.tainted) - self.guarded)
+        return did
+
+    def _report(self, node: Node, did: str, how: str) -> None:
+        name = self.tainted.get(did, "?")
+        self.findings.append(Finding(
+            check="wire-safety",
+            file=self.fn.file,
+            line=node_line(node),
+            symbol=name,
+            message=(
+                f"wire-derived `{name}` {how} in {self.fn.name}() with no "
+                "bound check between the read and this use -- compare it "
+                "against remaining()/a format cap first"),
+        ))
+        # One report per variable per body: the first unguarded use is
+        # the actionable one, later uses are downstream of the same fix.
+        self.guarded.add(did)
+
+    def visit(self, node) -> None:
+        if isinstance(node, list):
+            for item in node:
+                self.visit(item)
+            return
+        if not isinstance(node, dict):
+            return
+        kind = node.get("kind")
+
+        if kind == "VarDecl":
+            if node.get("init") and _is_wire_read(node, self.cfg):
+                self._taint(node.get("id"), node.get("name", "?"))
+                return  # the read itself is not a use
+            qt = (node.get("type") or {}).get("qualType", "")
+            if any(qt.startswith(t) or qt.startswith("const " + t)
+                   for t in self.cfg.sized_containers):
+                # A sized container constructed from a tainted length.
+                did = self._unguarded_ref(node.get("inner"))
+                if did is not None:
+                    self._report(node, did, "sizes a container construction")
+                self.visit(node.get("inner") or [])
+                return
+            # Derived scalar: taint propagates through initialization.
+            src = _refs(node.get("inner"), set(self.tainted))
+            if src is not None and node.get("init"):
+                self._taint(node.get("id"), node.get("name", "?"))
+            self.visit(node.get("inner") or [])
+            return
+
+        if kind == "BinaryOperator" and node.get("opcode") == "=":
+            inner = [c for c in node.get("inner") or []
+                     if isinstance(c, dict)]
+            if len(inner) == 2 and _is_wire_read(inner[1], self.cfg):
+                lhs = strip_sugar(inner[0])
+                if isinstance(lhs, dict) and lhs.get("kind") == "DeclRefExpr":
+                    self._taint(referenced_decl_id(lhs),
+                                lhs.get("referencedDecl", {}).get("name", "?"))
+                    return
+
+        if kind in _GUARD_STMTS or kind in _LOOP_STMTS:
+            cond = _condition_children(node)
+            if kind in _GUARD_STMTS:
+                did = _refs(cond, set(self.tainted))
+                if did is not None:
+                    self.guarded.add(did)
+            else:
+                did = self._unguarded_ref(cond)
+                if did is not None:
+                    self._report(node, did, "bounds a loop")
+            # Visit condition (nested reads/uses), then the statements.
+            for c in (c for c in node.get("inner") or []
+                      if isinstance(c, dict)):
+                self.visit(c)
+            return
+
+        if kind == "CXXMemberCallExpr" and \
+                callee_name(node) in ("resize", "reserve"):
+            did = self._unguarded_ref(call_args(node))
+            if did is not None:
+                self._report(node, did, f"sizes a {callee_name(node)}()")
+
+        if kind == "CXXNewExpr":
+            did = self._unguarded_ref(node.get("inner"))
+            if did is not None:
+                self._report(node, did, "sizes an operator new")
+
+        if kind == "CXXConstructExpr":
+            qt = (node.get("type") or {}).get("qualType", "")
+            if any(t in qt for t in self.cfg.sized_containers) and \
+                    node.get("inner"):
+                did = self._unguarded_ref(node.get("inner"))
+                if did is not None:
+                    self._report(node, did, "sizes a container construction")
+
+        self.visit(node.get("inner") or [])
+
+
+def run(indexes: list[TuIndex], cfg: CheckConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    for idx in indexes:
+        for fn in idx.functions:
+            scan = _BodyScan(fn, cfg, findings)
+            scan.visit(fn.body)
+    return findings

@@ -1,0 +1,147 @@
+"""lcrs-analyzer command line.
+
+Two input modes:
+
+  * --compile-commands build/compile_commands.json  (the real gate):
+    every src/ and bench/ TU is dumped with clang and analyzed. Clang
+    is required in this mode; scripts/check_analyzer.sh handles the
+    no-clang skip *before* invoking this, so the CLI itself can be
+    strict about toolchain problems.
+  * --ast file.json ...  (fixtures/tests): pre-dumped AST JSON files
+    are analyzed directly, no clang needed. This is how the ctest
+    fixture suite pins check semantics on gcc-only machines.
+
+Exit codes: 0 clean, 1 unsuppressed findings (or TU errors), 2 usage /
+environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import astjson, compiledb, report, suppress
+from .checks import CHECKS
+from .findings import CheckConfig
+from .index import build_index
+
+REPO = Path(__file__).resolve().parent.parent.parent
+DEFAULT_SUPPRESSIONS = Path(__file__).resolve().parent / "suppressions.txt"
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="lcrs-analyzer",
+        description="AST-level semantic invariant checker for the LCRS "
+                    "tree (lock coverage, wire-safety dataflow, kernel "
+                    "purity, metric catalogue).")
+    p.add_argument("--compile-commands", type=Path,
+                   help="compilation database to drive clang AST dumps")
+    p.add_argument("--ast", type=Path, nargs="*", default=[],
+                   help="pre-dumped AST JSON file(s) to analyze directly")
+    p.add_argument("--clang", help="clang++ binary (default: discover)")
+    p.add_argument("--checks", default=",".join(CHECKS),
+                   help="comma-separated subset of checks to run")
+    p.add_argument("--suppressions", type=Path,
+                   default=DEFAULT_SUPPRESSIONS,
+                   help="suppression file (check:file[:symbol]  # reason)")
+    p.add_argument("--no-suppressions", action="store_true",
+                   help="ignore the suppression file (fixture runs)")
+    p.add_argument("--json", type=Path,
+                   help="write the JSON report here as well")
+    p.add_argument("--strict-suppressions", action="store_true",
+                   help="treat unused suppression entries as findings")
+    p.add_argument("--repo-root", type=Path, default=REPO,
+                   help="repository root for path normalization")
+    args = p.parse_args(argv)
+
+    sys.setrecursionlimit(1_000_000)
+    astjson.set_repo_root(args.repo_root)
+
+    check_names = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = [c for c in check_names if c not in CHECKS]
+    if unknown:
+        print(f"lcrs-analyzer: unknown check(s): {', '.join(unknown)} "
+              f"(have: {', '.join(CHECKS)})", file=sys.stderr)
+        return 2
+    if not args.compile_commands and not args.ast:
+        print("lcrs-analyzer: need --compile-commands or --ast",
+              file=sys.stderr)
+        return 2
+
+    # ---- gather TUs and analyze one at a time -----------------------
+    # A decoded dump of a real TU runs to hundreds of MB of dicts, so
+    # each TU is indexed, checked, and released before the next dump.
+    cfg = CheckConfig()
+    findings = []
+    errors: list[str] = []
+    tus_analyzed = 0
+
+    def analyze(rel_name: str, root) -> None:
+        nonlocal tus_analyzed
+        idx = build_index(rel_name, root)
+        for name in check_names:
+            findings.extend(CHECKS[name]([idx], cfg))
+        tus_analyzed += 1
+
+    for ast_path in args.ast:
+        try:
+            analyze(ast_path.name, astjson.load_ast_file(ast_path))
+        except astjson.AstError as e:
+            errors.append(str(e))
+
+    if args.compile_commands:
+        clang = compiledb.find_clang(args.clang)
+        if clang is None:
+            print("lcrs-analyzer: no clang++ found (install clang or pass "
+                  "--clang); scripts/check_analyzer.sh skips gracefully "
+                  "when clang is absent", file=sys.stderr)
+            return 2
+        try:
+            db = compiledb.load(args.compile_commands)
+        except RuntimeError as e:
+            print(f"lcrs-analyzer: {e}", file=sys.stderr)
+            return 2
+        tus = compiledb.select_tus(db, args.repo_root.resolve())
+        if not tus:
+            print("lcrs-analyzer: no src/ or bench/ TUs in "
+                  f"{args.compile_commands}", file=sys.stderr)
+            return 2
+        for entry in tus:
+            tu_args = compiledb.adapt_args(entry)
+            try:
+                root = astjson.dump_tu(clang, tu_args,
+                                       entry.get("directory", "."))
+            except astjson.AstError as e:
+                errors.append(str(e))
+                continue
+            analyze(entry["rel_file"], root)
+            print(f"lcrs-analyzer: analyzed {entry['rel_file']}",
+                  file=sys.stderr)
+
+    findings = report.dedupe(findings)
+
+    # ---- suppressions ----------------------------------------------
+    try:
+        sup = ([] if args.no_suppressions
+               else suppress.load(args.suppressions))
+    except suppress.SuppressionError as e:
+        print(f"lcrs-analyzer: {e}", file=sys.stderr)
+        return 2
+    suppress.apply(findings, sup)
+    unused = suppress.unused(sup)
+
+    payload = report.to_json(findings, tus_analyzed, unused, errors)
+    if args.json:
+        report.write_json(args.json, payload)
+    report.print_text(findings, tus_analyzed, unused, errors)
+
+    clean = payload["summary"]["unsuppressed"] == 0 and not errors
+    if args.strict_suppressions and unused:
+        clean = False
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

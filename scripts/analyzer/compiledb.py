@@ -1,0 +1,97 @@
+"""compile_commands.json handling: TU selection and clang invocation.
+
+The analyzer never re-derives compile flags: the top-level CMakeLists
+exports compile_commands.json unconditionally, and each entry's flags
+are adapted (strip -c/-o, append the AST-dump request) so the dump sees
+exactly the include paths and defines the real build uses. Clang is
+located with the same candidate ladder as scripts/check_thread_safety.sh
+so one toolchain discovery story covers every clang-based gate.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import shutil
+from pathlib import Path
+
+CLANG_CANDIDATES = (
+    "clang++", "clang++-19", "clang++-18", "clang++-17", "clang++-16",
+    "clang++-15",
+)
+
+# Flags that make no sense for a syntax-only AST dump (or that drag in
+# outputs). `-o` consumes its argument.
+_DROP_WITH_ARG = {"-o", "-MF", "-MT", "-MQ"}
+_DROP = {"-c", "-MD", "-MMD", "-MP"}
+
+AST_DUMP_FLAGS = [
+    "-fsyntax-only",
+    "-Wno-everything",        # diagnostics are other gates' business
+    "-Wno-unknown-warning-option",
+    "-Xclang", "-ast-dump=json",
+]
+
+
+def find_clang(explicit: str | None = None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for cand in CLANG_CANDIDATES:
+        if shutil.which(cand):
+            return cand
+    return None
+
+
+def load(path: Path) -> list[dict]:
+    try:
+        with open(path, "r") as f:
+            db = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise RuntimeError(f"cannot load {path}: {e}") from e
+    if not isinstance(db, list):
+        raise RuntimeError(f"{path} is not a compilation database")
+    return db
+
+
+def select_tus(db: list[dict], repo: Path,
+               roots: tuple[str, ...] = ("src/", "bench/")) -> list[dict]:
+    """Entries whose source lives under the given repo-relative roots,
+    deduplicated by source file (multi-config databases repeat TUs)."""
+    seen: set[str] = set()
+    out: list[dict] = []
+    for entry in db:
+        f = entry.get("file", "")
+        try:
+            rel = Path(f).resolve().relative_to(repo).as_posix()
+        except ValueError:
+            continue
+        if not rel.startswith(roots) or rel in seen:
+            continue
+        seen.add(rel)
+        entry = dict(entry)
+        entry["rel_file"] = rel
+        out.append(entry)
+    return sorted(out, key=lambda e: e["rel_file"])
+
+
+def adapt_args(entry: dict) -> list[str]:
+    """Turns one database entry's command into clang AST-dump arguments
+    (compiler argv[0] removed -- the caller picks the clang binary)."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    out: list[str] = []
+    skip = False
+    for arg in argv[1:]:  # drop the compiler itself
+        if skip:
+            skip = False
+            continue
+        if arg in _DROP_WITH_ARG:
+            skip = True
+            continue
+        if arg in _DROP:
+            continue
+        out.append(arg)
+    out.extend(AST_DUMP_FLAGS)
+    return out

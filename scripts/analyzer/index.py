@@ -1,0 +1,130 @@
+"""Symbol/type index over a resolved TU.
+
+One pass over the AST collects the two shapes every check consumes:
+
+  * records: every complete class/struct definition in repo files, with
+    its fields (name, qualified type, attribute kinds) -- lock-coverage
+    runs entirely off this.
+  * functions: every function/method/constructor *definition* in repo
+    files, qualified with the syntactic record path where one exists,
+    with the body node attached -- wire-safety and kernel-purity walk
+    these bodies; metric-catalogue walks the whole TU (member
+    initializers live outside function bodies).
+
+Subtrees rooted outside the repo (system headers, third-party) are
+skipped wholesale: location resolution already ran, so pruning here
+cannot corrupt the incremental location state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .astjson import Node, has_attr, in_repo, node_file, node_line, qual_type
+
+_FUNCTION_KINDS = {
+    "FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+    "CXXDestructorDecl", "CXXConversionDecl",
+}
+
+_GUARD_ATTRS = ("GuardedByAttr", "PtGuardedByAttr")
+
+
+@dataclass
+class FieldInfo:
+    name: str
+    qual_type: str
+    guarded: bool
+    line: int
+
+
+@dataclass
+class RecordInfo:
+    name: str        # syntactic path, e.g. "EdgeServer::ResponseSlot"
+    file: str
+    line: int
+    fields: list[FieldInfo] = field(default_factory=list)
+
+    def owns_mutex(self, mutex_types: tuple[str, ...]) -> bool:
+        return any(
+            any(m in f.qual_type for m in mutex_types) for f in self.fields)
+
+
+@dataclass
+class FunctionInfo:
+    name: str        # qualified with the syntactic record path
+    file: str
+    line: int
+    node: Node
+    body: Node
+
+
+@dataclass
+class TuIndex:
+    rel_file: str
+    root: Node
+    records: list[RecordInfo] = field(default_factory=list)
+    functions: list[FunctionInfo] = field(default_factory=list)
+
+
+def build_index(rel_file: str, root: Node) -> TuIndex:
+    idx = TuIndex(rel_file=rel_file, root=root)
+    _collect(root, idx, record_path=[])
+    return idx
+
+
+def _collect(node, idx: TuIndex, record_path: list[str]) -> None:
+    if isinstance(node, list):
+        for item in node:
+            _collect(item, idx, record_path)
+        return
+    if not isinstance(node, dict):
+        return
+    kind = node.get("kind")
+    file = node_file(node)
+    # Prune foreign subtrees at declaration granularity. The TU root and
+    # containerish nodes (namespaces, linkage specs) are always entered;
+    # a *declaration* whose own location is outside the repo is skipped
+    # with its whole subtree.
+    if kind and kind.endswith("Decl") and kind != "TranslationUnitDecl":
+        if file and not in_repo(file):
+            return
+
+    if kind == "CXXRecordDecl" and node.get("completeDefinition") and \
+            node.get("inner"):
+        name = node.get("name") or "(anonymous)"
+        path = record_path + [name]
+        rec = RecordInfo(name="::".join(path), file=file,
+                         line=node_line(node))
+        for child in node.get("inner") or []:
+            if not isinstance(child, dict):
+                continue
+            if child.get("kind") == "FieldDecl":
+                rec.fields.append(FieldInfo(
+                    name=child.get("name", "(anonymous)"),
+                    qual_type=qual_type(child),
+                    guarded=has_attr(child, *_GUARD_ATTRS),
+                    line=node_line(child)))
+        idx.records.append(rec)
+        # Recurse for nested records and inline method bodies.
+        _collect(node.get("inner"), idx, path)
+        return
+
+    if kind in _FUNCTION_KINDS:
+        body = None
+        for child in node.get("inner") or []:
+            if isinstance(child, dict) and child.get("kind") == "CompoundStmt":
+                body = child
+                break
+        if body is not None:
+            name = node.get("name", "")
+            if record_path:
+                name = "::".join(record_path + [name])
+            idx.functions.append(FunctionInfo(
+                name=name, file=file, line=node_line(node),
+                node=node, body=body))
+        return  # function bodies are walked by checks, not re-indexed
+
+    inner = node.get("inner")
+    if inner:
+        _collect(inner, idx, record_path)

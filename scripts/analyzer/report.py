@@ -1,0 +1,72 @@
+"""Text and JSON reports over a deduplicated finding set."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+from .suppress import Suppression
+
+REPORT_VERSION = 1
+
+
+def dedupe(findings: list[Finding]) -> list[Finding]:
+    """Same finding surfaced from several TUs (headers) reports once."""
+    seen: dict[tuple, Finding] = {}
+    for f in findings:
+        seen.setdefault(f.key(), f)
+    return sorted(seen.values(),
+                  key=lambda f: (f.check, f.file, f.line, f.symbol))
+
+
+def to_json(findings: list[Finding], tus: int,
+            unused_suppressions: list[Suppression],
+            errors: list[str]) -> dict:
+    active = [f for f in findings if not f.suppressed]
+    per_check: dict[str, int] = {}
+    for f in active:
+        per_check[f.check] = per_check.get(f.check, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "tus_analyzed": tus,
+        "findings": [f.to_json() for f in findings],
+        "summary": {
+            "unsuppressed": len(active),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+            "per_check": per_check,
+            "tu_errors": len(errors),
+        },
+        "unused_suppressions": [
+            {"key": s.key, "reason": s.reason, "line": s.line}
+            for s in unused_suppressions
+        ],
+        "errors": errors,
+    }
+
+
+def write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def print_text(findings: list[Finding], tus: int,
+               unused_suppressions: list[Suppression],
+               errors: list[str]) -> None:
+    for f in findings:
+        if f.suppressed:
+            continue
+        sym = f":{f.symbol}" if f.symbol else ""
+        print(f"{f.file}:{f.line}: [{f.check}{sym}] {f.message}")
+    n_sup = sum(1 for f in findings if f.suppressed)
+    for s in unused_suppressions:
+        print(f"suppressions.txt:{s.line}: note: entry `{s.key}` matched "
+              "nothing in this run")
+    for e in errors:
+        print(f"lcrs-analyzer: TU error: {e}")
+    active = len(findings) - n_sup
+    print(f"lcrs-analyzer: {tus} TU(s), {active} finding(s), "
+          f"{n_sup} suppressed, {len(unused_suppressions)} unused "
+          f"suppression entr(ies), {len(errors)} TU error(s)")

@@ -1,0 +1,85 @@
+"""Suppression file: vetted exceptions with mandatory reasons.
+
+Format (scripts/analyzer/suppressions.txt), one entry per line:
+
+    check:file[:symbol]  # reason
+
+`file` is repo-relative; `symbol` narrows to one field/function
+(`EdgeServer::workers_`, `gemm_at`). The `# reason` is *required* --
+an entry without one fails parsing, so an exception can never land
+without its justification recorded next to it.
+
+Unlike the regex linter's allowlist, unused entries are a warning, not
+a failure: which findings a run produces depends on the clang version
+and the configured feature set (a NEON-only kernel never appears in an
+x86 dump), so a strict staleness gate would flap across toolchains.
+The warning keeps rot visible; `--strict-suppressions` upgrades it for
+repo-hygiene runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+
+class SuppressionError(ValueError):
+    pass
+
+
+@dataclass
+class Suppression:
+    key: str      # "check:file" or "check:file:symbol"
+    reason: str
+    line: int
+    used: bool = False
+
+
+def load(path: Path) -> list[Suppression]:
+    if not path.exists():
+        return []
+    out: list[Suppression] = []
+    for i, raw in enumerate(path.read_text().splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if "#" not in stripped:
+            raise SuppressionError(
+                f"{path}:{i}: suppression entry has no `# reason` -- every "
+                "exception must record why it is safe")
+        key, reason = stripped.split("#", 1)
+        key, reason = key.strip(), reason.strip()
+        if not reason:
+            raise SuppressionError(f"{path}:{i}: empty reason")
+        # check:file[:symbol] -- the symbol part may itself contain
+        # colons (qualified names like BadCache::generation_).
+        parts = key.split(":", 2)
+        if len(parts) < 2 or not parts[0] or not parts[1]:
+            raise SuppressionError(
+                f"{path}:{i}: malformed key `{key}` "
+                "(want check:file[:symbol])")
+        out.append(Suppression(key=key, reason=reason, line=i))
+    return out
+
+
+def apply(findings: list[Finding],
+          suppressions: list[Suppression]) -> None:
+    """Marks findings matched by a suppression (in place), recording the
+    reason and flagging the entries that matched."""
+    by_key = {}
+    for s in suppressions:
+        by_key.setdefault(s.key, s)
+    for f in findings:
+        for key in f.suppression_keys():
+            s = by_key.get(key)
+            if s is not None:
+                f.suppressed = True
+                f.reason = s.reason
+                s.used = True
+                break
+
+
+def unused(suppressions: list[Suppression]) -> list[Suppression]:
+    return [s for s in suppressions if not s.used]

@@ -2,20 +2,27 @@
 # One-stop correctness gate. Runs, in order:
 #   1. tier-1: full build with LCRS_WERROR=ON (expanded warning set as
 #      errors) + the complete ctest battery (includes test_obs, the
-#      observability suite, and test_sync, the lock-order checker suite)
-#   2. invariant lint (scripts/lint_invariants.py)
-#   3. Clang -Wthread-safety analysis build (skips with a warning on
+#      observability suite, test_sync, the lock-order checker suite,
+#      and analyzer_fixtures, the AST-check semantics suite)
+#   2. invariant lint (scripts/lint_invariants.py). When a clang++ is
+#      on PATH the three AST-superseded rules (wire-resize,
+#      simd-intrinsics, metric-name) are delegated to the analyzer
+#      gate below; without clang the regex fallbacks still run.
+#   3. lcrs-analyzer AST invariant checks (lock coverage, wire-safety
+#      dataflow, kernel purity, metric catalogue; skips with a warning
+#      on non-Clang toolchains; LCRS_ANALYZER_STRICT=1 forces failure)
+#   4. Clang -Wthread-safety analysis build (skips with a warning on
 #      non-Clang toolchains; LCRS_TS_STRICT=1 forces failure)
-#   4. clang-tidy over src/ (skips with a warning if not installed)
-#   5. ThreadSanitizer suites (edge runtime + kernel thread pool + sync)
-#   6. ASan over every suite
-#   7. UBSan over every suite
-#   8. bounded fuzz pass over every fuzz/ harness (corpus replay
+#   5. clang-tidy over src/ (skips with a warning if not installed)
+#   6. ThreadSanitizer suites (edge runtime + kernel thread pool + sync)
+#   7. ASan over every suite
+#   8. UBSan over every suite
+#   9. bounded fuzz pass over every fuzz/ harness (corpus replay
 #      fallback on non-Clang toolchains; LCRS_FUZZ_STRICT=1 forces
 #      failure without Clang)
-#   9. line+branch coverage with per-module floors
+#  10. line+branch coverage with per-module floors
 #      (scripts/coverage_floors.txt)
-#  10. ops-plane smoke: boots `lcrs_tool serve` with the HTTP ops plane,
+#  11. ops-plane smoke: boots `lcrs_tool serve` with the HTTP ops plane,
 #      scrapes every endpoint over a real socket, and validates the
 #      /metrics body with scripts/validate_prometheus.py
 # Exits nonzero on the first failure. Fast, cheap gates run before the
@@ -25,36 +32,50 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 
-echo "==================== [1/10] tier-1 build (WERROR) + ctest"
+echo "==================== [1/11] tier-1 build (WERROR) + ctest"
 cmake -B build -S . -DLCRS_WERROR=ON
 cmake --build build -j"$JOBS"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
-echo "==================== [2/10] invariant lint"
-python3 scripts/lint_invariants.py
+echo "==================== [2/11] invariant lint"
+# With a clang on PATH the AST analyzer (gate 3) supersedes the three
+# regex rules it reimplements semantically; keep the regex fallbacks
+# when the analyzer is going to skip.
+LINT_FLAGS=()
+for cand in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+            clang++-15; do
+  if command -v "$cand" > /dev/null 2>&1; then
+    LINT_FLAGS+=(--delegate-ast-rules)
+    break
+  fi
+done
+python3 scripts/lint_invariants.py "${LINT_FLAGS[@]}"
 
-echo "==================== [3/10] thread-safety analysis (Clang)"
+echo "==================== [3/11] AST invariant checks (lcrs-analyzer)"
+scripts/check_analyzer.sh
+
+echo "==================== [4/11] thread-safety analysis (Clang)"
 scripts/check_thread_safety.sh
 
-echo "==================== [4/10] clang-tidy"
+echo "==================== [5/11] clang-tidy"
 scripts/run_clang_tidy.sh
 
-echo "==================== [5/10] TSan"
+echo "==================== [6/11] TSan"
 scripts/check_tsan.sh
 
-echo "==================== [6/10] ASan"
+echo "==================== [7/11] ASan"
 scripts/check_sanitizers.sh asan
 
-echo "==================== [7/10] UBSan"
+echo "==================== [8/11] UBSan"
 scripts/check_sanitizers.sh ubsan
 
-echo "==================== [8/10] fuzz (bounded libFuzzer / corpus replay)"
+echo "==================== [9/11] fuzz (bounded libFuzzer / corpus replay)"
 scripts/check_fuzz.sh
 
-echo "==================== [9/10] coverage floors"
+echo "==================== [10/11] coverage floors"
 scripts/check_coverage.sh
 
-echo "==================== [10/10] ops-plane smoke (CLI + exposition)"
+echo "==================== [11/11] ops-plane smoke (CLI + exposition)"
 scripts/check_ops_smoke.sh
 
 echo "check_all: every gate clean."

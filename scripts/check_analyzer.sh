@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# lcrs-analyzer gate: AST-level semantic invariant checks over every
+# src/ and bench/ TU (lock coverage, wire-safety dataflow, kernel
+# purity, metric catalogue). See scripts/analyzer/ and DESIGN.md
+# "Static analysis".
+#
+# The analyzer parses `clang++ -Xclang -ast-dump=json` output, so it
+# needs a clang on PATH (any clang++ >= 15; no libclang, no pip
+# packages). Toolchains without one -- e.g. the gcc-only CI image --
+# skip with exit 0 and a loud warning so the rest of check_all.sh still
+# gates; the check semantics themselves stay pinned everywhere by the
+# clang-free `analyzer_fixtures` ctest. Set LCRS_ANALYZER_STRICT=1 to
+# fail instead of skipping (the CI analyzer job does). Override
+# compiler discovery with CLANGXX=/path/to/clang++.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+CXX_BIN=${CLANGXX:-}
+if [[ -z "$CXX_BIN" ]]; then
+  for cand in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+              clang++-15; do
+    if command -v "$cand" > /dev/null 2>&1; then
+      CXX_BIN=$cand
+      break
+    fi
+  done
+fi
+
+if [[ -z "$CXX_BIN" ]]; then
+  if [[ "${LCRS_ANALYZER_STRICT:-0}" == "1" ]]; then
+    echo "check_analyzer: clang++ not found and LCRS_ANALYZER_STRICT=1" >&2
+    exit 1
+  fi
+  echo "check_analyzer: WARNING: clang++ not installed; skipping the" \
+       "AST invariant checks (set LCRS_ANALYZER_STRICT=1 to make this" \
+       "an error). Check semantics remain covered by the" \
+       "analyzer_fixtures ctest." >&2
+  exit 0
+fi
+
+# The analyzer replays the real compile flags per TU, so it needs the
+# compilation database (exported unconditionally by the top-level
+# CMakeLists). Configure-only if this tree has not been built yet.
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "check_analyzer: no $BUILD_DIR/compile_commands.json;" \
+       "configuring..."
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+fi
+
+echo "check_analyzer: analyzing with $CXX_BIN"
+python3 scripts/analyzer \
+  --compile-commands "$BUILD_DIR/compile_commands.json" \
+  --clang "$CXX_BIN" \
+  --json "$BUILD_DIR/analyzer_report.json"
+
+echo "check_analyzer: clean (report: $BUILD_DIR/analyzer_report.json)"

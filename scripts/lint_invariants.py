@@ -57,6 +57,15 @@ Encodes rules no generic tool knows about this codebase:
 Vetted exceptions live in scripts/invariant_allowlist.txt as
 `rule:path[:symbol]  # reason` lines; path is repo-relative.
 
+Three of these rules (wire-resize, simd-intrinsics, metric-name) have
+AST-level successors in scripts/analyzer (wire-safety dataflow,
+kernel-purity intrinsic confinement, metric-catalogue), which see
+through macros, line breaks, and string temporaries the regexes cannot.
+`--delegate-ast-rules` skips the regex versions (and ignores their
+allowlist entries) so a clang-equipped run enforces each invariant
+exactly once, via scripts/check_analyzer.sh; without the flag the regex
+fallbacks keep gcc-only machines covered.
+
 Exit status: 0 when clean, 1 when any unallowlisted violation is found.
 """
 
@@ -199,19 +208,29 @@ def body_span(code: str, open_brace: int) -> int:
     return i
 
 
+# Rules superseded by scripts/analyzer when clang is available; see
+# --delegate-ast-rules.
+AST_DELEGATED_RULES = ("wire-resize", "simd-intrinsics", "metric-name")
+
+
 class Linter:
-    def __init__(self) -> None:
+    def __init__(self, delegate_ast: bool = False) -> None:
         self.violations: list[tuple[str, str, int, str]] = []
         self.allow: set[str] = set()
         self.used_allow: set[str] = set()
+        self.delegate_ast = delegate_ast
 
     def load_allowlist(self) -> None:
         if not ALLOWLIST_PATH.exists():
             return
         for raw in ALLOWLIST_PATH.read_text().splitlines():
             entry = raw.split("#", 1)[0].strip()
-            if entry:
-                self.allow.add(entry)
+            if not entry:
+                continue
+            if self.delegate_ast and entry.startswith(
+                    tuple(r + ":" for r in AST_DELEGATED_RULES)):
+                continue  # the analyzer's suppression file owns these
+            self.allow.add(entry)
 
     def report(self, rule: str, path: Path, line: int, detail: str,
                symbol: str = "") -> None:
@@ -372,6 +391,10 @@ class Linter:
 
     def run(self, roots: list[Path]) -> int:
         self.load_allowlist()
+        if self.delegate_ast:
+            print("lint_invariants: delegating "
+                  + ", ".join(AST_DELEGATED_RULES)
+                  + " to the AST analyzer (scripts/check_analyzer.sh)")
         files = sorted(
             p for root in roots for p in root.rglob("*")
             if p.suffix in CPP_SUFFIXES and p.is_file())
@@ -384,10 +407,12 @@ class Linter:
                 self.lint_randomness(path, code)
                 self.lint_naked_new(path, code)
                 self.lint_raw_sync(path, code)
-                self.lint_wire_resize(path, code)
+                if not self.delegate_ast:
+                    self.lint_wire_resize(path, code)
             if rel.startswith(("src/", "bench/")):
-                self.lint_metric_names(path, code)
-                self.lint_simd_intrinsics(path, code)
+                if not self.delegate_ast:
+                    self.lint_metric_names(path, code)
+                    self.lint_simd_intrinsics(path, code)
             self.lint_kernel_checks(path, code)
         self.lint_fuzz_registration()
         for rule, rel, line, detail in self.violations:
@@ -407,10 +432,14 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("paths", nargs="*",
                         help="roots to lint (default: src/ bench/)")
+    parser.add_argument("--delegate-ast-rules", action="store_true",
+                        help="skip the rules superseded by the AST "
+                             "analyzer (run scripts/check_analyzer.sh "
+                             "alongside)")
     args = parser.parse_args()
     roots = ([Path(p).resolve() for p in args.paths] if args.paths
              else [REPO / "src", REPO / "bench"])
-    return Linter().run(roots)
+    return Linter(delegate_ast=args.delegate_ast_rules).run(roots)
 
 
 if __name__ == "__main__":

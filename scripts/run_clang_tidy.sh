@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # clang-tidy driver over src/ using the project .clang-tidy profile.
 #
-# Generates compile_commands.json in a throwaway build tree and runs
-# clang-tidy (or run-clang-tidy when available) over every src/ .cpp.
-# WarningsAsErrors is '*' in .clang-tidy, so any finding exits nonzero.
+# Reuses the compilation database from an existing build tree (the
+# top-level CMakeLists exports compile_commands.json unconditionally;
+# ${BUILD_DIR:-build} is probed first), configuring a throwaway tree
+# only when none exists yet. Runs clang-tidy (or run-clang-tidy when
+# available) over every src/ .cpp. WarningsAsErrors is '*' in
+# .clang-tidy, so any finding exits nonzero.
 #
 # clang-tidy is an optional dependency: toolchains without it (e.g. the
 # gcc-only CI image) skip with exit 0 and a loud warning so the rest of
@@ -12,7 +15,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${BUILD_DIR:-build-tidy}
+BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
 
 TIDY=${CLANG_TIDY:-}
@@ -36,8 +39,10 @@ if [[ -z "$TIDY" ]]; then
   exit 0
 fi
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-  -DCMAKE_BUILD_TYPE=Debug > /dev/null
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_clang_tidy: no $BUILD_DIR/compile_commands.json; configuring..."
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug > /dev/null
+fi
 
 mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
 echo "run_clang_tidy: ${#SOURCES[@]} files with $TIDY"

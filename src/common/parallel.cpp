@@ -45,11 +45,8 @@ class Pool {
   }
 
   void run(std::int64_t n, int workers, const Fn& fn) {
-    auto job = std::make_shared<Job>();
-    job->fn = &fn;
-    job->n = n;
-    job->chunks = workers;
-    job->chunk = (n + workers - 1) / workers;
+    auto job = std::make_shared<Job>(&fn, n, (n + workers - 1) / workers,
+                                     workers);
     {
       MutexLock lock(mu_);
       if (stopping_) {  // static destruction already began: stay serial
@@ -81,10 +78,16 @@ class Pool {
 
  private:
   struct Job {
-    const Fn* fn = nullptr;
-    std::int64_t n = 0;
-    std::int64_t chunk = 0;
-    std::int64_t chunks = 0;
+    Job(const Fn* fn_arg, std::int64_t n_arg, std::int64_t chunk_arg,
+        std::int64_t chunks_arg)
+        : fn(fn_arg), n(n_arg), chunk(chunk_arg), chunks(chunks_arg) {}
+
+    // The work description is const: fully set before the job is
+    // published to the queue, so workers read it without job.mu.
+    const Fn* const fn;
+    const std::int64_t n;
+    const std::int64_t chunk;
+    const std::int64_t chunks;
     std::atomic<std::int64_t> next{0};  // next chunk index to claim
 
     Mutex mu{"common.parallel.job"};

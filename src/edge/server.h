@@ -233,8 +233,11 @@ class EdgeServer {
   std::string status_json() const LCRS_EXCLUDES(queue_mutex_);
 
   Listener listener_;
-  BatchCompletionFn batch_complete_;
-  ServerOptions opts_;
+  // Both set in the ctor init list and immutable after: const instead
+  // of GUARDED_BY (invoking a const std::function is thread-safe as
+  // long as nobody rebinds it, and validate() is a const member).
+  const BatchCompletionFn batch_complete_;
+  const ServerOptions opts_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> ready_{true};
 

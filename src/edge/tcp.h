@@ -81,7 +81,7 @@ class FaultInjector {
   static FaultInjector* active();
 
  private:
-  sim::FaultSpec spec_;  // immutable after construction
+  const sim::FaultSpec spec_;  // validated in ctor, immutable after
   // Leaf lock serializing draws so a seed replays one global fault
   // sequence regardless of which sender thread draws next.
   Mutex mutex_{"edge.tcp.fault_injector"};

@@ -1,0 +1,23 @@
+// fixture-path: src/common/simd_fixture_bad.cpp (bad_kernel) and
+//               src/fixture/intrinsic_leak.cpp (leak_intrinsics)
+// kernel-purity negative fixture, both obligations:
+//   * bad_kernel lives in a src/common/simd* file and allocates, grows
+//     a container, takes a lock, and throws -- four purity findings;
+//   * leak_intrinsics lives OUTSIDE the confined files and uses a
+//     vendor vector type plus a raw intrinsic -- two confinement
+//     findings. (One TU, two files: the dump attributes each function
+//     to its own header/source, which also exercises the incremental
+//     location state.)
+void bad_kernel(float* data, std::size_t n) {
+  std::vector<float> scratch(n);   // line 5: allocating local
+  scratch.push_back(0.0f);         // line 6: grows a container
+  lcrs::MutexLock lk(g_mu);        // line 7: takes a lock
+  if (n == 0) {
+    throw 1;                       // line 9: throws directly
+  }
+}
+
+void leak_intrinsics(const float* a, float* c) {
+  __m256 va;                       // line 16: vendor vector type
+  va = _mm256_loadu_ps(a);         // line 17: raw intrinsic
+}

@@ -1,0 +1,10 @@
+// fixture-path: src/common/simd_fixture_ok.cpp
+// kernel-purity positive fixture: pure arithmetic, plus an LCRS_CHECK
+// expansion whose nodes are *spelled* in src/common/error.h (macro
+// spellingLoc) -- the std::string local and throw_check_failure call
+// the macro produces are sanctioned and must not be reported.
+void ok_kernel(const float* a, const float* b, float* c) {
+  float acc = a[0] + b[0];   // line 5
+  LCRS_CHECK(c != nullptr);  // line 6: sanctioned expansion
+  c[0] = acc;                // line 7
+}

@@ -1,0 +1,18 @@
+// fixture-path: src/fixture/lock_coverage_bad.cpp
+// lock-coverage negative fixture. BadCache owns a Mutex but leaves two
+// mutable fields unannotated: `entries_` must be reported, and
+// `generation_` is suppressed in fixtures/suppressions.txt to exercise
+// the suppression machinery. The AST JSON next to this file is the
+// authoritative fixture; this source documents what it models.
+class BadCache {
+ public:
+  explicit BadCache(std::size_t limit) : limit_(limit) {}
+
+ private:
+  lcrs::Mutex mu_;
+  std::vector<int> entries_;                        // finding
+  std::uint64_t generation_ = 0;                    // finding, suppressed
+  std::uint64_t hits_ LCRS_GUARDED_BY(mu_) = 0;     // ok: annotated
+  const std::size_t limit_;                         // ok: const
+  std::atomic<bool> ready_{false};                  // ok: atomic
+};

@@ -1,0 +1,15 @@
+// fixture-path: src/fixture/lock_coverage_ok.cpp
+// lock-coverage positive fixture: every field of the lock-owning class
+// is annotated, atomic, or const; Plain owns no mutex, so its bare
+// field is out of scope by design.
+class GoodCache {
+ private:
+  lcrs::Mutex mu_;
+  std::vector<int> entries_ LCRS_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> hits_{0};
+  const std::size_t limit_ = 64;
+};
+
+class Plain {
+  std::vector<int> items_;  // no mutex in this class: not reported
+};

@@ -1,0 +1,8 @@
+// fixture-path: src/fixture/metric_catalogue_bad.cpp
+// metric-catalogue negative fixture: a string literal smuggled through
+// an implicit conversion into a Registry::counter registration, and a
+// literal naming a Span.
+void register_bad(lcrs::obs::Registry& reg) {
+  reg.counter("fixture.bad.count");        // line 5: finding (counter)
+  lcrs::obs::Span span("fixture.bad.span");  // line 6: finding (Span)
+}

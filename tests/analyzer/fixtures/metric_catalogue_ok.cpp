@@ -1,0 +1,8 @@
+// fixture-path: src/fixture/metric_catalogue_ok.cpp
+// metric-catalogue positive fixture: both names resolve through
+// DeclRefExprs to catalogue constants, no literal in either argument
+// subtree.
+void register_ok(lcrs::obs::Registry& reg) {
+  reg.counter(lcrs::obs::names::kFixtureCount);   // line 5: ok
+  lcrs::obs::Span span(lcrs::obs::names::kFixtureSpan);  // line 6: ok
+}

@@ -1,0 +1,18 @@
+// fixture-path: src/fixture/wire_safety_bad.cpp
+// wire-safety negative fixture: four unguarded uses of wire-derived
+// lengths -- resize, reserve via a derived local, sized container
+// construction, and a loop bound.
+void parse_bad(lcrs::ByteReader& r, std::vector<std::uint8_t>& out) {
+  const std::uint32_t n = r.read_u32();   // line 5: taints n
+  const std::size_t total = n * 4;        // line 6: taint propagates
+  out.resize(n);                          // line 7: finding (n)
+  out.reserve(total);                     // line 8: finding (total)
+  const std::uint64_t m = r.read_u64();   // line 9: taints m
+  std::vector<std::uint8_t> payload(m);   // line 10: finding (m)
+}
+
+void copy_loop_bad(lcrs::ByteReader& r, std::uint8_t* dst) {
+  const std::uint16_t count = r.read_u16();     // line 16: taints count
+  for (std::uint16_t i = 0; i < count; ++i) {   // line 17: finding
+  }
+}

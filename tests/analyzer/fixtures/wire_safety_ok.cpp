@@ -1,0 +1,12 @@
+// fixture-path: src/fixture/wire_safety_ok.cpp
+// wire-safety positive fixture: the if-guard between the read and both
+// uses clears the taint, exactly like the hand-written ParseError
+// guards and the `if (!(cond))` that LCRS_CHECK expands to.
+void parse_ok(lcrs::ByteReader& r, std::vector<std::uint8_t>& out) {
+  const std::uint32_t n = r.read_u32();   // line 5: taints n
+  if (n > r.remaining()) {                // line 6: guard clears n
+    return;
+  }
+  out.resize(n);                          // line 9: ok
+  std::vector<std::uint8_t> payload(n);   // line 10: ok
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Regenerates fixtures/*.ast.json from the fixture .cpp sources with a
+# real clang. The committed JSON dumps are hand-modeled on the clang
+# AST schema so the suite runs on gcc-only machines; use this script to
+# cross-check them against a live clang when one is available, then
+# diff the analyzer's findings rather than the raw JSON (real dumps
+# carry builtins and stdlib subtrees the hand-modeled ones omit).
+#
+# Each fixture source declares its in-repo identity in a
+# `// fixture-path: src/...` comment; the sources are laid out under a
+# temp root at those paths so the path-scoped checks (kernel file
+# prefixes, catalogue scope) see the names they key on.
+set -euo pipefail
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+FIXTURES="$HERE/fixtures"
+OUT="${1:-$HERE/regen-out}"
+
+CLANG=""
+for c in clang++ clang++-19 clang++-18 clang++-17 clang++-16 clang++-15; do
+    if command -v "$c" >/dev/null 2>&1; then CLANG="$c"; break; fi
+done
+if [ -z "$CLANG" ]; then
+    echo "regen_fixtures: no clang++ on PATH; the committed dumps stay" >&2
+    echo "authoritative (this script only cross-checks against clang)" >&2
+    exit 0
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+mkdir -p "$OUT"
+
+# Minimal stub header so the fixture sources parse stand-alone.
+mkdir -p "$TMP/src/common"
+cat > "$TMP/src/common/fixture_stubs.h" <<'EOF'
+#pragma once
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+#include <immintrin.h>
+#define LCRS_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define LCRS_CHECK(cond)                                        \
+  if (!(cond)) {                                                \
+    std::string lcrs_check_msg(#cond);                          \
+    ::lcrs::detail::throw_check_failure(lcrs_check_msg.c_str()); \
+  }
+namespace lcrs {
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex&) {} };
+struct ByteReader {
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::size_t remaining() const;
+};
+namespace detail { [[noreturn]] void throw_check_failure(const char*); }
+namespace obs {
+struct Counter {};
+struct Registry { Counter* counter(const std::string&); };
+struct Span { explicit Span(const std::string&); };
+namespace names {
+inline constexpr const char* kFixtureCount = "fixture.count";
+inline constexpr const char* kFixtureSpan = "fixture.span";
+}  // namespace names
+}  // namespace obs
+}  // namespace lcrs
+inline lcrs::Mutex g_mu;
+EOF
+
+for src in "$FIXTURES"/*.cpp; do
+    name="$(basename "$src" .cpp)"
+    rel="$(sed -n 's|^// fixture-path: \(src/[^ ]*\).*|\1|p' "$src" | head -1)"
+    [ -n "$rel" ] || { echo "no fixture-path in $src" >&2; exit 1; }
+    mkdir -p "$TMP/$(dirname "$rel")"
+    { echo '#include "src/common/fixture_stubs.h"'; cat "$src"; } \
+        > "$TMP/$rel"
+    "$CLANG" -x c++ -std=c++17 -fsyntax-only -Wno-everything \
+        -Wthread-safety -I"$TMP" -Xclang -ast-dump=json "$TMP/$rel" \
+        > "$OUT/$name.live.json" || {
+            echo "regen_fixtures: clang rejected $rel" >&2; exit 1; }
+    echo "dumped $name -> $OUT/$name.live.json"
+done
+
+echo "Now compare semantics, e.g.:"
+echo "  python3 scripts/analyzer --ast $OUT/*.live.json \\"
+echo "      --no-suppressions --repo-root $TMP"

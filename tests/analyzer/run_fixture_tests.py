@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""ctest entry for the lcrs-analyzer fixture suite (`analyzer_fixtures`).
+
+Runs the analyzer over the committed clang-schema AST dumps in
+fixtures/ -- no clang needed, so this pins the check semantics on
+gcc-only machines -- and compares the finding projection
+(check, file, line, symbol, suppressed) against expected/findings.json.
+
+Three assertions:
+  1. the full run (ok + bad fixtures, fixture suppressions) produces
+     exactly the golden findings, exit code 1, and exactly one unused
+     suppression entry surfaced as a note;
+  2. the ok-only run is clean: zero findings, exit code 0;
+  3. --strict-suppressions upgrades the stale entry to a failure.
+
+After an intentional check change, regenerate the golden with
+    python3 tests/analyzer/run_fixture_tests.py --update
+and review the diff like any other code change.
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+GOLDEN = HERE / "expected" / "findings.json"
+
+sys.path.insert(0, str(HERE.parent.parent / "scripts"))
+from analyzer.cli import main as analyzer_main  # noqa: E402
+
+PROJECTION = ("check", "file", "line", "symbol", "suppressed")
+
+
+def run_analyzer(asts, extra):
+    with tempfile.TemporaryDirectory() as td:
+        report_path = Path(td) / "report.json"
+        rc = analyzer_main([
+            "--ast", *[str(p) for p in asts],
+            "--json", str(report_path), *extra,
+        ])
+        return rc, json.loads(report_path.read_text())
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    update = "--update" in sys.argv[1:]
+    all_asts = sorted(FIXTURES.glob("*.ast.json"))
+    ok_asts = [p for p in all_asts if p.name.endswith("_ok.ast.json")]
+    if len(all_asts) < 8 or not ok_asts:
+        fail(f"fixture set incomplete: {[p.name for p in all_asts]}")
+
+    # 1. Full run against the golden projection.
+    rc, report = run_analyzer(
+        all_asts, ["--suppressions", str(FIXTURES / "suppressions.txt")])
+    got = [{k: f[k] for k in PROJECTION} for f in report["findings"]]
+    if update:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(got, indent=2) + "\n")
+        print(f"updated {GOLDEN} with {len(got)} findings")
+        return
+    want = json.loads(GOLDEN.read_text())
+    if got != want:
+        def keyed(rows):
+            return {(r["check"], r["file"], r["line"], r["symbol"]): r
+                    for r in rows}
+        gk, wk = keyed(got), keyed(want)
+        for k in sorted(wk.keys() - gk.keys()):
+            print(f"  missing: {wk[k]}")
+        for k in sorted(gk.keys() - wk.keys()):
+            print(f"  unexpected: {gk[k]}")
+        for k in sorted(gk.keys() & wk.keys()):
+            if gk[k] != wk[k]:
+                print(f"  changed: {wk[k]} -> {gk[k]}")
+        fail("finding projection diverged from expected/findings.json "
+             "(rerun with --update after an intentional check change)")
+    if rc != 1:
+        fail(f"full run exit code {rc}, want 1 (unsuppressed findings)")
+    if report["summary"]["tu_errors"] != 0:
+        fail(f"TU errors in fixture run: {report['errors']}")
+    if len(report["unused_suppressions"]) != 1:
+        fail("want exactly 1 unused suppression note, got "
+             f"{report['unused_suppressions']}")
+
+    # 2. ok-only fixtures are clean.
+    rc, report = run_analyzer(ok_asts, ["--no-suppressions"])
+    if rc != 0 or report["findings"]:
+        fail(f"ok fixtures not clean: rc={rc} "
+             f"findings={report['findings']}")
+
+    # 3. The stale entry fails the run under --strict-suppressions.
+    rc, _ = run_analyzer(
+        ok_asts, ["--suppressions", str(FIXTURES / "suppressions.txt"),
+                  "--strict-suppressions"])
+    if rc != 1:
+        fail(f"--strict-suppressions exit code {rc}, want 1")
+
+    print(f"analyzer_fixtures: {len(all_asts)} TU fixtures, "
+          f"{len(want)} golden findings, all assertions passed")
+
+
+if __name__ == "__main__":
+    main()
