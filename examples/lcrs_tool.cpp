@@ -12,10 +12,22 @@
 //       Report branch accuracies, exit statistics and a per-class
 //       confusion summary on a fresh test set.
 //
-//   lcrs_tool serve <in.ckpt> <port> [ops_port]
+//   lcrs_tool bundle <in.ckpt> <out.bundle> <model_id> <version> [name]
+//       Wrap a checkpoint into a versioned model bundle the serve
+//       command (and its hot-swap `load` stdin command) can install.
+//
+//   lcrs_tool serve <in.ckpt|in.bundle> <port> [ops_port]
 //       Host the main branch on a TCP edge server until EOF on stdin.
-//       With ops_port (0 = ephemeral) the ops plane serves /metrics,
-//       /healthz, /readyz, /statusz, /tracez on a side port.
+//       A bundle is installed under its own model id and aliased to the
+//       default id 0. While serving, stdin accepts registry commands:
+//       `load <bundle>` hot-swaps a model in, `evict <id>` removes one,
+//       `list` prints the registry. With ops_port (0 = ephemeral) the
+//       ops plane serves /metrics, /healthz, /readyz, /statusz, /tracez
+//       on a side port.
+//
+//   lcrs_tool models <ops_port>
+//       Print the live server's model registry (id, version, name) and
+//       drain state, scraped from /statusz.
 //
 //   lcrs_tool scrape <ops_port> [path]
 //       One HTTP GET against a live ops port (default path /metrics);
@@ -38,8 +50,10 @@
 // Datasets:      MNIST | FashionMNIST | CIFAR10 | CIFAR100.
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include <thread>
@@ -54,6 +68,7 @@
 #include "core/joint_trainer.h"
 #include "data/synthetic.h"
 #include "edge/client.h"
+#include "edge/model_registry.h"
 #include "edge/server.h"
 #include "nn/metrics.h"
 #include "tensor/tensor_ops.h"
@@ -70,10 +85,13 @@ int usage() {
                "[train_n]\n"
                "  lcrs_tool export <in.ckpt> <out.blob>\n"
                "  lcrs_tool eval <in.ckpt> [n_samples]\n"
-               "  lcrs_tool serve <in.ckpt> <port> [ops_port]\n"
+               "  lcrs_tool bundle <in.ckpt> <out.bundle> <model_id> "
+               "<version> [name]\n"
+               "  lcrs_tool serve <in.ckpt|in.bundle> <port> [ops_port]\n"
                "  lcrs_tool classify <in.ckpt> [n_samples]\n"
                "  lcrs_tool metrics <in.ckpt> [n_samples] [text|json] "
                "[trace.jsonl]\n"
+               "  lcrs_tool models <ops_port>\n"
                "  lcrs_tool scrape <ops_port> [path]\n"
                "  lcrs_tool watch <ops_port> [count] [interval_ms]\n");
   return 2;
@@ -195,28 +213,111 @@ edge::CompletionFn completion_for(core::CompositeNetwork& net) {
   };
 }
 
+int cmd_bundle(int argc, char** argv) {
+  if (argc < 6) return usage();
+  core::LoadedComposite loaded = core::load_composite_file(argv[2]);
+  core::BundleInfo info;
+  info.model_id = static_cast<std::uint32_t>(std::atoll(argv[4]));
+  info.version = static_cast<std::uint32_t>(std::atoll(argv[5]));
+  info.name = argc > 6 ? argv[6]
+                       : models::arch_name(loaded.ckpt.config.arch);
+  core::save_bundle_file(loaded.net, loaded.ckpt, info, argv[3]);
+  std::printf("wrote %s: model %u v%u \"%s\" (tau %.4f)\n", argv[3],
+              info.model_id, info.version, info.name.c_str(),
+              loaded.ckpt.tau);
+  return 0;
+}
+
+/// Installs a bundle into `registry` under its own model id. With
+/// `alias_default`, the same prepared snapshot (network, completion) is
+/// also installed as model 0, so untagged v1/v2 clients are served by it.
+void install_bundle(edge::ModelRegistry& registry,
+                    core::LoadedBundle bundle, bool alias_default) {
+  const core::BundleInfo info = bundle.info;
+  std::shared_ptr<const edge::ServableModel> m =
+      edge::ServableModel::from_loaded(info, std::move(bundle.loaded));
+  registry.install(m);
+  std::printf("installed model %u v%u \"%s\"\n", info.model_id,
+              info.version, info.name.c_str());
+  if (alias_default && info.model_id != 0) {
+    auto alias = std::make_shared<edge::ServableModel>();
+    alias->model_id = 0;
+    alias->version = info.version;
+    alias->name = info.name;
+    alias->complete = m->complete;
+    alias->net = m->net;
+    registry.install(std::move(alias));
+  }
+}
+
 int cmd_serve(int argc, char** argv) {
   if (argc < 4) return usage();
-  core::LoadedComposite loaded = core::load_composite_file(argv[2]);
   const int port = std::atoi(argv[3]);
   edge::ServerOptions opts;
   if (argc > 4) opts.ops_port = std::atoi(argv[4]);
-  edge::EdgeServer server(static_cast<std::uint16_t>(port),
-                          completion_for(loaded.net), opts);
+
+  // Checkpoints keep the exact single-model serving path; bundles go
+  // through a registry so more models can be hot-swapped in over stdin.
+  std::optional<core::LoadedComposite> loaded;  // completion_for keepalive
+  std::unique_ptr<edge::EdgeServer> server;
+  const std::vector<std::uint8_t> bytes = read_file(argv[2]);
+  if (core::looks_like_bundle(bytes)) {
+    auto registry = std::make_shared<edge::ModelRegistry>();
+    install_bundle(*registry, core::load_bundle(bytes),
+                   /*alias_default=*/true);
+    server = std::make_unique<edge::EdgeServer>(
+        static_cast<std::uint16_t>(port), std::move(registry), opts);
+  } else {
+    loaded = core::load_composite(bytes);
+    server = std::make_unique<edge::EdgeServer>(
+        static_cast<std::uint16_t>(port), completion_for(loaded->net),
+        opts);
+  }
   std::printf("serving main branch on 127.0.0.1:%u -- press Ctrl-D to "
               "stop\n",
-              server.port());
-  if (server.ops_port() != 0) {
+              server->port());
+  if (server->ops_port() != 0) {
     std::printf("ops plane on 127.0.0.1:%u (/metrics /healthz /readyz "
                 "/statusz /tracez)\n",
-                server.ops_port());
+                server->ops_port());
   }
   std::fflush(stdout);  // scripts poll the port lines before stdin closes
-  // Block until stdin closes.
-  int ch;
-  while ((ch = std::getchar()) != EOF) {
+  // Registry command loop until stdin closes; unknown lines print help,
+  // so plain `... < /dev/null` or a held-open pipe still just serves.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream iss(line);
+    std::string cmd, arg;
+    if (!(iss >> cmd)) continue;
+    try {
+      if (cmd == "load" && (iss >> arg)) {
+        install_bundle(*server->registry(), core::load_bundle_file(arg),
+                       /*alias_default=*/false);
+      } else if (cmd == "evict" && (iss >> arg)) {
+        const auto id = static_cast<std::uint32_t>(std::atoll(arg.c_str()));
+        if (server->registry()->evict(id)) {
+          std::printf("evicted model %u\n", id);
+        } else {
+          std::printf("no model %u registered\n", id);
+        }
+      } else if (cmd == "list") {
+        for (const auto& m : server->registry()->list()) {
+          std::printf("model %u v%u \"%s\"\n", m->model_id, m->version,
+                      m->name.c_str());
+        }
+        std::printf("live incl. draining: %lld\n",
+                    static_cast<long long>(
+                        server->registry()->live_models()));
+      } else {
+        std::printf("commands: load <bundle> | evict <id> | list "
+                    "(EOF stops)\n");
+      }
+    } catch (const Error& e) {
+      std::printf("error: %s\n", e.what());
+    }
+    std::fflush(stdout);
   }
-  const edge::ServerStats stats = server.stats();
+  const edge::ServerStats stats = server->stats();
   std::printf("served %lld requests over %lld connections "
               "(%.2f ms mean completion, %lld connection errors)\n",
               static_cast<long long>(stats.requests_served),
@@ -311,6 +412,41 @@ int cmd_scrape(int argc, char** argv) {
   return 0;
 }
 
+int cmd_models(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  const obs::HttpGetResult r = obs::http_get(port, "/statusz");
+  if (r.status != 200) {
+    std::fprintf(stderr, "models: HTTP %d from /statusz\n", r.status);
+    return 1;
+  }
+  // /statusz is flat JSON; pull the registry fields out with string
+  // scans (good enough for a glanceable CLI view, like cmd_watch).
+  const std::string& body = r.body;
+  std::size_t pos = body.find("\"models\":[");
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "models: /statusz has no model registry\n");
+    return 1;
+  }
+  while ((pos = body.find("{\"id\":", pos)) != std::string::npos) {
+    const std::size_t end = body.find('}', pos);
+    if (end == std::string::npos) break;
+    std::printf("%s\n", body.substr(pos, end - pos + 1).c_str());
+    pos = end + 1;
+  }
+  const auto number_after = [&body](const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = body.find(needle);
+    return at == std::string::npos
+               ? 0.0
+               : std::atof(body.c_str() + at + needle.size());
+  };
+  std::printf("live incl. draining: %.0f\n", number_after("models_live"));
+  std::printf("rejected unknown-model requests: %.0f\n",
+              number_after("rejected_unknown_model"));
+  return 0;
+}
+
 /// First sample value for `name` in a Prometheus exposition body, or 0.
 double sample_value(const std::string& body, const std::string& name) {
   const std::string needle = name + " ";
@@ -372,7 +508,9 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(argc, argv);
     if (cmd == "export") return cmd_export(argc, argv);
     if (cmd == "eval") return cmd_eval(argc, argv);
+    if (cmd == "bundle") return cmd_bundle(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "models") return cmd_models(argc, argv);
     if (cmd == "classify") return cmd_classify(argc, argv);
     if (cmd == "metrics") return cmd_metrics(argc, argv);
     if (cmd == "scrape") return cmd_scrape(argc, argv);

@@ -3,11 +3,12 @@
 //
 // Oracles beyond "no crash":
 //   * decode_frame accepts  => encode_frame(decoded) reproduces the input
-//     byte-for-byte (the wire format is canonical: v1 iff trace_id == 0).
+//     byte-for-byte (the wire format is canonical: v3 iff model_id != 0,
+//     else v2 iff trace_id != 0, else v1).
 //   * a typed payload parses => rebuilding the payload from the parsed
 //     value and re-parsing yields the same value (make/parse agree).
 //   * the streaming header parsers agree with whole-buffer decode_frame
-//     about version, type, trace id and payload size.
+//     about version, type, model id, trace id and payload size.
 #include <cstring>
 
 #include "edge/protocol.h"
@@ -50,6 +51,12 @@ void check_typed_payload(const edge::Frame& f) {
                     "busy reply is not canonical");
         break;
       }
+      case edge::MsgType::kModelUnavailable: {
+        const std::uint32_t id = edge::parse_model_unavailable(f.payload);
+        FUZZ_ASSERT(edge::make_model_unavailable(id) == f.payload,
+                    "model-unavailable reply is not canonical");
+        break;
+      }
       default:
         break;  // kPing/kPong/kShutdown carry no payload contract
     }
@@ -74,23 +81,29 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   }
 
   // Streaming header paths (the server reads the 9-byte common prefix,
-  // then widens for v2). They must agree with whole-buffer decoding.
+  // then widens for v2/v3). They must agree with whole-buffer decoding.
   if (size >= edge::kFrameHeaderBytes) {
     try {
       const int version = edge::frame_header_version(data);
       edge::MsgType type{};
+      std::uint32_t model_id = 0;
       std::uint64_t trace_id = 0;
       std::uint32_t payload_size = 0;
       if (version == 1) {
         payload_size = edge::parse_frame_header(data, &type);
-      } else if (size >= edge::kFrameHeaderBytesV2) {
+      } else if (version == 2 && size >= edge::kFrameHeaderBytesV2) {
         payload_size = edge::parse_frame_header_v2(data, &type, &trace_id);
+      } else if (version == 3 && size >= edge::kFrameHeaderBytesV3) {
+        payload_size =
+            edge::parse_frame_header_v3(data, &type, &model_id, &trace_id);
       } else {
         return 0;  // not enough bytes for the widened header
       }
       try {
         const edge::Frame f = edge::decode_frame(bytes);
         FUZZ_ASSERT(f.type == type, "streaming header type disagrees");
+        FUZZ_ASSERT(f.model_id == model_id,
+                    "streaming header model id disagrees");
         FUZZ_ASSERT(f.trace_id == trace_id,
                     "streaming header trace id disagrees");
         FUZZ_ASSERT(f.payload.size() == payload_size,

@@ -1,0 +1,29 @@
+// Model-bundle harness: raw bytes -> core::load_bundle, the versioned
+// artifact the edge server's ModelRegistry hot-swaps (ROADMAP item 1).
+//
+// Oracle: an accepted bundle re-saves to exactly the input bytes -- the
+// format is canonical (id/version/name verbatim, the embedded checkpoint
+// re-encodes byte-identically per the fuzz_checkpoint oracle), so the
+// loader cannot silently drop, default, or reinterpret a field.
+#include "core/checkpoint.h"
+#include "fuzz_util.h"
+
+using namespace lcrs;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Bundles nest a whole composite checkpoint; same per-exec cap as the
+  // checkpoint harness.
+  if (size > (1u << 20)) return 0;
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  try {
+    core::LoadedBundle b = core::load_bundle(bytes);
+    const std::vector<std::uint8_t> resaved = core::save_bundle(
+        b.loaded.net, b.loaded.ckpt, b.info);
+    FUZZ_ASSERT(resaved == bytes,
+                "bundle re-save differs from accepted input");
+  } catch (const Error&) {
+    // expected rejection path
+  }
+  return 0;
+}

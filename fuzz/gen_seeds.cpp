@@ -82,6 +82,22 @@ void gen_frame_parser() {
             edge::make_complete_request(Tensor::randn(Shape{1, 2, 4, 4},
                                                       rng)),
             0x0123456789abcdefull}));
+  emit("frame_parser", "seed-request-v3",
+       edge::encode_frame(
+           {edge::MsgType::kCompleteRequest,
+            edge::make_complete_request(Tensor::randn(Shape{1, 2, 4, 4},
+                                                      rng)),
+            0x0123456789abcdefull, /*model_id=*/2}));
+  emit("frame_parser", "seed-request-v3-untraced",
+       edge::encode_frame(
+           {edge::MsgType::kCompleteRequest,
+            edge::make_complete_request(Tensor::randn(Shape{1, 1, 8, 8},
+                                                      rng)),
+            /*trace_id=*/0, /*model_id=*/7}));
+  emit("frame_parser", "seed-model-unavailable",
+       edge::encode_frame({edge::MsgType::kModelUnavailable,
+                           edge::make_model_unavailable(7),
+                           /*trace_id=*/42, /*model_id=*/7}));
   {
     edge::CompleteResponse resp;
     resp.label = 7;
@@ -93,6 +109,7 @@ void gen_frame_parser() {
 
   constexpr std::uint32_t kFrameMagic = 0x4c435246;    // "LCRF"
   constexpr std::uint32_t kFrameMagicV2 = 0x4c435632;  // "LCV2"
+  constexpr std::uint32_t kFrameMagicV3 = 0x4c435633;  // "LCV3"
   {  // inflated length field with no payload behind it
     ByteWriter w;
     w.write_u32(kFrameMagic);
@@ -101,10 +118,10 @@ void gen_frame_parser() {
     emit("frame_parser", "crasher-v1-inflated-length", w.bytes());
   }
   emit("frame_parser", "crasher-truncated-header", {0x46, 0x52});
-  {  // one-past-the-end message type (kBusy + 1)
+  {  // one-past-the-end message type (kModelUnavailable + 1)
     ByteWriter w;
     w.write_u32(kFrameMagic);
-    w.write_u8(6);
+    w.write_u8(7);
     w.write_u32(0);
     emit("frame_parser", "crasher-v1-bad-type", w.bytes());
   }
@@ -139,6 +156,40 @@ void gen_frame_parser() {
     w.write_u32(0);
     emit("frame_parser", "crasher-v2-bad-type", w.bytes());
   }
+  {  // v3 with the reserved zero model id (canonical form is v1/v2)
+    ByteWriter w;
+    w.write_u32(kFrameMagicV3);
+    w.write_u8(0);
+    w.write_u32(0);  // model id
+    w.write_u64(1);  // trace id
+    w.write_u32(0);  // payload size
+    emit("frame_parser", "crasher-v3-zero-model-id", w.bytes());
+  }
+  {  // v3 truncated inside the widened header
+    ByteWriter w;
+    w.write_u32(kFrameMagicV3);
+    w.write_u8(0);
+    w.write_u32(2);  // model id, then the header just stops
+    emit("frame_parser", "crasher-v3-truncated-header", w.bytes());
+  }
+  {  // v3 with an invalid message type
+    ByteWriter w;
+    w.write_u32(kFrameMagicV3);
+    w.write_u8(200);
+    w.write_u32(2);
+    w.write_u64(1);
+    w.write_u32(0);
+    emit("frame_parser", "crasher-v3-bad-type", w.bytes());
+  }
+  {  // v3 inflated length field with no payload behind it
+    ByteWriter w;
+    w.write_u32(kFrameMagicV3);
+    w.write_u8(0);
+    w.write_u32(2);
+    w.write_u64(1);
+    w.write_u32(0xFFFFFFFFu);
+    emit("frame_parser", "crasher-v3-inflated-length", w.bytes());
+  }
   // Busy-payload crashers (used to call parse_busy_reply directly in the
   // inline corpus): wrapped as whole kBusy frames so the frame harness
   // drives them through its typed-payload path.
@@ -149,6 +200,15 @@ void gen_frame_parser() {
     busy.push_back(0xAA);
     emit("frame_parser", "crasher-busy-trailing",
          edge::encode_frame({edge::MsgType::kBusy, busy}));
+  }
+  // Model-unavailable payload crashers, wrapped the same way.
+  emit("frame_parser", "crasher-model-unavailable-truncated",
+       edge::encode_frame({edge::MsgType::kModelUnavailable, {0x01}}));
+  {
+    Bytes payload = edge::make_model_unavailable(7);
+    payload.push_back(0xAA);
+    emit("frame_parser", "crasher-model-unavailable-trailing",
+         edge::encode_frame({edge::MsgType::kModelUnavailable, payload}));
   }
 }
 
@@ -223,6 +283,56 @@ void gen_checkpoint() {
   }
 }
 
+// ----------------------------------------------------------- model bundle
+
+void gen_model_bundle() {
+  Rng rng(909);
+  const models::ModelConfig cfg{models::Arch::kLeNet, 1, 28, 28, 10, 0.5};
+  core::CompositeNetwork net = core::CompositeNetwork::build(cfg, rng);
+  const Bytes bundle = core::save_bundle(
+      net, core::Checkpoint{cfg, models::default_branch(cfg.arch), 0.05},
+      core::BundleInfo{3, 1, "lenet-v1"});
+  emit("model_bundle", "seed-lenet", bundle);
+
+  emit("model_bundle", "crasher-truncated-header",
+       Bytes(bundle.begin(), bundle.begin() + 32));
+  {
+    Bytes bad = bundle;
+    bad[0] ^= 0xFF;  // wrong magic
+    emit("model_bundle", "crasher-bad-magic", bad);
+  }
+  {
+    Bytes trailing = bundle;
+    trailing.push_back(0xAA);
+    emit("model_bundle", "crasher-trailing-byte", trailing);
+  }
+  // The canonical-form rules mirrored between save_bundle and
+  // load_bundle: id 0 is reserved for the default model and version 0
+  // does not exist, so neither can be produced -- nor loaded. Patch the
+  // fixed-offset header fields of the valid bundle ([magic u32]
+  // [format-version u32][model-id u32][model-version u32]...).
+  {
+    Bytes zero_id = bundle;
+    for (std::size_t i = 8; i < 12; ++i) zero_id[i] = 0;
+    emit("model_bundle", "crasher-zero-model-id", zero_id);
+  }
+  {
+    Bytes zero_version = bundle;
+    for (std::size_t i = 12; i < 16; ++i) zero_version[i] = 0;
+    emit("model_bundle", "crasher-zero-version", zero_version);
+  }
+  {  // declared inner size runs past the end: reject before allocating
+    ByteWriter w;
+    w.write_u32(0x4c435242u);  // "LCRB"
+    w.write_u32(1);
+    w.write_u32(3);
+    w.write_u32(1);
+    w.write_string("lenet-v1");
+    w.write_u32(0xFFFFFFF0u);
+    emit("model_bundle", "crasher-inflated-inner-size", w.bytes());
+  }
+}
+
 // ------------------------------------------------------------- web model
 
 void gen_model_blob() {
@@ -272,25 +382,30 @@ void gen_bytes() {
 
 void gen_batcher() {
   // Op stream: [client-idx, action, args...] repeated; see fuzz_batcher.
+  // A send's args are [model-selector, shape, floats..., trace-id].
   // Exhausted input decodes as zeros, so short scripts are valid.
   emit("batcher", "seed-send-only", {0, 1});  // request, reply abandoned
   {
-    // client 0: send a zero tensor (shape 0 = {1,2,4,4}, 32 one-byte
-    // zero floats, trace id 9 = v2 framing), recv the reply, then ping.
-    Bytes script{0, 1, 0};
+    // client 0: send a zero tensor to the default model (selector 0,
+    // shape 0 = {1,2,4,4}, 32 one-byte zero floats, trace id 9 = v2
+    // framing), recv the reply, then ping.
+    Bytes script{0, 1, 0, 0};
     script.insert(script.end(), 32, 0);  // the 32 floats
     script.push_back(9);                 // trace id
     script.insert(script.end(), {0, 2, 0, 3});
     emit("batcher", "seed-send-recv", script);
   }
   {
-    // Three clients racing requests then draining: coalescing + busy.
+    // Three clients racing requests then draining: coalescing + busy,
+    // with requests spread over default/alt/unknown models so per-model
+    // queues and the rejection path interleave.
     Bytes script;
     Rng rng(606);
     for (int round = 0; round < 3; ++round) {
       for (std::uint8_t c = 0; c < 3; ++c) {
         script.push_back(c);
         script.push_back(1);  // send
+        script.push_back(static_cast<std::uint8_t>(rng.randint(0, 3)));
         script.push_back(static_cast<std::uint8_t>(rng.randint(0, 2)));
         for (int i = 0; i < 8; ++i) {
           script.push_back(static_cast<std::uint8_t>(rng.randint(0, 255)));
@@ -302,6 +417,31 @@ void gen_batcher() {
       }
     }
     emit("batcher", "seed-three-clients", script);
+  }
+  {
+    // Hot-swap interleaving: send to the alt model, swap it, drain, evict
+    // it, send again (now unavailable), reinstall, send once more.
+    // Floats are all the one-byte zero encoding so the script stays
+    // byte-aligned (nonzero floats consume two input bytes).
+    Bytes script{
+        0, 1, 2, 0};                     // c0: send to alt model, shape 0
+    script.insert(script.end(), 32, 0);  // floats
+    script.push_back(0);                 // trace id (v3 via model id)
+    script.insert(script.end(), {
+        2, 6, 0,        // swap: install next alt version
+        0, 2,           // c0: recv (old snapshot answered it)
+        2, 6, 1,        // swap: evict the alt model
+        1, 1, 2, 1});   // c1: send to alt model, shape 1
+    script.insert(script.end(), 27, 0);  // floats
+    script.push_back(0);                 // trace id
+    script.insert(script.end(), {
+        1, 2,           // c1: recv (kModelUnavailable expected)
+        2, 6, 2,        // swap: reinstall
+        1, 1, 2, 2});   // c1: send again, shape 2
+    script.insert(script.end(), 64, 0);  // floats
+    script.push_back(5);                 // trace id
+    script.insert(script.end(), {1, 2});  // c1: recv the completion
+    emit("batcher", "seed-swap-interleave", script);
   }
   emit("batcher", "seed-garbage-then-probe", {0, 5, 0xDE, 0xAD, 0xBE, 0xEF});
   for (const std::size_t n : {24u, 64u, 120u}) {
@@ -382,6 +522,7 @@ int main(int argc, char** argv) {
   gen_frame_parser();
   gen_tensor_serialize();
   gen_checkpoint();
+  gen_model_bundle();
   gen_model_blob();
   gen_bytes();
   gen_batcher();

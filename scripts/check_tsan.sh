@@ -10,6 +10,7 @@
 #   test_binary     xnor_gemm / binary conv kernels through parallel_for
 #   test_edge       server/client lifecycle, shutdown, reconnect
 #   test_edge_load  worker pool + batcher under N concurrent clients
+#   test_model_swap registry hot-swap under 16 tagged clients
 #   test_edge_soak  sustained mixed traffic, overload, reconnect churn
 #   test_obs        concurrent metric updates and span emission
 #   test_ops_plane  flight-recorder retention under the span tap
@@ -23,8 +24,8 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
 SUITES=(test_common test_gemm test_nn_layers test_binary test_edge
-        test_edge_load test_edge_soak test_obs test_ops_plane
-        test_ops_http test_sync)
+        test_edge_load test_model_swap test_edge_soak test_obs
+        test_ops_plane test_ops_http test_sync)
 
 cmake -B "$BUILD_DIR" -S . -DLCRS_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace lcrs::obs::names {
@@ -26,6 +27,8 @@ inline constexpr const char* kClientRetries = "client.edge.retries";
 inline constexpr const char* kClientReconnects = "client.edge.reconnects";
 inline constexpr const char* kClientBusyRejections =
     "client.edge.busy_rejections";
+inline constexpr const char* kClientModelUnavailable =
+    "client.edge.model_unavailable";
 inline constexpr const char* kClientEdgeRoundtripUs =
     "client.edge.roundtrip_us";
 inline constexpr const char* kClientBrowserComputeUs =
@@ -55,6 +58,18 @@ inline constexpr const char* kServerBatchSize = "edge.server.batch_size";
 inline constexpr const char* kServerBatches = "edge.server.batches";
 inline constexpr const char* kServerRejectedBusy =
     "edge.server.rejected_busy";
+inline constexpr const char* kServerRejectedModel =
+    "edge.server.rejected_unknown_model";
+
+// --- edge model registry (edge/model_registry.h) ---------------------
+// models = registered entries; models_live additionally counts retired
+// snapshots still pinned by in-flight batches (the drain gauge: it
+// returns to `models` once every old-model batch finishes).
+inline constexpr const char* kRegistryModels = "edge.registry.models";
+inline constexpr const char* kRegistryModelsLive =
+    "edge.registry.models_live";
+inline constexpr const char* kRegistrySwaps = "edge.registry.swaps";
+inline constexpr const char* kRegistryEvictions = "edge.registry.evictions";
 
 // --- span names on the edge side of a request -----------------------
 inline constexpr const char* kSpanEdgeDeserialize = "edge.deserialize";
@@ -102,6 +117,15 @@ inline constexpr const char* kSimDownloadUs = "sim.step.download_us";
 inline std::string layer_metric(std::size_t index, const std::string& kind,
                                 const std::string& stage) {
   return "nn.layer." + std::to_string(index) + "." + kind + "." + stage;
+}
+
+/// Per-model serving counters on the edge server:
+/// "edge.server.model.<id>.<which>" with `which` in {"requests",
+/// "swaps"}. Ids are u32 registry keys, so the family stays bounded by
+/// the registry size.
+inline std::string model_metric(std::uint32_t model_id,
+                                const std::string& which) {
+  return "edge.server.model." + std::to_string(model_id) + "." + which;
 }
 
 /// Per-op timing in the webinfer engine:

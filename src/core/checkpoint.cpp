@@ -9,6 +9,10 @@ namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4c435243;  // "LCRC"
 constexpr std::uint32_t kVersion = 1;
 
+constexpr std::uint32_t kBundleMagic = 0x4c435242;  // "LCRB"
+constexpr std::uint32_t kBundleVersion = 1;
+constexpr std::size_t kBundleNameCap = 256;
+
 void write_config(ByteWriter& w, const models::ModelConfig& cfg) {
   w.write_string(models::arch_name(cfg.arch));
   w.write_i64(cfg.in_channels);
@@ -139,6 +143,85 @@ void save_composite_file(CompositeNetwork& net, const Checkpoint& ckpt,
 
 LoadedComposite load_composite_file(const std::string& path) {
   return load_composite(read_file(path));
+}
+
+std::vector<std::uint8_t> save_bundle(CompositeNetwork& net,
+                                      const Checkpoint& ckpt,
+                                      const BundleInfo& info) {
+  if (info.model_id == 0) {
+    throw InvalidArgument("bundle model id 0 is reserved for the default");
+  }
+  if (info.version == 0) {
+    throw InvalidArgument("bundle version must be >= 1");
+  }
+  if (info.name.size() > kBundleNameCap) {
+    throw InvalidArgument("bundle name exceeds " +
+                          std::to_string(kBundleNameCap) + " bytes");
+  }
+  ByteWriter w;
+  w.write_u32(kBundleMagic);
+  w.write_u32(kBundleVersion);
+  w.write_u32(info.model_id);
+  w.write_u32(info.version);
+  w.write_string(info.name);
+  const auto inner = save_composite(net, ckpt);
+  w.write_u32(static_cast<std::uint32_t>(inner.size()));
+  w.write_bytes(inner.data(), inner.size());
+  return w.take();
+}
+
+LoadedBundle load_bundle(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.read_u32() != kBundleMagic) {
+    throw ParseError("bad bundle magic");
+  }
+  if (r.read_u32() != kBundleVersion) {
+    throw ParseError("unsupported bundle version");
+  }
+  BundleInfo info;
+  info.model_id = r.read_u32();
+  info.version = r.read_u32();
+  // Mirror save_bundle's canonical-form rules so a decoded bundle always
+  // re-encodes byte-identically (the fuzz harness's round-trip oracle).
+  if (info.model_id == 0) {
+    throw ParseError("bundle model id 0 is reserved for the default");
+  }
+  if (info.version == 0) {
+    throw ParseError("bundle version must be >= 1");
+  }
+  info.name = r.read_string();
+  if (info.name.size() > kBundleNameCap) {
+    throw ParseError("bundle name exceeds wire-format cap");
+  }
+  const std::uint32_t inner_size = r.read_u32();
+  // Bound the declared length by what is actually present before
+  // allocating, like read_stage above.
+  if (inner_size > r.remaining()) {
+    throw ParseError("bundle checkpoint declares " +
+                     std::to_string(inner_size) + " bytes but only " +
+                     std::to_string(r.remaining()) + " remain");
+  }
+  std::vector<std::uint8_t> inner(inner_size);
+  r.read_bytes(inner.data(), inner_size);
+  if (!r.at_end()) {
+    throw ParseError("trailing bytes after bundle");
+  }
+  return LoadedBundle{std::move(info), load_composite(inner)};
+}
+
+void save_bundle_file(CompositeNetwork& net, const Checkpoint& ckpt,
+                      const BundleInfo& info, const std::string& path) {
+  write_file(path, save_bundle(net, ckpt, info));
+}
+
+LoadedBundle load_bundle_file(const std::string& path) {
+  return load_bundle(read_file(path));
+}
+
+bool looks_like_bundle(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < sizeof(std::uint32_t)) return false;
+  ByteReader r(bytes.data(), sizeof(std::uint32_t));
+  return r.read_u32() == kBundleMagic;
 }
 
 }  // namespace lcrs::core

@@ -37,4 +37,42 @@ void save_composite_file(CompositeNetwork& net, const Checkpoint& ckpt,
                          const std::string& path);
 LoadedComposite load_composite_file(const std::string& path);
 
+/// Registry-facing identity of a model bundle: which registry slot it
+/// fills (`model_id`), which generation of that slot it is (`version`,
+/// strictly increasing per id), and a human-readable name.
+struct BundleInfo {
+  std::uint32_t model_id = 0;
+  std::uint32_t version = 0;
+  std::string name;
+};
+
+/// A versioned on-disk model artifact: BundleInfo + an embedded composite
+/// checkpoint. This is the unit the edge server's ModelRegistry loads and
+/// hot-swaps.
+struct LoadedBundle {
+  BundleInfo info;
+  LoadedComposite loaded;
+};
+
+/// Serializes `net` with its checkpoint metadata and bundle identity into
+/// one byte blob. Rejects model_id == 0 (reserved for the server's
+/// built-in default), version == 0, and names longer than 256 bytes.
+std::vector<std::uint8_t> save_bundle(CompositeNetwork& net,
+                                      const Checkpoint& ckpt,
+                                      const BundleInfo& info);
+
+/// Parses a bundle and rebuilds its network; throws ParseError on
+/// malformed input (same reject-before-allocate discipline as
+/// load_composite).
+LoadedBundle load_bundle(const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers.
+void save_bundle_file(CompositeNetwork& net, const Checkpoint& ckpt,
+                      const BundleInfo& info, const std::string& path);
+LoadedBundle load_bundle_file(const std::string& path);
+
+/// True when `bytes` starts with the bundle magic (used by lcrs_tool to
+/// accept either a bare checkpoint or a bundle on the same flag).
+bool looks_like_bundle(const std::vector<std::uint8_t>& bytes);
+
 }  // namespace lcrs::core

@@ -91,8 +91,21 @@ ClientResult BrowserClient::attempt_edge_completion(const Frame& request,
     // frame boundary -- keep it; only the server's queue was full.
     throw ServerBusyError(parse_busy_reply(reply->payload));
   }
+  if (reply.has_value() && reply->type == MsgType::kModelUnavailable) {
+    // The requested model has no registry entry (yet). Like kBusy, the
+    // connection stays in sync; the model may land mid-rollout, so the
+    // retry ladder gets another look before the binary fallback.
+    throw ModelUnavailableError(parse_model_unavailable(reply->payload));
+  }
   if (!reply.has_value() || reply->type != MsgType::kCompleteResponse) {
     throw IoError("edge server did not return a completion response");
+  }
+  if (reply->model_id != request.model_id) {
+    // The server echoes the serving model id in the response header;
+    // a mismatch would be a routing bug, not a transport fault.
+    throw IoError("edge response model id " +
+                  std::to_string(reply->model_id) + " does not match request " +
+                  std::to_string(request.model_id));
   }
   const CompleteResponse resp = parse_complete_response(reply->payload);
 
@@ -121,7 +134,7 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
     obs::Span span(trace_id, obs::names::kSpanClientSerialize);
     Stopwatch watch;
     request = Frame{MsgType::kCompleteRequest, make_complete_request(shared),
-                    trace_id};
+                    trace_id, model_id_};
     serialize_us_.record(watch.micros());
   }
 
@@ -159,6 +172,14 @@ ClientResult BrowserClient::complete_at_edge(const Tensor& shared,
       LCRS_DEBUG("edge attempt " << (attempt + 1) << "/"
                                  << retry_.max_attempts
                                  << " rejected busy: " << last_error);
+    } catch (const ModelUnavailableError& e) {
+      // Not a transport fault either: keep the connection and retry --
+      // the model may finish rolling out within the deadline.
+      model_unavailable_.add();
+      last_error = e.what();
+      LCRS_DEBUG("edge attempt " << (attempt + 1) << "/"
+                                 << retry_.max_attempts
+                                 << " model unavailable: " << last_error);
     } catch (const IoError& e) {
       // The cached connection may be dead or mid-frame desynced; never
       // reuse it -- the next attempt reconnects from scratch.
@@ -205,6 +226,7 @@ ClientStats BrowserClient::stats() const {
   s.retries = retries_.value();
   s.reconnects = reconnects_.value();
   s.busy_rejections = busy_rejections_.value();
+  s.model_unavailable = model_unavailable_.value();
   s.total_edge_ms = roundtrip_us_.sum() / 1e3;
   return s;
 }

@@ -66,6 +66,7 @@ struct ClientStats {
   std::int64_t retries = 0;           // re-attempts after a transport error
   std::int64_t reconnects = 0;        // connections opened after the first
   std::int64_t busy_rejections = 0;   // kBusy answers from the edge server
+  std::int64_t model_unavailable = 0; // kModelUnavailable answers
   double total_edge_ms = 0.0;         // wall time of successful edge calls
 
   double mean_edge_ms() const {
@@ -99,6 +100,13 @@ class BrowserClient {
   const obs::Registry& metrics() const { return metrics_; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Which edge-side model completes this client's requests. 0 (the
+  /// default) targets the server's default model over the v1/v2 wire
+  /// format, byte-identical to pre-registry clients; nonzero ids ride
+  /// the v3 frame header.
+  void set_model_id(std::uint32_t model_id) { model_id_ = model_id; }
+  std::uint32_t model_id() const { return model_id_; }
+
  private:
   ClientResult complete_at_edge(const Tensor& shared, const Tensor& probs,
                                 double entropy, std::uint64_t trace_id);
@@ -109,6 +117,7 @@ class BrowserClient {
   core::ExitPolicy policy_;
   std::uint16_t port_;
   RetryPolicy retry_;
+  std::uint32_t model_id_ = 0;
   std::optional<Socket> conn_;
   bool connected_once_ = false;
 
@@ -122,6 +131,8 @@ class BrowserClient {
   obs::MirroredCounter reconnects_{metrics_, obs::names::kClientReconnects};
   obs::MirroredCounter busy_rejections_{metrics_,
                                         obs::names::kClientBusyRejections};
+  obs::MirroredCounter model_unavailable_{metrics_,
+                                          obs::names::kClientModelUnavailable};
   obs::MirroredHistogram roundtrip_us_{metrics_,
                                        obs::names::kClientEdgeRoundtripUs};
   obs::MirroredHistogram browser_compute_us_{

@@ -8,9 +8,10 @@ namespace lcrs::edge {
 namespace {
 constexpr std::uint32_t kFrameMagic = 0x4c435246;    // "LCRF" (v1)
 constexpr std::uint32_t kFrameMagicV2 = 0x4c435632;  // "LCV2" (traced)
+constexpr std::uint32_t kFrameMagicV3 = 0x4c435633;  // "LCV3" (model-routed)
 
 MsgType check_type(std::uint8_t type) {
-  if (type > static_cast<std::uint8_t>(MsgType::kBusy)) {
+  if (type > static_cast<std::uint8_t>(MsgType::kModelUnavailable)) {
     throw ParseError("unknown frame type");
   }
   return static_cast<MsgType>(type);
@@ -26,8 +27,14 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
                           " bytes does not fit the u32 length field");
   }
   ByteWriter w;
-  if (frame.trace_id == 0) {
-    // Untraced frames stay byte-identical to the v1 wire format.
+  if (frame.model_id != 0) {
+    // Only v3 carries a model id; trace_id may legitimately be 0 here.
+    w.write_u32(kFrameMagicV3);
+    w.write_u8(static_cast<std::uint8_t>(frame.type));
+    w.write_u32(frame.model_id);
+    w.write_u64(frame.trace_id);
+  } else if (frame.trace_id == 0) {
+    // Untraced default-model frames stay byte-identical to the v1 wire.
     w.write_u32(kFrameMagic);
     w.write_u8(static_cast<std::uint8_t>(frame.type));
   } else {
@@ -50,6 +57,11 @@ Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
     f.type = check_type(r.read_u8());
     f.trace_id = r.read_u64();
     if (f.trace_id == 0) throw ParseError("v2 frame with zero trace id");
+  } else if (magic == kFrameMagicV3) {
+    f.type = check_type(r.read_u8());
+    f.model_id = r.read_u32();
+    f.trace_id = r.read_u64();
+    if (f.model_id == 0) throw ParseError("v3 frame with zero model id");
   } else {
     throw ParseError("bad frame magic");
   }
@@ -67,6 +79,7 @@ int frame_header_version(const std::uint8_t* prefix) {
   const std::uint32_t magic = r.read_u32();
   if (magic == kFrameMagic) return 1;
   if (magic == kFrameMagicV2) return 2;
+  if (magic == kFrameMagicV3) return 3;
   throw ParseError("bad frame magic");
 }
 
@@ -86,6 +99,21 @@ std::uint32_t parse_frame_header_v2(const std::uint8_t* header, MsgType* type,
   const std::uint64_t id = r.read_u64();
   if (id == 0) throw ParseError("v2 frame with zero trace id");
   if (type != nullptr) *type = t;
+  if (trace_id != nullptr) *trace_id = id;
+  return r.read_u32();
+}
+
+std::uint32_t parse_frame_header_v3(const std::uint8_t* header, MsgType* type,
+                                    std::uint32_t* model_id,
+                                    std::uint64_t* trace_id) {
+  ByteReader r(header, kFrameHeaderBytesV3);
+  if (r.read_u32() != kFrameMagicV3) throw ParseError("bad frame magic");
+  const MsgType t = check_type(r.read_u8());
+  const std::uint32_t model = r.read_u32();
+  const std::uint64_t id = r.read_u64();
+  if (model == 0) throw ParseError("v3 frame with zero model id");
+  if (type != nullptr) *type = t;
+  if (model_id != nullptr) *model_id = model;
   if (trace_id != nullptr) *trace_id = id;
   return r.read_u32();
 }
@@ -128,6 +156,22 @@ std::uint32_t parse_busy_reply(const std::vector<std::uint8_t>& payload) {
   const std::uint32_t retry_after_ms = r.read_u32();
   if (!r.at_end()) throw ParseError("trailing bytes after busy reply");
   return retry_after_ms;
+}
+
+std::vector<std::uint8_t> make_model_unavailable(std::uint32_t model_id) {
+  ByteWriter w;
+  w.write_u32(model_id);
+  return w.take();
+}
+
+std::uint32_t parse_model_unavailable(
+    const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  const std::uint32_t model_id = r.read_u32();
+  if (!r.at_end()) {
+    throw ParseError("trailing bytes after model-unavailable reply");
+  }
+  return model_id;
 }
 
 }  // namespace lcrs::edge

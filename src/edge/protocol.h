@@ -1,18 +1,30 @@
 // Wire protocol between the browser client and the edge server.
 //
-// Length-prefixed binary frames over a byte stream. Two header layouts
+// Length-prefixed binary frames over a byte stream. Three header layouts
 // coexist on the wire, distinguished by magic:
 //
 //   v1: [u32 magic "LCRF"][u8 type][u32 payload_size][payload]
 //   v2: [u32 magic "LCV2"][u8 type][u64 trace_id][u32 payload_size][payload]
+//   v3: [u32 magic "LCV3"][u8 type][u32 model_id][u64 trace_id]
+//       [u32 payload_size][payload]
 //
 // v2 adds an optional 64-bit trace id so one request's client-side and
 // edge-side spans stitch into a single timeline (common/obs/trace.h).
-// Encoding emits v1 whenever trace_id == 0, so untraced traffic is
-// byte-identical to the seed protocol and old peers keep decoding it.
-// Both versions share the first 9 bytes' shape ([u32][u8][u32...]), so a
+// v3 adds a 32-bit model id that routes the request to one entry of the
+// server's ModelRegistry (edge/model_registry.h).
+//
+// Encoding is canonical: the smallest header that carries the frame's
+// non-default fields is used. model_id != 0 forces v3 (trace_id may then
+// be 0); otherwise trace_id != 0 selects v2; otherwise v1. Decoding
+// rejects non-canonical frames (v2 with zero trace id, v3 with zero
+// model id), so decode(bytes) -> encode reproduces the input byte-exactly
+// -- the fuzzer's round-trip oracle depends on this. Untraced
+// default-model traffic therefore stays byte-identical to the seed
+// protocol and old peers keep decoding it.
+//
+// All versions share the first 9 bytes' shape ([u32][u8][u32...]), so a
 // streaming receiver reads kFrameHeaderBytes, inspects the magic, and
-// reads kFrameHeaderBytesV2 - kFrameHeaderBytes more for v2.
+// reads the version's remaining header bytes before the payload.
 //
 // Payloads reuse the library's tensor serialization. The same frames are
 // used by the real TCP runtime and by the protocol tests.
@@ -35,20 +47,24 @@ enum class MsgType : std::uint8_t {
   kCompleteResponse = 3,  // payload: i64 label + probability tensor
   kShutdown = 4,
   kBusy = 5,  // payload: u32 retry-after hint (ms); admission rejected
+  kModelUnavailable = 6,  // payload: u32 model id; registry has no entry
 };
 
 struct Frame {
   MsgType type = MsgType::kPing;
   std::vector<std::uint8_t> payload;
-  /// 0 = untraced (encodes as a v1 frame); nonzero rides a v2 header.
+  /// 0 = untraced; nonzero rides a v2 (or v3) header.
   std::uint64_t trace_id = 0;
+  /// 0 = default model (v1/v2 header); nonzero rides a v3 header.
+  std::uint32_t model_id = 0;
 };
 
-/// Encodes a frame into wire bytes (v1 when trace_id == 0, else v2).
+/// Encodes a frame into wire bytes using the smallest canonical header:
+/// v3 when model_id != 0, else v2 when trace_id != 0, else v1.
 std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
-/// Decodes one frame of either version; throws ParseError on malformed
-/// input. v1 frames decode with trace_id == 0.
+/// Decodes one frame of any version; throws ParseError on malformed
+/// input. v1 frames decode with trace_id == 0 and model_id == 0.
 Frame decode_frame(const std::vector<std::uint8_t>& bytes);
 
 /// v1 frame header size on the wire (magic + type + length). Also the
@@ -59,8 +75,11 @@ constexpr std::size_t kFrameHeaderBytes = 9;
 /// v2 frame header size (magic + type + trace id + length).
 constexpr std::size_t kFrameHeaderBytesV2 = 17;
 
-/// Header version for a kFrameHeaderBytes-long prefix: 1 or 2; throws
-/// ParseError on an unknown magic.
+/// v3 frame header size (magic + type + model id + trace id + length).
+constexpr std::size_t kFrameHeaderBytesV3 = 21;
+
+/// Header version for a kFrameHeaderBytes-long prefix: 1, 2, or 3;
+/// throws ParseError on an unknown magic.
 int frame_header_version(const std::uint8_t* prefix);
 
 /// Parses a v1 header, returning the payload size; throws on bad magic.
@@ -69,6 +88,14 @@ std::uint32_t parse_frame_header(const std::uint8_t* header, MsgType* type);
 /// Parses a full v2 header (kFrameHeaderBytesV2 bytes), returning the
 /// payload size and filling `type` / `trace_id` when non-null.
 std::uint32_t parse_frame_header_v2(const std::uint8_t* header, MsgType* type,
+                                    std::uint64_t* trace_id);
+
+/// Parses a full v3 header (kFrameHeaderBytesV3 bytes), returning the
+/// payload size and filling `type` / `model_id` / `trace_id` when
+/// non-null. Rejects model_id == 0 (non-canonical: that frame must have
+/// used a v1/v2 header).
+std::uint32_t parse_frame_header_v3(const std::uint8_t* header, MsgType* type,
+                                    std::uint32_t* model_id,
                                     std::uint64_t* trace_id);
 
 /// Payload builders / parsers.
@@ -89,6 +116,12 @@ CompleteResponse parse_complete_response(
 std::vector<std::uint8_t> make_busy_reply(std::uint32_t retry_after_ms);
 std::uint32_t parse_busy_reply(const std::vector<std::uint8_t>& payload);
 
+/// kModelUnavailable payload: the requested model id has no registry
+/// entry on the server. Echoes the id so a client multiplexing models
+/// over one connection can attribute the rejection.
+std::vector<std::uint8_t> make_model_unavailable(std::uint32_t model_id);
+std::uint32_t parse_model_unavailable(const std::vector<std::uint8_t>& payload);
+
 /// Thrown by the client when the server answers kBusy. Derives from
 /// IoError so existing retry/fallback handlers cover it, but is caught
 /// separately by BrowserClient: a busy reply means the connection is
@@ -101,6 +134,21 @@ class ServerBusyError : public IoError {
         retry_after_ms(retry_after_ms_arg) {}
 
   std::uint32_t retry_after_ms;
+};
+
+/// Thrown by the client when the server answers kModelUnavailable.
+/// Derives from IoError so existing retry/fallback handlers cover it,
+/// but is caught separately by BrowserClient: like kBusy, the connection
+/// is healthy and in sync (no reconnect needed) -- the model may simply
+/// not have finished rolling out yet, so the client backs off and
+/// retries within its deadline before falling back locally.
+class ModelUnavailableError : public IoError {
+ public:
+  explicit ModelUnavailableError(std::uint32_t model_id_arg)
+      : IoError("edge server has no model " + std::to_string(model_id_arg)),
+        model_id(model_id_arg) {}
+
+  std::uint32_t model_id;
 };
 
 }  // namespace lcrs::edge

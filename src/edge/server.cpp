@@ -74,6 +74,16 @@ void ServerOptions::validate() const {
              "ServerOptions.ops_port must be <= 65535, got " << ops_port);
 }
 
+namespace {
+std::shared_ptr<ModelRegistry> default_registry(BatchCompletionFn complete) {
+  LCRS_CHECK(complete != nullptr, "edge server needs a completion fn");
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->install(
+      ServableModel::from_fn(0, 1, "default", std::move(complete)));
+  return registry;
+}
+}  // namespace
+
 EdgeServer::EdgeServer(std::uint16_t port, CompletionFn complete,
                        ServerOptions options)
     : EdgeServer(port, per_sample_batch(std::move(complete)),
@@ -81,8 +91,14 @@ EdgeServer::EdgeServer(std::uint16_t port, CompletionFn complete,
 
 EdgeServer::EdgeServer(std::uint16_t port, BatchCompletionFn complete,
                        ServerOptions options)
-    : listener_(port), batch_complete_(std::move(complete)), opts_(options) {
-  LCRS_CHECK(batch_complete_ != nullptr, "edge server needs a completion fn");
+    : EdgeServer(port, default_registry(std::move(complete)),
+                 std::move(options)) {}
+
+EdgeServer::EdgeServer(std::uint16_t port,
+                       std::shared_ptr<ModelRegistry> registry,
+                       ServerOptions options)
+    : listener_(port), registry_(std::move(registry)), opts_(options) {
+  LCRS_CHECK(registry_ != nullptr, "edge server needs a model registry");
   opts_.validate();
   // Process/config gauges: registered up front so the very first scrape
   // (or any /statusz probe) already sees the serving shape.
@@ -156,7 +172,17 @@ std::string EdgeServer::status_json() const {
      << ",\"requests_served\":" << requests_.value()
      << ",\"connections_accepted\":" << accepted_.value()
      << ",\"rejected_busy\":" << rejected_busy_.value()
-     << ",\"queue_depth\":" << queue_depth() << '}';
+     << ",\"rejected_unknown_model\":" << rejected_model_.value()
+     << ",\"queue_depth\":" << queue_depth();
+  os << ",\"models\":[";
+  bool first = true;
+  for (const auto& m : registry_->list()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":" << m->model_id << ",\"version\":" << m->version
+       << ",\"name\":\"" << obs::json_escape(m->name) << "\"}";
+  }
+  os << "],\"models_live\":" << registry_->live_models() << '}';
   return os.str();
 }
 
@@ -174,21 +200,26 @@ void EdgeServer::request_stop() {
     }
   }
   // Flush undispatched requests and wake the workers. Admission re-checks
-  // stopping_ under queue_mutex_, so nothing can slip into the queue
+  // stopping_ under queue_mutex_, so nothing can slip into a queue
   // after this swap: any enqueue ordered after it observes stopping_ and
   // backs out. Slots are failed *outside* the lock -- queue_mutex_ stays
   // a leaf that is never held while touching a slot mutex.
-  std::deque<PendingRequest> flushed;
+  std::map<std::uint32_t, std::deque<PendingRequest>> flushed;
+  std::size_t flushed_total = 0;
   {
     MutexLock lock(queue_mutex_);
-    flushed.swap(queue_);
+    flushed.swap(queues_);
+    flushed_total = queued_total_;
+    queued_total_ = 0;
     queue_cv_.notify_all();
   }
-  if (!flushed.empty()) {
-    queue_depth_.add(-static_cast<double>(flushed.size()));
+  if (flushed_total > 0) {
+    queue_depth_.add(-static_cast<double>(flushed_total));
   }
-  for (auto& r : flushed) {
-    fulfill(*r.slot, false, CompleteResponse{}, "server stopping");
+  for (auto& [id, q] : flushed) {
+    for (auto& r : q) {
+      fulfill(*r.slot, false, CompleteResponse{}, "server stopping");
+    }
   }
 }
 
@@ -225,7 +256,7 @@ void EdgeServer::stop() {
 
 std::int64_t EdgeServer::queue_depth() const {
   MutexLock lock(queue_mutex_);
-  return static_cast<std::int64_t>(queue_.size());
+  return static_cast<std::int64_t>(queued_total_);
 }
 
 ServerStats EdgeServer::stats() const {
@@ -234,6 +265,7 @@ ServerStats EdgeServer::stats() const {
   s.connections_accepted = accepted_.value();
   s.connection_errors = connection_errors_.value();
   s.rejected_busy = rejected_busy_.value();
+  s.rejected_unknown_model = rejected_model_.value();
   s.batches_dispatched = batches_.value();
   s.total_completion_ms = completion_us_.sum() / 1e3;
   return s;
@@ -309,19 +341,36 @@ void EdgeServer::serve_connection(Socket& conn) {
         conn.send_frame(Frame{MsgType::kPong, {}});
         break;
       case MsgType::kCompleteRequest: {
-        // The trace id minted by BrowserClient rides the v2 frame header;
-        // tagging the server-side spans with it (and echoing it in the
-        // response) is what stitches both halves into one timeline.
+        // The trace id minted by BrowserClient rides the v2/v3 frame
+        // header; tagging the server-side spans with it (and echoing it
+        // in the response) is what stitches both halves into one
+        // timeline.
         const std::uint64_t trace_id = frame->trace_id;
+        // Resolve the model snapshot before deserializing: an
+        // unroutable request should be rejected for the price of a map
+        // lookup, and the snapshot resolved here is the one that
+        // answers the request no matter what the registry does next.
+        std::shared_ptr<const ServableModel> model =
+            registry_->lookup(frame->model_id);
+        if (model == nullptr) {
+          rejected_model_.add();
+          obs::flight_record_finish(trace_id, false,
+                                    "edge.model_unavailable");
+          conn.send_frame(Frame{MsgType::kModelUnavailable,
+                                make_model_unavailable(frame->model_id),
+                                trace_id, frame->model_id});
+          break;
+        }
         Tensor shared;
         {
           obs::Span span(trace_id, obs::names::kSpanEdgeDeserialize);
           shared = parse_complete_request(frame->payload);
         }
         if (opts_.direct_execution) {
-          serve_request_direct(conn, shared, trace_id);
+          serve_request_direct(conn, shared, trace_id, std::move(model));
         } else {
-          serve_request_queued(conn, std::move(shared), trace_id);
+          serve_request_queued(conn, std::move(shared), trace_id,
+                               std::move(model));
         }
         break;
       }
@@ -336,13 +385,15 @@ void EdgeServer::serve_connection(Socket& conn) {
   }
 }
 
-void EdgeServer::serve_request_direct(Socket& conn, const Tensor& shared,
-                                      std::uint64_t trace_id) {
+void EdgeServer::serve_request_direct(
+    Socket& conn, const Tensor& shared, std::uint64_t trace_id,
+    std::shared_ptr<const ServableModel> model) {
+  const std::uint32_t model_id = model->model_id;
   Stopwatch watch;
   std::vector<CompleteResponse> resp;
   {
     obs::Span span(trace_id, obs::names::kSpanEdgeComplete);
-    resp = batch_complete_(shared);
+    resp = model->complete(shared);
   }
   completion_us_.record(watch.micros());
   LCRS_CHECK(resp.size() == 1,
@@ -352,14 +403,20 @@ void EdgeServer::serve_request_direct(Socket& conn, const Tensor& shared,
   {
     obs::Span span(trace_id, obs::names::kSpanEdgeSerialize);
     conn.send_frame(Frame{MsgType::kCompleteResponse,
-                          make_complete_response(resp.front()), trace_id});
+                          make_complete_response(resp.front()), trace_id,
+                          model_id});
   }
   requests_.add();
+  obs::MirroredCounter(metrics_,
+                       obs::names::model_metric(model_id, "requests"))
+      .add();
   obs::flight_record_finish(trace_id, false, "edge.served");
 }
 
-void EdgeServer::serve_request_queued(Socket& conn, Tensor shared,
-                                      std::uint64_t trace_id) {
+void EdgeServer::serve_request_queued(
+    Socket& conn, Tensor shared, std::uint64_t trace_id,
+    std::shared_ptr<const ServableModel> model) {
+  const std::uint32_t model_id = model->model_id;
   auto slot = std::make_shared<ResponseSlot>();
   enum class Admission { kAdmitted, kFull, kStopping };
   Admission admission = Admission::kAdmitted;
@@ -371,11 +428,12 @@ void EdgeServer::serve_request_queued(Socket& conn, Tensor shared,
       // down, so close quietly and let the client's retry path handle it.
       admission = Admission::kStopping;
     } else if (opts_.queue_capacity > 0 &&
-               queue_.size() >= opts_.queue_capacity) {
+               queued_total_ >= opts_.queue_capacity) {
       admission = Admission::kFull;
     } else {
-      queue_.push_back(
-          PendingRequest{std::move(shared), trace_id, Stopwatch(), slot});
+      queues_[model_id].push_back(PendingRequest{
+          std::move(shared), trace_id, std::move(model), Stopwatch(), slot});
+      ++queued_total_;
       queue_depth_.add(1.0);
       queue_cv_.notify_one();
     }
@@ -418,9 +476,13 @@ void EdgeServer::serve_request_queued(Socket& conn, Tensor shared,
   {
     obs::Span span(trace_id, obs::names::kSpanEdgeSerialize);
     conn.send_frame(Frame{MsgType::kCompleteResponse,
-                          make_complete_response(response), trace_id});
+                          make_complete_response(response), trace_id,
+                          model_id});
   }
   requests_.add();
+  obs::MirroredCounter(metrics_,
+                       obs::names::model_metric(model_id, "requests"))
+      .add();
   obs::flight_record_finish(trace_id, false, "edge.served");
 }
 
@@ -435,34 +497,54 @@ void EdgeServer::worker_loop() {
 std::vector<EdgeServer::PendingRequest> EdgeServer::next_batch() {
   std::vector<PendingRequest> batch;
   MutexLock lock(queue_mutex_);
-  while (queue_.empty() && !stopping_.load()) queue_cv_.wait(queue_mutex_);
-  if (queue_.empty()) return batch;
+  while (queued_total_ == 0 && !stopping_.load()) queue_cv_.wait(queue_mutex_);
+  if (queued_total_ == 0) return batch;
 
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  // Coalesce same-shaped followers. With max_wait_us == 0 the batch is
-  // cut the instant the queue drains: an unloaded server adds zero
-  // latency, and batches only form from requests that were already
-  // waiting. A positive window lets a worker linger for stragglers.
+  // Round-robin across model queues: start at the first id after the
+  // cursor, wrapping, so a hot model cannot starve the others. Empty
+  // deques stay in the map (bounded by the number of distinct ids seen),
+  // so the scan is O(#models).
+  auto it = queues_.upper_bound(rr_cursor_);
+  while (it != queues_.end() && it->second.empty()) ++it;
+  if (it == queues_.end()) {
+    it = queues_.begin();
+    while (it->second.empty()) ++it;  // queued_total_ > 0 guarantees one
+  }
+  rr_cursor_ = it->first;
+  std::deque<PendingRequest>& queue = it->second;
+
+  batch.push_back(std::move(queue.front()));
+  queue.pop_front();
+  --queued_total_;
+  // Coalesce same-shaped followers *served by the same snapshot*: a
+  // pointer-unequal snapshot is a different model generation, and mixing
+  // generations in one forward would break the per-version bit-exactness
+  // contract. With max_wait_us == 0 the batch is cut the instant the
+  // queue drains: an unloaded server adds zero latency, and batches only
+  // form from requests that were already waiting. A positive window lets
+  // a worker linger for stragglers.
   const bool may_wait = opts_.max_wait_us > 0.0;
   const Deadline window = may_wait
                               ? Deadline::after_ms(opts_.max_wait_us / 1e3)
                               : Deadline();
   while (static_cast<int>(batch.size()) < opts_.max_batch) {
-    if (!queue_.empty()) {
-      if (!queue_.front().shared.same_shape(batch.front().shared)) break;
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    if (!queue.empty()) {
+      if (!queue.front().shared.same_shape(batch.front().shared)) break;
+      if (queue.front().model.get() != batch.front().model.get()) break;
+      batch.push_back(std::move(queue.front()));
+      queue.pop_front();
+      --queued_total_;
       continue;
     }
     if (!may_wait || stopping_.load() || window.expired()) break;
     // Early cut: a request/response client blocks until its reply, so each
     // live connection contributes at most one outstanding request. Once
-    // every connection is accounted for -- in this batch or still queued --
-    // no straggler can arrive until a response goes out, and lingering for
-    // the rest of the window would be pure added latency. (Pipelined
-    // clients just get their extras coalesced into the next batch.)
-    if (static_cast<double>(batch.size() + queue_.size()) >=
+    // every connection is accounted for -- in this batch or still queued
+    // (for any model) -- no straggler can arrive until a response goes
+    // out, and lingering for the rest of the window would be pure added
+    // latency. (Pipelined clients just get their extras coalesced into
+    // the next batch.)
+    if (static_cast<double>(batch.size() + queued_total_) >=
         active_connections_.value()) {
       break;
     }
@@ -490,18 +572,23 @@ void EdgeServer::dispatch_batch(std::vector<PendingRequest>* batch) {
         std::make_unique<obs::Span>(r.trace_id, obs::names::kSpanEdgeComplete));
   }
 
+  // next_batch guarantees every member holds the same snapshot, so the
+  // batch dispatches against exactly one model generation; the strong
+  // reference in the batch keeps that generation alive even if the
+  // registry swapped it out while the batch waited.
+  const ServableModel& model = *batch->front().model;
   Stopwatch watch;
   std::vector<CompleteResponse> responses;
   bool ok = true;
   std::string error;
   try {
     if (k == 1) {
-      responses = batch_complete_(batch->front().shared);
+      responses = model.complete(batch->front().shared);
     } else {
       std::vector<Tensor> parts;
       parts.reserve(k);
       for (auto& r : *batch) parts.push_back(std::move(r.shared));
-      responses = batch_complete_(stack_outer(parts));
+      responses = model.complete(stack_outer(parts));
     }
     if (ok && responses.size() != k) {
       ok = false;

@@ -1,15 +1,22 @@
 // Edge server hosting the main branch (paper Fig. 1/8).
 //
 // Throughput-oriented serving path. Connection threads only do protocol
-// I/O: every kCompleteRequest is deserialized and enqueued on a central
-// bounded request queue, and a pool of worker threads drains the queue,
-// coalescing requests *across connections* into one batched main-branch
-// forward (im2col+GEMM throughput grows strongly with batch size, which
-// is exactly the amortization Neurosurgeon-style edge offloading
-// exploits). Responses are demultiplexed back to the originating
-// connection through per-request response slots; each request's trace id
-// rides through the batch untouched, so stitched client/server
-// timelines survive batching.
+// I/O: every kCompleteRequest resolves its model snapshot from the
+// ModelRegistry (v3 frame header model id; v1/v2 frames route to model
+// 0) and is enqueued on that model's bounded queue, and a shared pool of
+// worker threads drains the queues round-robin, coalescing same-model
+// requests *across connections* into one batched main-branch forward
+// (im2col+GEMM throughput grows strongly with batch size, which is
+// exactly the amortization Neurosurgeon-style edge offloading exploits).
+// Responses are demultiplexed back to the originating connection through
+// per-request response slots; each request's trace id rides through the
+// batch untouched, so stitched client/server timelines survive batching.
+//
+// Hot-swap: an operator thread loads+prepares a new model generation off
+// the serving path and install()s it into the registry; requests admitted
+// before the flip finish against the old snapshot (their shared_ptr keeps
+// it alive), requests admitted after see only the new one. See
+// edge/model_registry.h for the snapshot lifetime rules.
 //
 // The batch path is numerically identical per-sample to the sequential
 // path: every layer in the main rest is row-independent in eval mode, so
@@ -32,6 +39,7 @@
 #include <atomic>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -40,6 +48,7 @@
 #include "common/obs/metrics.h"
 #include "common/stopwatch.h"
 #include "common/sync.h"
+#include "edge/model_registry.h"
 #include "edge/tcp.h"
 
 namespace lcrs::core {
@@ -52,16 +61,8 @@ class OpsServer;  // common/obs/ops_server.h (included by server.cpp)
 
 namespace lcrs::edge {
 
-/// Completes a conv1 feature map into (label, probabilities). Invoked
-/// concurrently from worker (or, in direct mode, connection) threads.
-using CompletionFn = std::function<CompleteResponse(const Tensor& shared)>;
-
-/// Batched completion: a [k, C, H, W] stack of conv1 feature maps from k
-/// requests (possibly from k different connections) in, exactly k
-/// responses out, row i answering request i. Must be row-independent:
-/// response i may not depend on the other rows.
-using BatchCompletionFn =
-    std::function<std::vector<CompleteResponse>(const Tensor& batch)>;
+// CompletionFn / BatchCompletionFn live in edge/model_registry.h (a
+// ServableModel snapshot carries the batched completion).
 
 /// Wraps a non-thread-safe completion in a mutex (layer forward() caches
 /// are not concurrency-safe in train mode).
@@ -122,6 +123,7 @@ struct ServerStats {
   std::int64_t connections_accepted = 0;
   std::int64_t connection_errors = 0;  // connections ended by an exception
   std::int64_t rejected_busy = 0;      // admissions refused with kBusy
+  std::int64_t rejected_unknown_model = 0;  // kModelUnavailable replies
   std::int64_t batches_dispatched = 0; // batched forwards executed
   double total_completion_ms = 0.0;    // time spent inside the completion fn
 
@@ -135,10 +137,18 @@ struct ServerStats {
 class EdgeServer {
  public:
   /// Binds immediately (port 0 = ephemeral) and starts serving with the
-  /// given options (default: worker pool, batching on demand).
+  /// given options (default: worker pool, batching on demand). The
+  /// completion-fn ctors wrap the fn as model id 0 (version 1) in a
+  /// fresh registry, so single-model callers are unchanged.
   EdgeServer(std::uint16_t port, CompletionFn complete,
              ServerOptions options = ServerOptions());
   EdgeServer(std::uint16_t port, BatchCompletionFn complete,
+             ServerOptions options = ServerOptions());
+  /// Multi-model serving: requests route through `registry` by the v3
+  /// frame header's model id (v1/v2 frames route to model 0). The
+  /// registry is shared so an operator thread can hot-swap models while
+  /// the server runs.
+  EdgeServer(std::uint16_t port, std::shared_ptr<ModelRegistry> registry,
              ServerOptions options = ServerOptions());
 
   /// Stops the accept loop and joins every worker/connection thread.
@@ -161,8 +171,13 @@ class EdgeServer {
   std::int64_t requests_served() const { return requests_.value(); }
   std::int64_t connections_accepted() const { return accepted_.value(); }
   std::int64_t rejected_busy() const { return rejected_busy_.value(); }
+  std::int64_t rejected_unknown_model() const {
+    return rejected_model_.value();
+  }
   std::int64_t batches_dispatched() const { return batches_.value(); }
-  /// Current depth of the central request queue.
+  /// The registry requests route through; hot-swap by installing into it.
+  const std::shared_ptr<ModelRegistry>& registry() const { return registry_; }
+  /// Total queued requests across every model queue.
   std::int64_t queue_depth() const LCRS_EXCLUDES(queue_mutex_);
   ServerStats stats() const;
   /// This server's own registry (also mirrored into Registry::global()).
@@ -194,6 +209,11 @@ class EdgeServer {
   struct PendingRequest {
     Tensor shared;  // conv1 feature map [1, C, H, W]
     std::uint64_t trace_id = 0;
+    /// Snapshot resolved at admission: whatever registry generation was
+    /// current then answers this request, even if a swap lands while it
+    /// queues (the shared_ptr keeps the old model alive until its batch
+    /// finishes -- that is the drain).
+    std::shared_ptr<const ServableModel> model;
     Stopwatch queued;  // time-in-queue measurement
     std::shared_ptr<ResponseSlot> slot;
   };
@@ -202,9 +222,11 @@ class EdgeServer {
   void serve_connection(Socket& conn)
       LCRS_EXCLUDES(conns_mutex_, queue_mutex_);
   void serve_request_direct(Socket& conn, const Tensor& shared,
-                            std::uint64_t trace_id);
+                            std::uint64_t trace_id,
+                            std::shared_ptr<const ServableModel> model);
   void serve_request_queued(Socket& conn, Tensor shared,
-                            std::uint64_t trace_id)
+                            std::uint64_t trace_id,
+                            std::shared_ptr<const ServableModel> model)
       LCRS_EXCLUDES(queue_mutex_);
   /// Moves finished connections (done flag set) out of connections_ so
   /// the caller can join them *after* releasing conns_mutex_ -- joining
@@ -219,9 +241,12 @@ class EdgeServer {
 
   /// Worker pool: blocks for work, coalesces a batch, dispatches it.
   void worker_loop() LCRS_EXCLUDES(queue_mutex_);
-  /// Pops the next batch (first request + same-shaped followers up to
-  /// max_batch, waiting at most max_wait_us for stragglers). Returns an
-  /// empty vector when the server is stopping and the queue is drained.
+  /// Pops the next batch from one model's queue (first request plus
+  /// same-shaped followers served by the *same snapshot*, up to
+  /// max_batch, waiting at most max_wait_us for stragglers). Model
+  /// queues are visited round-robin so a hot model cannot starve the
+  /// others. Returns an empty vector when the server is stopping and
+  /// every queue is drained.
   std::vector<PendingRequest> next_batch() LCRS_EXCLUDES(queue_mutex_);
   void dispatch_batch(std::vector<PendingRequest>* batch);
   static void fulfill(ResponseSlot& slot, bool ok, CompleteResponse response,
@@ -234,9 +259,10 @@ class EdgeServer {
 
   Listener listener_;
   // Both set in the ctor init list and immutable after: const instead
-  // of GUARDED_BY (invoking a const std::function is thread-safe as
-  // long as nobody rebinds it, and validate() is a const member).
-  const BatchCompletionFn batch_complete_;
+  // of GUARDED_BY (the shared_ptr itself is never rebound -- the
+  // registry's own mutex guards its contents -- and validate() is a
+  // const member).
+  const std::shared_ptr<ModelRegistry> registry_;
   const ServerOptions opts_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> ready_{true};
@@ -248,6 +274,8 @@ class EdgeServer {
       metrics_, obs::names::kServerConnectionErrors};
   obs::MirroredCounter rejected_busy_{metrics_,
                                       obs::names::kServerRejectedBusy};
+  obs::MirroredCounter rejected_model_{metrics_,
+                                       obs::names::kServerRejectedModel};
   obs::MirroredCounter batches_{metrics_, obs::names::kServerBatches};
   obs::MirroredGauge active_connections_{
       metrics_, obs::names::kServerActiveConnections};
@@ -259,13 +287,21 @@ class EdgeServer {
   obs::MirroredHistogram batch_size_{metrics_, obs::names::kServerBatchSize};
   obs::MirroredGauge ready_gauge_{metrics_, obs::names::kServerReady};
 
-  // Central request queue feeding the worker pool. Leaf-like: nothing
-  // else is acquired while it is held (slots are fulfilled after it is
-  // released), except by stop()/request_stop() which hold stop_mutex_
-  // first (see the ACQUIRED_BEFORE on stop_mutex_).
+  // Per-model request queues feeding the shared worker pool. Leaf-like:
+  // nothing else is acquired while queue_mutex_ is held (slots are
+  // fulfilled after it is released; the registry is consulted before
+  // admission, never under it), except by stop()/request_stop() which
+  // hold stop_mutex_ first (see the ACQUIRED_BEFORE on stop_mutex_).
   mutable Mutex queue_mutex_{"edge.server.queue"};
   CondVar queue_cv_;
-  std::deque<PendingRequest> queue_ LCRS_GUARDED_BY(queue_mutex_);
+  std::map<std::uint32_t, std::deque<PendingRequest>> queues_
+      LCRS_GUARDED_BY(queue_mutex_);
+  /// Sum of every queue's size; opts_.queue_capacity bounds this total,
+  /// so admission control spans all models.
+  std::size_t queued_total_ LCRS_GUARDED_BY(queue_mutex_) = 0;
+  /// Round-robin fairness cursor: next_batch starts scanning at the
+  /// first model id strictly greater than this.
+  std::uint32_t rr_cursor_ LCRS_GUARDED_BY(queue_mutex_) = 0;
 
   // Guards the live-connection map. Acquired by the acceptor, by
   // connection threads entering request_stop(), and by stop(); never

@@ -35,6 +35,30 @@ Arch arch_by_name(const std::string& name) {
   throw InvalidArgument("unknown architecture: " + name);
 }
 
+const std::vector<Arch>& all_archs() {
+  static const std::vector<Arch> archs = {Arch::kLeNet, Arch::kAlexNet,
+                                          Arch::kResNet18, Arch::kVgg16};
+  return archs;
+}
+
+ModelConfig small_config(Arch arch) {
+  ModelConfig cfg;
+  cfg.arch = arch;
+  if (arch == Arch::kLeNet) {
+    cfg.in_channels = 1;
+    cfg.in_h = cfg.in_w = 28;
+    cfg.width = 1.0;
+  } else {
+    cfg.in_channels = 3;
+    cfg.in_h = cfg.in_w = 32;
+    cfg.width = 0.25;
+  }
+  cfg.num_classes = 10;
+  cfg.dropout = 0.0;  // deterministic eval-path sweeps
+  cfg.validate();
+  return cfg;
+}
+
 void ModelConfig::validate() const {
   LCRS_CHECK(in_channels >= 1 && in_h >= 16 && in_w >= 16,
              "model input must be >= 16x16 with >= 1 channel");

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "binary/binary_conv2d.h"
 #include "binary/binary_linear.h"
@@ -21,6 +22,11 @@ enum class Arch { kLeNet, kAlexNet, kResNet18, kVgg16 };
 
 std::string arch_name(Arch arch);
 Arch arch_by_name(const std::string& name);
+
+/// Every architecture in the zoo, in declaration order. Whole-zoo sweeps
+/// (property tests, bundle tooling) iterate this instead of
+/// hand-maintaining the list.
+const std::vector<Arch>& all_archs();
 
 /// Input geometry + class count + width scaling for a model build.
 struct ModelConfig {
@@ -36,6 +42,12 @@ struct ModelConfig {
 
   void validate() const;
 };
+
+/// A small-footprint configuration for `arch`, for whole-zoo sweeps in
+/// tests and tools: LeNet at its native 1x28x28 geometry, the large
+/// architectures width-scaled (0.25) at 3x32x32 so building all four
+/// stays cheap.
+ModelConfig small_config(Arch arch);
 
 /// The main branch split at the LCRS share point: `conv1` is the stage the
 /// browser always executes (first conv + its activation/pool), `rest`

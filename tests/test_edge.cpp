@@ -79,8 +79,10 @@ TEST(Protocol, UntracedFrameStaysByteIdenticalV1) {
 TEST(Protocol, HeaderVersionDetection) {
   const auto v1 = encode_frame(Frame{MsgType::kPing, {}});
   const auto v2 = encode_frame(Frame{MsgType::kPing, {}, 42});
+  const auto v3 = encode_frame(Frame{MsgType::kPing, {}, 42, 7});
   EXPECT_EQ(frame_header_version(v1.data()), 1);
   EXPECT_EQ(frame_header_version(v2.data()), 2);
+  EXPECT_EQ(frame_header_version(v3.data()), 3);
   auto junk = v1;
   junk[0] ^= 0xFF;
   EXPECT_THROW(frame_header_version(junk.data()), ParseError);
@@ -92,6 +94,110 @@ TEST(Protocol, V2ZeroTraceIdRejected) {
   auto bytes = encode_frame(Frame{MsgType::kPong, {5}, 99});
   for (int i = 0; i < 8; ++i) bytes[5 + i] = 0;  // zero the trace id field
   EXPECT_THROW(decode_frame(bytes), ParseError);
+}
+
+TEST(Protocol, V1V2GoldenBytesUnchanged) {
+  // Frozen wire bytes from before the v3 header existed: adding the
+  // model id must not perturb a single v1/v2 byte in either direction.
+  const std::vector<std::uint8_t> golden_v1 = {
+      0x46, 0x52, 0x43, 0x4c,  // "LCRF" little-endian
+      0x00,                    // kPing
+      0x00, 0x00, 0x00, 0x00,  // payload size 0
+  };
+  EXPECT_EQ(encode_frame(Frame{MsgType::kPing, {}}), golden_v1);
+  const Frame v1 = decode_frame(golden_v1);
+  EXPECT_EQ(v1.type, MsgType::kPing);
+  EXPECT_EQ(v1.trace_id, 0u);
+  EXPECT_EQ(v1.model_id, 0u);
+
+  const std::vector<std::uint8_t> golden_v2 = {
+      0x32, 0x56, 0x43, 0x4c,                          // "LCV2" LE
+      0x01,                                            // kPong
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // trace id LE
+      0x01, 0x00, 0x00, 0x00,                          // payload size 1
+      0x09,                                            // payload
+  };
+  EXPECT_EQ(encode_frame(Frame{MsgType::kPong, {9}, 0x0102030405060708ull}),
+            golden_v2);
+  const Frame v2 = decode_frame(golden_v2);
+  EXPECT_EQ(v2.type, MsgType::kPong);
+  EXPECT_EQ(v2.trace_id, 0x0102030405060708ull);
+  EXPECT_EQ(v2.model_id, 0u);
+}
+
+TEST(Protocol, TaggedFrameRoundTripsV3) {
+  Frame f;
+  f.type = MsgType::kCompleteRequest;
+  f.payload = {7, 8, 9};
+  f.trace_id = 0xdeadbeefcafe0001ull;
+  f.model_id = 12;
+  const auto bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytesV3 + f.payload.size());
+  const Frame back = decode_frame(bytes);
+  EXPECT_EQ(back.type, f.type);
+  EXPECT_EQ(back.payload, f.payload);
+  EXPECT_EQ(back.trace_id, f.trace_id);
+  EXPECT_EQ(back.model_id, f.model_id);
+}
+
+TEST(Protocol, TaggedUntracedFrameStillUsesV3) {
+  // A model id needs the wide header even when untraced; the reserved
+  // zero trace id is legal in v3 (only v2 forbids it).
+  Frame f;
+  f.type = MsgType::kCompleteRequest;
+  f.payload = {1};
+  f.model_id = 3;
+  const auto bytes = encode_frame(f);
+  EXPECT_EQ(frame_header_version(bytes.data()), 3);
+  const Frame back = decode_frame(bytes);
+  EXPECT_EQ(back.model_id, 3u);
+  EXPECT_EQ(back.trace_id, 0u);
+}
+
+TEST(Protocol, DefaultModelEncodesByteIdenticalToV1V2) {
+  // model_id == 0 routes to the default model and must never widen the
+  // header: v2 peers see bit-for-bit what they saw before this header
+  // version existed.
+  Frame traced;
+  traced.type = MsgType::kCompleteResponse;
+  traced.payload = {4, 5};
+  traced.trace_id = 77;
+  const auto with_field = encode_frame(traced);
+  EXPECT_EQ(frame_header_version(with_field.data()), 2);
+  EXPECT_EQ(with_field.size(), kFrameHeaderBytesV2 + traced.payload.size());
+
+  Frame plain;
+  plain.type = MsgType::kPing;
+  plain.payload = {};
+  EXPECT_EQ(frame_header_version(encode_frame(plain).data()), 1);
+}
+
+TEST(Protocol, V3ZeroModelIdRejected) {
+  // A v3 header exists *because* the frame is model-tagged; zero would
+  // alias the default route and break encode/decode canonicality.
+  auto bytes = encode_frame(Frame{MsgType::kPong, {5}, 99, 6});
+  for (int i = 0; i < 4; ++i) bytes[5 + i] = 0;  // zero the model id field
+  EXPECT_THROW(decode_frame(bytes), ParseError);
+}
+
+TEST(Protocol, V3TruncatedHeaderRejected) {
+  const auto bytes = encode_frame(Frame{MsgType::kPing, {}, 0, 6});
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW(
+        decode_frame({bytes.begin(),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(n)}),
+        ParseError)
+        << "prefix " << n;
+  }
+}
+
+TEST(Protocol, ModelUnavailableRoundTrip) {
+  const auto payload = make_model_unavailable(41);
+  EXPECT_EQ(parse_model_unavailable(payload), 41u);
+  EXPECT_THROW(parse_model_unavailable({1, 2}), ParseError);
+  auto trailing = payload;
+  trailing.push_back(0);
+  EXPECT_THROW(parse_model_unavailable(trailing), ParseError);
 }
 
 TEST(Tcp, TraceIdSurvivesTheSocket) {
@@ -264,6 +370,50 @@ TEST(EndToEnd, ForcedMissAlwaysAsksServer) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(server.requests_served(), 3);
+}
+
+TEST(EndToEnd, ClientModelIdRoutesAndUnavailableFallsBack) {
+  Rng rng(61);
+  core::CompositeNetwork net = make_net(rng);
+  webinfer::Engine engine{webinfer::export_browser_model(net, 1, 28, 28)};
+
+  // The only registered model is id 5 -- there is no default, so an
+  // untagged client would be rejected too.
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->install(ServableModel::from_fn(
+      5, 1, "m5", per_sample_batch([&net](const Tensor& shared) {
+        const Tensor logits = net.forward_main_from_shared(shared);
+        CompleteResponse r;
+        r.probabilities = softmax_rows(logits);
+        r.label = argmax(r.probabilities);
+        return r;
+      })));
+  EdgeServer server(0, registry, ServerOptions{});
+
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.deadline_ms = 2000.0;
+  BrowserClient client(std::move(engine), core::ExitPolicy{0.0},
+                       server.port(), retry);
+  client.set_model_id(5);
+  EXPECT_EQ(client.model_id(), 5u);
+  const ClientResult ok =
+      client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+  EXPECT_EQ(ok.exit_point, core::ExitPoint::kMainBranch);
+  EXPECT_EQ(client.stats().model_unavailable, 0);
+
+  // Retagging to an unregistered id: every attempt draws
+  // kModelUnavailable and the client degrades to the binary branch --
+  // never misrouted to model 5, never a dropped connection.
+  client.set_model_id(99);
+  const ClientResult fb =
+      client.classify(Tensor::randn(Shape{1, 1, 28, 28}, rng));
+  EXPECT_EQ(fb.exit_point, core::ExitPoint::kBinaryBranchFallback);
+  EXPECT_EQ(client.stats().model_unavailable, retry.max_attempts);
+
+  server.stop();
+  EXPECT_EQ(server.stats().requests_served, 1);
+  EXPECT_EQ(server.stats().rejected_unknown_model, retry.max_attempts);
 }
 
 TEST(EndToEnd, StitchedTraceSpansClientAndServer) {

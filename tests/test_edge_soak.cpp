@@ -289,5 +289,108 @@ TEST(EdgeSoak, StopWithQueuedRequestsFailsThemCleanly) {
   }
 }
 
+TEST(EdgeSoak, HotSwapActorUnderFloodConverges) {
+  // A swap actor keeps load->flip->drain-ing new versions of the model a
+  // flood of BrowserClients is tagged to -- and periodically walks the
+  // eviction path (evict, let rejections flow, reinstall). The flood
+  // must keep completing throughout: a request caught by an eviction
+  // degrades to the binary branch via kModelUnavailable, it never hangs
+  // or tears the connection. Afterwards every retired snapshot must
+  // drain (live gauge back to registered count) and stop() converge.
+  Rng rng(8009);
+  core::CompositeNetwork net = make_net(rng);
+  const webinfer::WebModel browser_model =
+      webinfer::export_browser_model(net, 1, 28, 28);
+
+  auto registry = std::make_shared<ModelRegistry>();
+  // One completion built (and edge-prepared) up front, before any worker
+  // runs: all versions share the eval-mode network, whose forwards are
+  // thread-safe only once the packing writes are done. Each install
+  // still exercises the full retire/drain machinery.
+  const auto completion = main_branch_batch_completion(net);
+  const auto snapshot_v = [&completion](std::uint32_t id,
+                                        std::uint32_t version) {
+    return ServableModel::from_fn(id, version, "soak", completion);
+  };
+  constexpr std::uint32_t kSwappedId = 4;
+  registry->install(snapshot_v(0, 1));  // untagged clients' default
+  registry->install(snapshot_v(kSwappedId, 1));
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 3;
+  opts.max_wait_us = 100.0;
+  opts.queue_capacity = 16;
+  opts.busy_retry_after_ms = 1;
+  auto server = std::make_unique<EdgeServer>(0, registry, opts);
+
+  std::atomic<bool> flood{true};
+  std::atomic<int> answered{0};
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng crng(static_cast<std::uint64_t>(9100 + c));
+      webinfer::Engine engine{browser_model};
+      RetryPolicy retry;
+      retry.max_attempts = 2;
+      retry.initial_backoff_ms = 1.0;
+      retry.max_backoff_ms = 5.0;
+      retry.deadline_ms = 1000.0;
+      BrowserClient client(std::move(engine), core::ExitPolicy{0.25},
+                           server->port(), retry);
+      if (c % 2 == 1) client.set_model_id(kSwappedId);
+      while (flood.load()) {
+        (void)client.classify(Tensor::randn(Shape{1, 1, 28, 28}, crng));
+        ++answered;
+      }
+    });
+  }
+
+  std::atomic<bool> swapping{true};
+  std::thread swap_actor([&] {
+    std::uint32_t version = 1;
+    int iter = 0;
+    while (swapping.load()) {
+      if (++iter % 4 == 0) {
+        // Eviction path: rejections flow until the reinstall below.
+        registry->evict(kSwappedId);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      registry->install(snapshot_v(kSwappedId, ++version));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  for (int i = 0; i < 20000 && answered.load() < 10 * kClients; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(answered.load(), 10 * kClients);
+  swapping.store(false);
+  swap_actor.join();  // actor exits with the model installed
+  flood.store(false);
+  for (auto& t : clients) t.join();
+
+  // Drain: with the flood gone no batch pins a retired snapshot, so the
+  // live gauge must fall back to the registered count (bounded poll).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (registry->live_models() != registry->size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(registry->live_models(), registry->size())
+      << "retired snapshots still pinned after the flood drained";
+
+  EdgeServer* raw = server.get();
+  const bool stopped = finishes_within([raw] { raw->stop(); }, 15000);
+  EXPECT_TRUE(stopped) << "stop() hung after hot-swap soak";
+  if (!stopped) {
+    (void)server.release();
+    FAIL() << "server wedged";
+  }
+  EXPECT_EQ(server->queue_depth(), 0);
+}
+
 }  // namespace
 }  // namespace lcrs::edge

@@ -1,0 +1,180 @@
+// Versioned model-bundle tests (core/checkpoint.h, "LCRB"): the on-disk
+// artifact the edge server's ModelRegistry hot-swaps.
+//
+// Properties, per architecture in the zoo:
+//   * save -> load -> save is byte-identical (the format is canonical),
+//     and the loaded network is weight-for-weight the one saved;
+//   * every strict prefix of a valid bundle is rejected with
+//     lcrs::Error (sampled like test_truncation.cpp);
+//   * the canonical-form rules (id 0 reserved, version >= 1, name cap)
+//     hold symmetrically on save and load, so neither side can produce
+//     what the other rejects.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/checkpoint.h"
+#include "models/zoo.h"
+
+namespace lcrs {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+core::CompositeNetwork fresh_net(models::Arch arch, std::uint64_t seed) {
+  Rng rng(seed);
+  return core::CompositeNetwork::build(models::small_config(arch), rng);
+}
+
+Bytes bundle_for(core::CompositeNetwork& net, const models::ModelConfig& cfg,
+                 const core::BundleInfo& info) {
+  return core::save_bundle(
+      net, core::Checkpoint{cfg, models::default_branch(cfg.arch), 0.1},
+      info);
+}
+
+Bytes prefix_of(const Bytes& b, std::size_t n) {
+  return Bytes(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+/// Header bytes exhaustively, then a stride, then the tail (mirrors
+/// test_truncation.cpp's sampling for multi-KB artifacts).
+std::vector<std::size_t> sampled_offsets(std::size_t size,
+                                         std::size_t stride) {
+  std::vector<std::size_t> offs;
+  for (std::size_t i = 0; i < size && i < 200; ++i) offs.push_back(i);
+  for (std::size_t i = 200; i < size; i += stride) offs.push_back(i);
+  for (std::size_t i = size > 64 ? size - 64 : 0; i < size; ++i) {
+    offs.push_back(i);
+  }
+  return offs;
+}
+
+TEST(ModelBundle, RoundTripByteIdenticalEveryArch) {
+  std::uint32_t next_id = 1;
+  for (const models::Arch arch : models::all_archs()) {
+    const models::ModelConfig cfg = models::small_config(arch);
+    core::CompositeNetwork net = fresh_net(arch, 100 + next_id);
+    const core::BundleInfo info{next_id, next_id + 10,
+                                std::string("zoo-") +
+                                    models::arch_name(arch)};
+    const Bytes bytes = bundle_for(net, cfg, info);
+
+    core::LoadedBundle loaded = core::load_bundle(bytes);
+    EXPECT_EQ(loaded.info.model_id, info.model_id);
+    EXPECT_EQ(loaded.info.version, info.version);
+    EXPECT_EQ(loaded.info.name, info.name);
+    EXPECT_EQ(loaded.loaded.ckpt.config.arch, arch);
+
+    // Idempotent: re-saving the loaded bundle reproduces the bytes
+    // exactly, so load dropped or defaulted nothing.
+    const Bytes resaved = core::save_bundle(
+        loaded.loaded.net, loaded.loaded.ckpt, loaded.info);
+    EXPECT_EQ(resaved, bytes) << models::arch_name(arch);
+
+    // And the weights came through bit-exact: both networks produce
+    // identical logits on the same input.
+    Rng rng(7);
+    const Tensor x = Tensor::randn(
+        Shape{2, cfg.in_channels, cfg.in_h, cfg.in_w}, rng);
+    const Tensor a = net.forward(x, false).main_logits;
+    const Tensor b = loaded.loaded.net.forward(x, false).main_logits;
+    ASSERT_EQ(a.shape(), b.shape());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<std::size_t>(a.numel()) *
+                              sizeof(float)),
+              0)
+        << models::arch_name(arch);
+    ++next_id;
+  }
+}
+
+TEST(ModelBundle, EveryPrefixRejectedSampled) {
+  const models::ModelConfig cfg = models::small_config(models::Arch::kLeNet);
+  core::CompositeNetwork net = fresh_net(models::Arch::kLeNet, 21);
+  const Bytes bytes = bundle_for(net, cfg, core::BundleInfo{5, 3, "lenet"});
+  ASSERT_NO_THROW((void)core::load_bundle(bytes));
+  for (const std::size_t n : sampled_offsets(bytes.size(), 4099)) {
+    EXPECT_THROW((void)core::load_bundle(prefix_of(bytes, n)), Error)
+        << "prefix length " << n << " of " << bytes.size();
+  }
+}
+
+TEST(ModelBundle, TrailingByteRejected) {
+  const models::ModelConfig cfg = models::small_config(models::Arch::kLeNet);
+  core::CompositeNetwork net = fresh_net(models::Arch::kLeNet, 22);
+  Bytes bytes = bundle_for(net, cfg, core::BundleInfo{5, 3, "lenet"});
+  bytes.push_back(0xAA);
+  EXPECT_THROW((void)core::load_bundle(bytes), Error);
+}
+
+TEST(ModelBundle, BadMagicRejected) {
+  const models::ModelConfig cfg = models::small_config(models::Arch::kLeNet);
+  core::CompositeNetwork net = fresh_net(models::Arch::kLeNet, 23);
+  Bytes bytes = bundle_for(net, cfg, core::BundleInfo{5, 3, "lenet"});
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW((void)core::load_bundle(bytes), Error);
+  EXPECT_FALSE(core::looks_like_bundle(bytes));
+}
+
+TEST(ModelBundle, CanonicalFormRulesSymmetric) {
+  const models::ModelConfig cfg = models::small_config(models::Arch::kLeNet);
+  core::CompositeNetwork net = fresh_net(models::Arch::kLeNet, 24);
+  const core::Checkpoint ckpt{cfg, models::default_branch(cfg.arch), 0.1};
+
+  // Save-side rejections.
+  EXPECT_THROW(
+      (void)core::save_bundle(net, ckpt, core::BundleInfo{0, 1, "x"}),
+      InvalidArgument);
+  EXPECT_THROW(
+      (void)core::save_bundle(net, ckpt, core::BundleInfo{1, 0, "x"}),
+      InvalidArgument);
+  EXPECT_THROW((void)core::save_bundle(
+                   net, ckpt,
+                   core::BundleInfo{1, 1, std::string(257, 'n')}),
+               InvalidArgument);
+  // The boundary name length is fine.
+  EXPECT_NO_THROW((void)core::save_bundle(
+      net, ckpt, core::BundleInfo{1, 1, std::string(256, 'n')}));
+
+  // Load-side rejections of the same rules, built by patching the
+  // fixed-offset header fields ([magic][format-version][id][version]).
+  const Bytes good = bundle_for(net, cfg, core::BundleInfo{1, 1, "x"});
+  Bytes zero_id = good;
+  for (std::size_t i = 8; i < 12; ++i) zero_id[i] = 0;
+  EXPECT_THROW((void)core::load_bundle(zero_id), Error);
+  Bytes zero_version = good;
+  for (std::size_t i = 12; i < 16; ++i) zero_version[i] = 0;
+  EXPECT_THROW((void)core::load_bundle(zero_version), Error);
+}
+
+TEST(ModelBundle, LooksLikeBundleDistinguishesCheckpoints) {
+  const models::ModelConfig cfg = models::small_config(models::Arch::kLeNet);
+  core::CompositeNetwork net = fresh_net(models::Arch::kLeNet, 25);
+  const core::Checkpoint ckpt{cfg, models::default_branch(cfg.arch), 0.1};
+  const Bytes bundle =
+      core::save_bundle(net, ckpt, core::BundleInfo{1, 1, "x"});
+  const Bytes checkpoint = core::save_composite(net, ckpt);
+  EXPECT_TRUE(core::looks_like_bundle(bundle));
+  EXPECT_FALSE(core::looks_like_bundle(checkpoint));
+  EXPECT_FALSE(core::looks_like_bundle({}));
+  EXPECT_FALSE(core::looks_like_bundle({0x4c, 0x43}));
+}
+
+TEST(ModelBundle, FileRoundTrip) {
+  const models::ModelConfig cfg = models::small_config(models::Arch::kLeNet);
+  core::CompositeNetwork net = fresh_net(models::Arch::kLeNet, 26);
+  const core::Checkpoint ckpt{cfg, models::default_branch(cfg.arch), 0.1};
+  const std::string path =
+      testing::TempDir() + "/lcrs_test_model_bundle.bundle";
+  core::save_bundle_file(net, ckpt, core::BundleInfo{9, 4, "file"}, path);
+  core::LoadedBundle loaded = core::load_bundle_file(path);
+  EXPECT_EQ(loaded.info.model_id, 9u);
+  EXPECT_EQ(loaded.info.version, 4u);
+  EXPECT_EQ(loaded.info.name, "file");
+}
+
+}  // namespace
+}  // namespace lcrs
